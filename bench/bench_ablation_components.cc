@@ -1,0 +1,84 @@
+// Ablation (beyond the paper's figures, supporting its Sec. V-B1 claim):
+// accuracy and learned effective component count as a function of the
+// initial number of Gaussian components K in {1, 2, 4, 8}.
+//
+// Claim under test: K = 4 is the best initial setting; the learned
+// effective number of components saturates at 1-2 regardless of K (K = 1
+// degenerates to an adaptive L2).
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/gm_regularizer.h"
+#include "core/merge.h"
+#include "data/preprocess.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "models/logistic_regression.h"
+#include "util/csv.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int main() {
+  using namespace gmreg;
+  bench::PrintHeader(
+      "Ablation: initial number of Gaussian components K",
+      "LR + GM Reg on four datasets, K in {1, 2, 4, 8}, 3 subsamples each.");
+
+  const int ks[] = {1, 2, 4, 8};
+  const char* datasets[] = {"conn-sonar", "ionosphere", "horse-colic",
+                            "breast-canc-pro"};
+  int subsamples = ScalePick(1, 3, 5);
+  int epochs = ScalePick(15, 60, 150);
+
+  TablePrinter table({"Dataset", "K=1", "K=2", "K=4", "K=8",
+                      "learned K (from K=8)"});
+  CsvWriter csv(bench::CsvPath("ablation_components"),
+                {"dataset", "k", "mean_accuracy", "effective_components"});
+  for (const char* name : datasets) {
+    TabularData raw = MakeUciLike(name, 29);
+    std::vector<std::string> row = {name};
+    int learned_k_from_8 = 0;
+    for (int k : ks) {
+      std::vector<double> accs;
+      int effective = 0;
+      Rng split_rng(31);
+      for (int s = 0; s < subsamples; ++s) {
+        TrainTestIndices split = StratifiedSplit(raw.labels, 0.2, &split_rng);
+        Preprocessor prep;
+        Status st = prep.Fit(raw, split.train);
+        GMREG_CHECK(st.ok());
+        Dataset train = prep.Transform(raw, split.train);
+        Dataset test = prep.Transform(raw, split.test);
+        LogisticRegression::Options lr;
+        lr.epochs = epochs;
+        Rng rng(100 + static_cast<std::uint64_t>(s));
+        LogisticRegression model(train.num_features(), lr, &rng);
+        GmOptions gm;
+        gm.num_components = k;
+        gm.gamma = 0.0005;
+        GmRegularizer reg("w", train.num_features(), gm);
+        model.Train(train, &reg, &rng);
+        accs.push_back(model.EvaluateAccuracy(test));
+        effective = MergeSimilarComponents(reg.mixture(), 3.0)
+                        .EffectiveComponents();
+      }
+      double mean = Mean(accs);
+      row.push_back(StrFormat("%.3f", mean));
+      csv.WriteRow({name, StrFormat("%d", k), StrFormat("%.4f", mean),
+                    StrFormat("%d", effective)});
+      if (k == 8) learned_k_from_8 = effective;
+    }
+    row.push_back(StrFormat("%d", learned_k_from_8));
+    table.AddRow(row);
+    std::printf("finished %s\n", name);
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  table.Print(std::cout);
+  std::printf(
+      "\nClaim (paper Sec. V-B1): K = 4 found best; the mixture converges\n"
+      "to 1-2 effective components regardless of the initial K.\n");
+  return 0;
+}

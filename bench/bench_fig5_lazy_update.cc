@@ -1,0 +1,81 @@
+// Regenerates Fig. 5: training time vs. epoch for lazy-update intervals
+// Im in {1, 2, 5, 10, 20, 50} (with Ig = Im, E = 2) plus the L2 baseline,
+// and the convergence-time bar chart, for both deep models.
+//
+// Paper's shape: time grows linearly in epochs for every setting; Im = 1
+// is the slowest and Im = 50 the fastest (paper: ~4x apart on their
+// GPU-conv / CPU-EM stack); accuracy does not drop with larger Im.
+//
+// Substrate note: here conv and EM run on the SAME single CPU core, so the
+// EM share of an iteration — and hence the Im=1 : Im=50 gap — is smaller
+// than the paper's. A small batch size is used so the per-iteration EM cost
+// is visible at all; the orderings and linear growth are the reproduced
+// shape.
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "deep_bench_util.h"
+#include "util/csv.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int main() {
+  using namespace gmreg;
+  bench::PrintHeader(
+      "Fig. 5: time vs epoch for update intervals Im (Ig = Im, E = 2)",
+      "6 Im settings + L2 baseline, both models; cumulative seconds/epoch.");
+
+  CifarLikePair data = bench::DeepSweepData();
+  const std::int64_t ims[] = {1, 2, 5, 10, 20, 50};
+  CsvWriter csv(bench::CsvPath("fig5_lazy_update"),
+                {"model", "setting", "epoch", "cumulative_seconds",
+                 "accuracy"});
+  for (int m = 0; m < 2; ++m) {
+    DeepModel model = m == 0 ? DeepModel::kAlexCifar10 : DeepModel::kResNet;
+    DeepExperimentOptions opts = bench::DeepOptions(model, data);
+    opts.batch_size = 4;  // per-iteration EM cost must be visible (see top)
+    opts.epochs = ScalePick(4, 8, 20);
+    opts.gm.lazy.warmup_epochs = 2;
+
+    TablePrinter table({"Setting", "total time (s)", "s/epoch after warmup",
+                        "test accuracy"});
+    std::vector<double> totals;
+    auto record = [&](const std::string& label,
+                      const DeepExperimentResult& r) {
+      for (const EpochStats& es : r.epoch_stats) {
+        csv.WriteRow({DeepModelName(model), label,
+                      StrFormat("%d", es.epoch + 1),
+                      StrFormat("%.3f", es.elapsed_seconds),
+                      StrFormat("%.4f", r.test_accuracy)});
+      }
+      double tail = r.epoch_stats.back().elapsed_seconds;
+      double warm = r.epoch_stats[1].elapsed_seconds;
+      auto lazy_epochs = static_cast<double>(r.epoch_stats.size()) - 2.0;
+      double per_epoch =
+          lazy_epochs > 0.0 ? (tail - warm) / lazy_epochs : tail / 2.0;
+      table.AddRow({label, StrFormat("%.2f", tail),
+                    StrFormat("%.3f", per_epoch),
+                    StrFormat("%.3f", r.test_accuracy)});
+      totals.push_back(tail);
+    };
+    for (std::int64_t im : ims) {
+      opts.gm.lazy.greg_interval = im;
+      opts.gm.lazy.gm_interval = im;
+      record(StrFormat("Im=%lld", static_cast<long long>(im)),
+             RunDeepExperiment(data, opts, DeepRegKind::kGm));
+    }
+    record("baseline (L2)", RunDeepExperiment(data, opts, DeepRegKind::kL2));
+    std::printf("-- %s --\n", DeepModelName(model));
+    table.Print(std::cout);
+    std::printf("speedup Im=1 -> Im=50: %.2fx (baseline/Im=50: %.2fx)\n\n",
+                totals[0] / totals[5], totals[6] / totals[5]);
+  }
+  std::printf(
+      "Paper reference (Fig. 5): linear growth per setting; Im=1 slowest,\n"
+      "Im=50 fastest at ~1/4 the Im=1 time, accuracy unchanged; baseline\n"
+      "(L2) below Im=50. Expected here: same orderings, smaller gap (see\n"
+      "substrate note in the source header).\n");
+  return 0;
+}

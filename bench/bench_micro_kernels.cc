@@ -1,0 +1,141 @@
+// Micro-benchmarks (google-benchmark) of the kernels behind the paper's
+// cost model: the E-step (responsibility + greg) and M-step passes that
+// the lazy update amortizes, the baseline regularizer gradients they are
+// compared against, and the GEMM that dominates the network substrate.
+
+#include <benchmark/benchmark.h>
+
+#include "core/em.h"
+#include "core/gm_regularizer.h"
+#include "reg/norms.h"
+#include "tensor/random.h"
+#include "tensor/tensor_ops.h"
+#include "util/rng.h"
+
+namespace gmreg {
+namespace {
+
+Tensor MakeWeights(std::int64_t n) {
+  Rng rng(7);
+  Tensor w({n});
+  for (std::int64_t i = 0; i < n; ++i) {
+    w[i] = static_cast<float>(rng.NextBernoulli(0.8)
+                                  ? rng.NextGaussian(0.0, 0.05)
+                                  : rng.NextGaussian(0.0, 0.8));
+  }
+  return w;
+}
+
+void BM_EStepGreg(benchmark::State& state) {
+  std::int64_t n = state.range(0);
+  int k = static_cast<int>(state.range(1));
+  Tensor w = MakeWeights(n);
+  Tensor greg({n});
+  GaussianMixture gm =
+      GaussianMixture::Initialize(k, GmInitMethod::kLinear, 10.0);
+  for (auto _ : state) {
+    EStep(gm, w.data(), n, greg.data(), nullptr);
+    benchmark::DoNotOptimize(greg.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EStepGreg)
+    ->Args({89440, 4})    // Alex-CIFAR-10's M (paper Sec. V-A)
+    ->Args({270896, 4})   // ResNet-20's M
+    ->Args({89440, 2})
+    ->Args({89440, 8});
+
+void BM_MStepPass(benchmark::State& state) {
+  std::int64_t n = state.range(0);
+  Tensor w = MakeWeights(n);
+  GaussianMixture gm =
+      GaussianMixture::Initialize(4, GmInitMethod::kLinear, 10.0);
+  GmHyperParams hyper = GmHyperParams::FromRules(n, 4, 0.001, 0.01, 0.5);
+  GmSuffStats stats;
+  for (auto _ : state) {
+    stats.Reset(4);
+    EStep(gm, w.data(), n, nullptr, &stats);
+    MStep(stats, hyper, GmBounds{}, &gm);
+    benchmark::DoNotOptimize(gm.lambda().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MStepPass)->Arg(89440)->Arg(270896);
+
+void BM_GmRegularizerStep(benchmark::State& state) {
+  // Full AccumulateGradient at Im = Ig = 1 (eager) vs cached-only.
+  std::int64_t n = 89440;
+  bool eager = state.range(0) != 0;
+  Tensor w = MakeWeights(n);
+  Tensor grad({n});
+  GmOptions opts;
+  opts.lazy.warmup_epochs = eager ? 1000000 : 0;
+  opts.lazy.greg_interval = 1000000;  // off-grid -> cached when not eager
+  opts.lazy.gm_interval = 1000000;
+  GmRegularizer reg("w", n, opts);
+  Tensor warm_grad({n});
+  reg.AccumulateGradient(w, 0, 0, 1.0, &warm_grad);  // prime the cache
+  std::int64_t it = 1;
+  for (auto _ : state) {
+    grad.SetZero();
+    reg.AccumulateGradient(w, it++, 0, 1.0, &grad);
+    benchmark::DoNotOptimize(grad.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel(eager ? "eager (E-step + M-step each call)"
+                       : "lazy cached (Axpy only)");
+}
+BENCHMARK(BM_GmRegularizerStep)->Arg(1)->Arg(0);
+
+void BM_BaselineRegularizers(benchmark::State& state) {
+  std::int64_t n = 89440;
+  Tensor w = MakeWeights(n);
+  Tensor grad({n});
+  L2Reg l2(1.0);
+  L1Reg l1(1.0);
+  ElasticNetReg elastic(1.0, 0.5);
+  HuberReg huber(1.0, 0.1);
+  Regularizer* regs[] = {&l1, &l2, &elastic, &huber};
+  Regularizer* reg = regs[state.range(0)];
+  for (auto _ : state) {
+    grad.SetZero();
+    reg->AccumulateGradient(w, 0, 0, 1.0, &grad);
+    benchmark::DoNotOptimize(grad.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel(reg->Name());
+}
+BENCHMARK(BM_BaselineRegularizers)->DenseRange(0, 3);
+
+void BM_Gemm(benchmark::State& state) {
+  std::int64_t n = state.range(0);
+  Rng rng(3);
+  Tensor a({n, n}), b({n, n}), c({n, n});
+  FillUniform(&rng, -1.0, 1.0, &a);
+  FillUniform(&rng, -1.0, 1.0, &b);
+  for (auto _ : state) {
+    Gemm(false, false, n, n, n, 1.0f, a.data(), n, b.data(), n, 0.0f,
+         c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_ResponsibilitySingle(benchmark::State& state) {
+  GaussianMixture gm =
+      GaussianMixture::Initialize(4, GmInitMethod::kLinear, 10.0);
+  double r[4];
+  double x = 0.123;
+  for (auto _ : state) {
+    gm.Responsibilities(x, r);
+    benchmark::DoNotOptimize(r);
+    x = -x;
+  }
+}
+BENCHMARK(BM_ResponsibilitySingle);
+
+}  // namespace
+}  // namespace gmreg
+
+BENCHMARK_MAIN();

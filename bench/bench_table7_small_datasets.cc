@@ -1,0 +1,105 @@
+// Regenerates Table VII: classification accuracy (mean +/- standard error
+// over 5 stratified 80-20 subsamples) of logistic regression on Hosp-FA
+// and the 11 UCI stand-ins, for L1 / L2 / Elastic-net / Huber / GM
+// regularization, each under its best CV-selected setting.
+//
+// Paper's headline: GM Reg wins or ties on 11 of 12 datasets and never
+// loses to L1 Reg.
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "data/synthetic.h"
+#include "eval/method_grid.h"
+#include "eval/small_data_experiment.h"
+#include "util/csv.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace gmreg;
+
+// Trimmed grids keep the default-scale run minutes-long; the full scale
+// sweeps the complete grids of eval/method_grid.cc.
+std::vector<RegMethod> MethodsForScale() {
+  if (GetBenchScale() == BenchScale::kFull) return AllMethods();
+  auto slim = [](RegMethod m, std::initializer_list<int> keep) {
+    RegMethod out{m.name, {}};
+    for (int i : keep) out.grid.push_back(m.grid[static_cast<std::size_t>(i)]);
+    return out;
+  };
+  std::vector<RegMethod> methods;
+  // Strength grid indices: {0.01,0.03,0.1,0.3,1,3,10,30,100}.
+  methods.push_back(slim(L1Method(), {1, 3, 5, 7}));
+  methods.push_back(slim(L2Method(), {1, 3, 5, 7}));
+  // Elastic grid is beta x l1_ratio (4x3).
+  methods.push_back(slim(ElasticNetMethod(), {1, 4, 7, 10}));
+  methods.push_back(slim(HuberMethod(), {1, 4, 7, 10}));
+  // Gamma grid: {2e-4, 5e-4, 1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2}. The
+  // lowest value suits paper-scale N only; at this reproduction's sample
+  // sizes the effective strength lambda/N shifts the useful range up.
+  methods.push_back(slim(GmMethod(), {1, 3, 4, 6, 7}));
+  return methods;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Table VII: accuracy on Hosp-FA + 11 UCI datasets, 5 methods",
+      "LR, 5 stratified 80-20 subsamples, per-subsample CV model selection.");
+
+  std::vector<RegMethod> methods = MethodsForScale();
+  SmallDataOptions opts;
+  opts.num_subsamples = ScalePick(2, 5, 5);
+  opts.cv_folds = ScalePick(2, 3, 5);
+  // Enough epochs for the weight distribution to develop its two-scale
+  // structure (the paper's Fig. 3 weights reach |w| >> 1).
+  opts.lr.epochs = ScalePick(10, 60, 150);
+  opts.seed = 20180416;  // ICDE'18 week
+
+  std::vector<std::string> headers = {"Dataset"};
+  for (const auto& m : methods) headers.push_back(m.name);
+  TablePrinter table(headers);
+  CsvWriter csv(bench::CsvPath("table7_small_datasets"),
+                {"dataset", "method", "mean_accuracy", "stderr", "setting"});
+
+  std::vector<std::string> dataset_names = {"Hosp-FA"};
+  for (const std::string& n : UciDatasetNames()) dataset_names.push_back(n);
+  int gm_wins_or_ties = 0;
+  for (const std::string& name : dataset_names) {
+    TabularData raw =
+        name == "Hosp-FA" ? MakeHospFaLike(11) : MakeUciLike(name, 11);
+    auto results = RunSmallDataComparison(raw, methods, opts);
+    std::vector<std::string> row = {name};
+    double best = 0.0;
+    for (const auto& r : results) best = std::max(best, r.mean_accuracy);
+    bool gm_best = false;
+    for (const auto& r : results) {
+      std::string cell = FormatMeanErr(r.mean_accuracy, r.stderr_accuracy);
+      if (r.mean_accuracy >= best - 1e-9) cell += " *";
+      if (r.method == "GM Reg" && r.mean_accuracy >= best - 1e-9) {
+        gm_best = true;
+      }
+      row.push_back(cell);
+      csv.WriteRow({name, r.method, StrFormat("%.4f", r.mean_accuracy),
+                    StrFormat("%.4f", r.stderr_accuracy),
+                    r.representative_setting});
+    }
+    if (gm_best) ++gm_wins_or_ties;
+    table.AddRow(row);
+    std::printf("finished %s\n", name.c_str());
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  table.Print(std::cout);
+  std::printf(
+      "\n'*' marks the best method(s) per dataset. GM Reg best or tied on "
+      "%d/%zu datasets.\n"
+      "Paper reference: GM best on 9/12, tied-best on 2 more, never below "
+      "L1.\n",
+      gm_wins_or_ties, dataset_names.size());
+  return 0;
+}

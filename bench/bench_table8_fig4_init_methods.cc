@@ -1,0 +1,84 @@
+// Regenerates Table VIII and Fig. 4: accuracy of the three GM
+// initialization methods (identical / linear / proportional) across the
+// Dirichlet prior exponents alpha in {0.3, 0.5, 0.7, 0.9}, on both deep
+// models.
+//
+// Paper's shape: linear and proportional far better than identical (their
+// spread of initial precisions lets the mixture split); alpha = 0.5 best;
+// linear slightly ahead of proportional on average.
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "deep_bench_util.h"
+#include "util/csv.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int main() {
+  using namespace gmreg;
+  bench::PrintHeader(
+      "Table VIII + Fig. 4: GM initialization methods x Dirichlet exponent",
+      "3 init methods x alpha in {0.3,0.5,0.7,0.9} x 2 models, GM Reg runs.");
+
+  const GmInitMethod methods[] = {GmInitMethod::kLinear,
+                                  GmInitMethod::kIdentical,
+                                  GmInitMethod::kProportional};
+  const double alphas[] = {0.3, 0.5, 0.7, 0.9};
+  CsvWriter csv(bench::CsvPath("table8_fig4_init_methods"),
+                {"model", "init_method", "alpha_exponent", "accuracy"});
+
+  double mean_acc[3][2] = {};
+  for (int m = 0; m < 2; ++m) {
+    DeepModel model = m == 0 ? DeepModel::kAlexCifar10 : DeepModel::kResNet;
+    // 24 full-length runs would dominate the suite; trade dataset size for
+    // training length so each run still trains into the regime where the
+    // initialization of the mixture matters (above-noise-floor accuracy).
+    CifarLikeSpec spec;
+    spec.num_train = ScalePick(200, m == 0 ? 800 : 400, 4000);
+    spec.num_test = ScalePick(100, 400, 1500);
+    spec.height = ScalePick(12, m == 0 ? 16 : 12, 24);
+    spec.width = spec.height;
+    spec.pixel_noise = 1.5;
+    spec.signal_gain = 0.8;
+    spec.label_noise = 0.12;
+    CifarLikePair data = MakeCifarLike(spec, 7);
+    DeepExperimentOptions opts = bench::DeepOptions(model, data);
+    opts.epochs = std::max(4, opts.epochs * 2 / 3);
+    std::printf("-- Fig. 4 (%s): accuracy per (init, alpha) --\n",
+                DeepModelName(model));
+    TablePrinter fig({"alpha", "linear init", "identical init",
+                      "proportional init"});
+    for (double alpha : alphas) {
+      std::vector<std::string> row = {StrFormat("%.1f", alpha)};
+      for (int i = 0; i < 3; ++i) {
+        opts.gm.init_method = methods[i];
+        opts.gm.alpha_exponent = alpha;
+        DeepExperimentResult r = RunDeepExperiment(data, opts,
+                                                   DeepRegKind::kGm);
+        mean_acc[i][m] += r.test_accuracy / 4.0;
+        row.push_back(StrFormat("%.3f", r.test_accuracy));
+        csv.WriteRow({DeepModelName(model), GmInitMethodName(methods[i]),
+                      StrFormat("%.1f", alpha),
+                      StrFormat("%.4f", r.test_accuracy)});
+      }
+      fig.AddRow(row);
+    }
+    fig.Print(std::cout);
+    std::printf("\n");
+  }
+  std::printf("-- Table VIII: average accuracy over alpha values --\n");
+  TablePrinter table({"Method", "Alex-CIFAR-10", "ResNet"});
+  const char* labels[] = {"linear", "identical", "proportional"};
+  for (int i : {0, 1, 2}) {
+    table.AddRow({labels[i], StrFormat("%.3f", mean_acc[i][0]),
+                  StrFormat("%.3f", mean_acc[i][1])});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nPaper reference (Table VIII): Alex 0.819/0.802/0.817,\n"
+      "ResNet 0.918/0.912/0.916. Expected shape: identical worst on both\n"
+      "models; linear >= proportional; best single cell at alpha = 0.5.\n");
+  return 0;
+}

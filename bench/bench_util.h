@@ -1,0 +1,43 @@
+#ifndef GMREG_BENCH_BENCH_UTIL_H_
+#define GMREG_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "util/env.h"
+
+namespace gmreg {
+namespace bench {
+
+/// Prints the standard banner every bench harness starts with: which paper
+/// artifact is being regenerated and at what scale.
+inline void PrintHeader(const std::string& artifact,
+                        const std::string& description) {
+  const char* scale = "default";
+  switch (GetBenchScale()) {
+    case BenchScale::kSmoke:
+      scale = "smoke";
+      break;
+    case BenchScale::kFull:
+      scale = "full";
+      break;
+    case BenchScale::kDefault:
+      break;
+  }
+  std::printf("==============================================================\n");
+  std::printf("Reproducing %s\n", artifact.c_str());
+  std::printf("%s\n", description.c_str());
+  std::printf("scale: %s (set GMREG_BENCH_SCALE=smoke|full to change)\n",
+              scale);
+  std::printf("==============================================================\n\n");
+}
+
+/// Path for the machine-readable copy of a bench's output.
+inline std::string CsvPath(const std::string& name) {
+  return name + ".csv";
+}
+
+}  // namespace bench
+}  // namespace gmreg
+
+#endif  // GMREG_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,79 @@
+#ifndef GMREG_BENCH_DEEP_BENCH_UTIL_H_
+#define GMREG_BENCH_DEEP_BENCH_UTIL_H_
+
+#include "data/cifar_like.h"
+#include "eval/deep_experiment.h"
+#include "util/env.h"
+
+namespace gmreg {
+namespace bench {
+
+/// The CIFAR-10 stand-in at the current bench scale (shared by all deep
+/// benches so every table/figure sees the same data distribution).
+inline CifarLikePair DeepData(std::uint64_t seed = 7) {
+  CifarLikeSpec spec;
+  spec.num_train = ScalePick(300, 1200, 8000);
+  spec.num_test = ScalePick(150, 800, 2000);
+  spec.height = ScalePick(12, 16, 32);
+  spec.width = spec.height;
+  // Difficulty calibrated so an unregularized Alex-CIFAR-10 overfits into
+  // the low 0.8s (paper: 0.777) with headroom for regularization.
+  spec.pixel_noise = 1.5;
+  spec.signal_gain = 0.8;
+  spec.label_noise = 0.12;
+  return MakeCifarLike(spec, seed);
+}
+
+/// Smaller dataset for the timing figures (5-7) and the init-method sweep
+/// (Table VIII / Fig. 4): those artifacts need many runs and measure
+/// relative behaviour, not absolute accuracy.
+inline CifarLikePair DeepSweepData(std::uint64_t seed = 7) {
+  CifarLikeSpec spec;
+  spec.num_train = ScalePick(200, 320, 4000);
+  spec.num_test = ScalePick(100, 200, 1500);
+  spec.height = ScalePick(12, 12, 24);
+  spec.width = spec.height;
+  spec.pixel_noise = 1.5;
+  spec.signal_gain = 0.8;
+  spec.label_noise = 0.12;
+  return MakeCifarLike(spec, seed);
+}
+
+/// Baseline options for one deep run at the current scale, sized to the
+/// dataset it will train on. Callers override model/regularization
+/// specifics.
+inline DeepExperimentOptions DeepOptions(DeepModel model,
+                                         const CifarLikePair& data) {
+  DeepExperimentOptions opts;
+  opts.model = model;
+  opts.input_hw = static_cast<int>(data.train.height());
+  opts.batch_size = 50;
+  bool resnet = model == DeepModel::kResNet;
+  opts.epochs = resnet ? ScalePick(2, 10, 40) : ScalePick(3, 20, 60);
+  opts.learning_rate = resnet ? 0.05 : 0.003;
+  // Step the learning rate down for the last third of training.
+  opts.lr_schedule = {{2 * opts.epochs / 3, 0.1}};
+  // Expert-tuned L2 for this substrate (grid-searched offline; analogous to
+  // the paper's hand-tuned per-layer lambdas). Under the library's 1/N MAP
+  // scaling the effective per-step strength is lr*lambda/N, so the right
+  // lambda shrinks with the dataset: the paper's conv lambda 200 at
+  // N = 50000 corresponds to ~6 at N = 1600.
+  opts.l2_conv = resnet ? 10.0 : 30.0;
+  opts.l2_dense = resnet ? 10.0 : 150.0;
+  // GM defaults per paper Sec. V-B1: K=4, linear init, alpha = M^0.5.
+  // gamma is chosen per model from the paper's grid (validation-selected,
+  // as the paper prescribes). The Gamma prior caps learnable precisions at
+  // ~1/(2*gamma); with our much smaller N the cap must sit proportionally
+  // lower than the paper's (their learned lambda/N of ~0.04 for Alex
+  // matches cap 100 = gamma 5e-3 at N ~ 1600).
+  opts.gm.gamma = resnet ? 0.05 : 0.02;
+  opts.gm.lazy.warmup_epochs = 2;
+  opts.gm.lazy.greg_interval = 10;
+  opts.gm.lazy.gm_interval = 10;
+  return opts;
+}
+
+}  // namespace bench
+}  // namespace gmreg
+
+#endif  // GMREG_BENCH_DEEP_BENCH_UTIL_H_

@@ -1,0 +1,87 @@
+// Healthcare scenario from the paper's introduction: predicting 30-day
+// hospital readmission from inpatient records (the Hosp-FA dataset,
+// 1755 patients x 375 mixed medical features).
+//
+// Medical feature sets mix a few strongly predictive signals (e.g. key
+// diagnoses) with many noisy ones. The paper's point (Sec. V-A) is that
+// the weight distribution is then two-scale — large variance for
+// predictive features, small variance for noisy ones — which a fixed-norm
+// prior cannot express but a learned Gaussian Mixture can. This example
+// compares all five regularization methods under their typical settings
+// and prints the mixture the tool learned.
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "core/gm_regularizer.h"
+#include "core/merge.h"
+#include "data/preprocess.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "models/logistic_regression.h"
+#include "reg/norms.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int main() {
+  using namespace gmreg;
+
+  TabularData raw = MakeHospFaLike(/*seed=*/2026);
+  Rng rng(7);
+  TrainTestIndices split = StratifiedSplit(raw.labels, 0.2, &rng);
+  Preprocessor prep;
+  Status status = prep.Fit(raw, split.train);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  Dataset train = prep.Transform(raw, split.train);
+  Dataset test = prep.Transform(raw, split.test);
+  std::printf("Hosp-FA stand-in: %lld train / %lld test patients, %lld features\n\n",
+              static_cast<long long>(train.num_samples()),
+              static_cast<long long>(test.num_samples()),
+              static_cast<long long>(train.num_features()));
+
+  LogisticRegression::Options lr_opts;
+  lr_opts.epochs = 50;
+
+  GmOptions gm_opts;
+  gm_opts.gamma = 0.0005;
+  auto gm_reg = std::make_unique<GmRegularizer>(
+      "w", train.num_features(), gm_opts);
+
+  struct Entry {
+    const char* label;
+    Regularizer* reg;
+  };
+  L1Reg l1(1.0);
+  L2Reg l2(3.0);
+  ElasticNetReg elastic(1.0, 0.5);
+  HuberReg huber(3.0, 0.1);
+  std::vector<Entry> entries = {
+      {"no regularization", nullptr}, {"L1 Reg", &l1},
+      {"L2 Reg", &l2},                {"Elastic-net Reg", &elastic},
+      {"Huber Reg", &huber},          {"GM Reg (adaptive)", gm_reg.get()},
+  };
+
+  TablePrinter table({"Method", "Test accuracy"});
+  for (const Entry& entry : entries) {
+    Rng train_rng(11);  // same init/order for every method
+    LogisticRegression model(train.num_features(), lr_opts, &train_rng);
+    model.Train(train, entry.reg, &train_rng);
+    table.AddRow({entry.label,
+                  StrFormat("%.3f", model.EvaluateAccuracy(test))});
+  }
+  table.Print(std::cout);
+
+  GaussianMixture merged = MergeSimilarComponents(gm_reg->mixture());
+  std::printf(
+      "\nlearned prior over the %lld model weights: %s\n"
+      "(small-variance component ~ noisy medical features, large-variance\n"
+      " component ~ predictive ones; cf. paper Secs. V-A and V-D)\n",
+      static_cast<long long>(train.num_features()),
+      merged.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Deep-learning scenario: per-layer adaptive regularization of a
+// convolutional network (the paper's Alex-CIFAR-10 case study, Sec. V-B).
+//
+// One GmRegularizer is attached to EVERY weight tensor, all with the same
+// automatic hyper-parameter rules; each layer then learns its own prior.
+// The run prints the learned per-layer mixtures — the reproduction of the
+// paper's Table IV on a synthetic CIFAR-10 stand-in.
+
+#include <cstdio>
+#include <iostream>
+
+#include "eval/deep_experiment.h"
+#include "util/env.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int main() {
+  using namespace gmreg;
+
+  CifarLikeSpec spec;
+  spec.num_train = ScalePick(300, 1200, 4000);
+  spec.num_test = ScalePick(150, 600, 2000);
+  CifarLikePair data = MakeCifarLike(spec, /*seed=*/3);
+  std::printf("CIFAR-10 stand-in: %lld train / %lld test images (%dx%d)\n\n",
+              static_cast<long long>(data.train.num_samples()),
+              static_cast<long long>(data.test.num_samples()), spec.height,
+              spec.width);
+
+  DeepExperimentOptions opts;
+  opts.model = DeepModel::kAlexCifar10;
+  opts.input_hw = spec.height;
+  opts.epochs = ScalePick(4, 10, 30);
+  opts.batch_size = 50;
+  opts.learning_rate = 0.003;
+  opts.gm.gamma = 0.0002;
+  opts.gm.lazy.warmup_epochs = 2;
+  opts.gm.lazy.greg_interval = 10;
+  opts.gm.lazy.gm_interval = 10;
+
+  DeepExperimentResult none = RunDeepExperiment(data, opts, DeepRegKind::kNone);
+  DeepExperimentResult gm = RunDeepExperiment(data, opts, DeepRegKind::kGm);
+
+  std::printf("test accuracy, no regularization: %.3f\n", none.test_accuracy);
+  std::printf("test accuracy, GM regularization: %.3f\n\n", gm.test_accuracy);
+
+  TablePrinter table({"Layer Name", "pi", "lambda"});
+  for (const LayerGm& lg : gm.learned) {
+    table.AddRow({lg.layer, FormatVector(lg.pi, 3), FormatVector(lg.lambda, 3)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nEach layer learned its own mixture from the same hyper-parameter\n"
+      "rules — no per-layer manual tuning (cf. paper Table IV).\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Quickstart: attach the adaptive GM regularization tool to a logistic
+// regression model in ~30 lines of user code.
+//
+// The tool needs only two things from the host model (paper Sec. IV):
+//   * the intermediate model parameter w at each SGD step, and
+//   * somewhere to add the returned regularization gradient `greg`.
+// Everything else — learning the mixture, the lazy update schedule, the
+// hyper-parameters — is automatic.
+
+#include <cstdio>
+
+#include "core/gm_regularizer.h"
+#include "core/merge.h"
+#include "data/preprocess.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "models/logistic_regression.h"
+
+int main() {
+  using namespace gmreg;
+
+  // 1. A small, noisy binary-classification dataset (stand-in for the UCI
+  //    "ionosphere" benchmark: 351 samples x 33 features).
+  TabularData raw = MakeUciLike("ionosphere", /*seed=*/42);
+  Rng rng(1);
+  TrainTestIndices split = StratifiedSplit(raw.labels, 0.2, &rng);
+  Preprocessor prep;
+  Status status = prep.Fit(raw, split.train);
+  if (!status.ok()) {
+    std::fprintf(stderr, "preprocessing failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  Dataset train = prep.Transform(raw, split.train);
+  Dataset test = prep.Transform(raw, split.test);
+
+  // 2. A logistic regression model.
+  LogisticRegression::Options lr_opts;
+  lr_opts.epochs = 60;
+  LogisticRegression model(train.num_features(), lr_opts, &rng);
+
+  // 3. The adaptive regularizer. GmOptions defaults follow the paper:
+  //    K = 4 components, linear initialization, alpha = M^0.5.
+  GmOptions gm_opts;
+  gm_opts.gamma = 0.0005;  // b = gamma * M; sweep GammaGrid() to tune
+  GmRegularizer gm_reg("w", train.num_features(), gm_opts);
+
+  // 4. Train with the regularizer attached, then evaluate.
+  model.Train(train, &gm_reg, &rng);
+  std::printf("test accuracy with GM regularization: %.3f\n",
+              model.EvaluateAccuracy(test));
+
+  // 5. Inspect what the tool learned: the prior adapted to the parameter
+  //    distribution, typically one tight component for noisy features and
+  //    one wide component for predictive ones (paper Fig. 3).
+  GaussianMixture learned = MergeSimilarComponents(gm_reg.mixture());
+  std::printf("learned mixture: %s\n", learned.ToString().c_str());
+  std::printf("E-steps run: %lld, M-steps run: %lld\n",
+              static_cast<long long>(gm_reg.estep_count()),
+              static_cast<long long>(gm_reg.mstep_count()));
+  return 0;
+}

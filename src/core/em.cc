@@ -1,0 +1,105 @@
+#include "core/em.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace gmreg {
+
+void GmSuffStats::Reset(int num_components) {
+  resp_sum.assign(static_cast<std::size_t>(num_components), 0.0);
+  resp_w2_sum.assign(static_cast<std::size_t>(num_components), 0.0);
+  count = 0;
+}
+
+namespace {
+
+// Shared E-step kernel over either float or double input. K is small (<= 8
+// in practice), so responsibilities live in a fixed-size stack buffer.
+template <typename T>
+void EStepImpl(const GaussianMixture& gm, const T* w, std::int64_t n,
+               T* greg_out, GmSuffStats* stats) {
+  int kk = gm.num_components();
+  GMREG_CHECK_LE(kk, 64);
+  const std::vector<double>& lambda = gm.lambda();
+  if (stats != nullptr) {
+    GMREG_CHECK_EQ(static_cast<int>(stats->resp_sum.size()), kk);
+    stats->count += n;
+  }
+  double r[64];
+  for (std::int64_t m = 0; m < n; ++m) {
+    double x = static_cast<double>(w[m]);
+    gm.Responsibilities(x, r);
+    if (greg_out != nullptr) {
+      double acc = 0.0;
+      for (int k = 0; k < kk; ++k) acc += r[k] * lambda[static_cast<std::size_t>(k)];
+      greg_out[m] = static_cast<T>(acc * x);
+    }
+    if (stats != nullptr) {
+      for (int k = 0; k < kk; ++k) {
+        auto ks = static_cast<std::size_t>(k);
+        stats->resp_sum[ks] += r[k];
+        stats->resp_w2_sum[ks] += r[k] * x * x;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void EStep(const GaussianMixture& gm, const float* w, std::int64_t n,
+           float* greg_out, GmSuffStats* stats) {
+  EStepImpl(gm, w, n, greg_out, stats);
+}
+
+void EStep(const GaussianMixture& gm, const double* w, std::int64_t n,
+           double* greg_out, GmSuffStats* stats) {
+  EStepImpl(gm, w, n, greg_out, stats);
+}
+
+void MStep(const GmSuffStats& stats, const GmHyperParams& hyper,
+           const GmBounds& bounds, GaussianMixture* gm) {
+  int kk = gm->num_components();
+  GMREG_CHECK_EQ(static_cast<int>(stats.resp_sum.size()), kk);
+  GMREG_CHECK_EQ(static_cast<int>(hyper.alpha.size()), kk);
+  GMREG_CHECK_GT(stats.count, 0);
+  std::vector<double> pi(static_cast<std::size_t>(kk));
+  std::vector<double> lambda(static_cast<std::size_t>(kk));
+  double m_total = static_cast<double>(stats.count);
+  double pi_denom = m_total + hyper.AlphaSumMinusK();
+  GMREG_CHECK_GT(pi_denom, 0.0);
+  double pi_sum = 0.0;
+  for (int k = 0; k < kk; ++k) {
+    auto ks = static_cast<std::size_t>(k);
+    // Eq. 13: 2(a-1) and 2b act as "pseudo parameter" smoothing terms.
+    double num = 2.0 * (hyper.a - 1.0) + stats.resp_sum[ks];
+    double den = 2.0 * hyper.b + stats.resp_w2_sum[ks];
+    double l = den > 0.0 ? num / den : bounds.lambda_max;
+    lambda[ks] = std::clamp(l, bounds.lambda_min, bounds.lambda_max);
+    // Eq. 17.
+    double p = (stats.resp_sum[ks] + hyper.alpha[ks] - 1.0) / pi_denom;
+    pi[ks] = std::max(p, bounds.pi_floor);
+    pi_sum += pi[ks];
+  }
+  for (double& p : pi) p /= pi_sum;
+  gm->Set(std::move(pi), std::move(lambda));
+}
+
+GaussianMixture FitZeroMeanGm(const std::vector<double>& values,
+                              const GaussianMixture& init,
+                              const GmHyperParams& hyper,
+                              const GmBounds& bounds, int iterations) {
+  GMREG_CHECK(!values.empty());
+  GaussianMixture gm = init;
+  GmSuffStats stats;
+  for (int it = 0; it < iterations; ++it) {
+    stats.Reset(gm.num_components());
+    EStep(gm, values.data(), static_cast<std::int64_t>(values.size()),
+          /*greg_out=*/nullptr, &stats);
+    MStep(stats, hyper, bounds, &gm);
+  }
+  return gm;
+}
+
+}  // namespace gmreg

@@ -1,0 +1,36 @@
+#ifndef GMREG_CORE_FACTORY_H_
+#define GMREG_CORE_FACTORY_H_
+
+#include <memory>
+#include <string>
+
+#include "reg/regularizer.h"
+#include "util/status.h"
+
+namespace gmreg {
+
+/// Builds a regularizer from a config string — the knob a pipeline exposes
+/// to its users (the GEMINI stack of paper Sec. I configures components
+/// declaratively). Grammar:
+///
+///   none
+///   l1:beta=<v>
+///   l2:beta=<v>
+///   elastic:beta=<v>,l1_ratio=<v>
+///   huber:beta=<v>,mu=<v>
+///   gm[:key=<v>,...]   keys: k, gamma, a_factor, alpha_exp, min_precision,
+///                            init (identical|linear|proportional),
+///                            warmup, im, ig
+///
+/// For "gm", `num_dims` (the parameter count M) is required to instantiate
+/// the hyper-parameter rules; other kinds ignore it.
+///
+/// Examples: "l2:beta=3", "elastic:beta=1,l1_ratio=0.5",
+///           "gm:gamma=0.0005,init=linear,warmup=2,im=10,ig=10".
+Status MakeRegularizerFromConfig(const std::string& config,
+                                 std::int64_t num_dims,
+                                 std::unique_ptr<Regularizer>* out);
+
+}  // namespace gmreg
+
+#endif  // GMREG_CORE_FACTORY_H_

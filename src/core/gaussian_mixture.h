@@ -1,0 +1,79 @@
+#ifndef GMREG_CORE_GAUSSIAN_MIXTURE_H_
+#define GMREG_CORE_GAUSSIAN_MIXTURE_H_
+
+#include <string>
+#include <vector>
+
+namespace gmreg {
+
+/// How the component precisions are initialized relative to the model
+/// parameter's initialization precision (Sec. V-E). `min` below is one
+/// tenth of the initialized model-parameter precision, so that the initial
+/// regularization is weaker than the weight initialization spread.
+enum class GmInitMethod {
+  kIdentical,     ///< all precisions = min
+  kLinear,        ///< linearly spaced over [min, K*min]  (paper's best)
+  kProportional,  ///< geometric: min, 2*min, 4*min, ...
+};
+
+/// Parses "identical" / "linear" / "proportional"; aborts otherwise.
+GmInitMethod ParseGmInitMethod(const std::string& name);
+const char* GmInitMethodName(GmInitMethod method);
+
+/// Zero-mean one-dimensional Gaussian mixture
+///   p(x) = sum_k pi_k * N(x | 0, lambda_k)          (paper Eq. 4)
+/// parameterized by mixing coefficients pi (summing to 1) and precisions
+/// lambda (inverse variances). All model-parameter dimensions are assumed
+/// i.i.d. from this mixture (Sec. III-A).
+class GaussianMixture {
+ public:
+  /// pi and lambda must have equal size >= 1; pi must sum to ~1 and be
+  /// non-negative; lambda must be positive.
+  GaussianMixture(std::vector<double> pi, std::vector<double> lambda);
+
+  /// Uniform mixing coefficients and precisions chosen by `method` from
+  /// `min_precision` (Sec. V-E).
+  static GaussianMixture Initialize(int num_components, GmInitMethod method,
+                                    double min_precision);
+
+  int num_components() const { return static_cast<int>(pi_.size()); }
+  const std::vector<double>& pi() const { return pi_; }
+  const std::vector<double>& lambda() const { return lambda_; }
+
+  /// Replaces the parameters (revalidates; renormalizes pi).
+  void Set(std::vector<double> pi, std::vector<double> lambda);
+
+  /// Mixture probability density at x.
+  double Density(double x) const;
+
+  /// log p(x); computed via max-shifted log-sum-exp.
+  double LogDensity(double x) const;
+
+  /// Responsibilities r_k(x) (paper Eq. 9) into r[0..K). Numerically
+  /// stable (log-space softmax).
+  void Responsibilities(double x, double* r) const;
+
+  /// d(-log p(x))/dx = sum_k r_k(x) * lambda_k * x — the per-dimension
+  /// `greg` (paper Eq. 10, second term).
+  double RegGradient(double x) const;
+
+  /// Number of components whose mixing coefficient exceeds `threshold`.
+  int EffectiveComponents(double threshold = 0.01) const;
+
+  /// "pi=[...], lambda=[...]" for logging.
+  std::string ToString() const;
+
+ private:
+  void Validate();
+  void RefreshLogCoefficients();
+
+  std::vector<double> pi_;
+  std::vector<double> lambda_;
+  // Cached log(pi_k) + 0.5*log(lambda_k), the x-independent part of the
+  // component log-densities (the -x^2*lambda/2 part is added per element).
+  std::vector<double> log_coef_;
+};
+
+}  // namespace gmreg
+
+#endif  // GMREG_CORE_GAUSSIAN_MIXTURE_H_

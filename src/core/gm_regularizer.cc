@@ -1,0 +1,78 @@
+#include "core/gm_regularizer.h"
+
+#include "tensor/tensor_ops.h"
+#include "util/logging.h"
+
+namespace gmreg {
+
+double MinPrecisionFromInitStdDev(double init_stddev) {
+  GMREG_CHECK_GT(init_stddev, 0.0);
+  return 1.0 / (init_stddev * init_stddev) / 10.0;
+}
+
+GmRegularizer::GmRegularizer(std::string param_name, std::int64_t num_dims,
+                             const GmOptions& options)
+    : param_name_(std::move(param_name)),
+      num_dims_(num_dims),
+      options_(options),
+      hyper_(GmHyperParams::FromRules(num_dims, options.num_components,
+                                      options.gamma, options.a_factor,
+                                      options.alpha_exponent)),
+      gm_(GaussianMixture::Initialize(options.num_components,
+                                      options.init_method,
+                                      options.min_precision)),
+      greg_({num_dims}) {
+  GMREG_CHECK_GT(num_dims, 0);
+}
+
+void GmRegularizer::SetMixture(GaussianMixture gm) {
+  options_.num_components = gm.num_components();
+  hyper_ = GmHyperParams::FromRules(num_dims_, gm.num_components(),
+                                    options_.gamma, options_.a_factor,
+                                    options_.alpha_exponent);
+  gm_ = std::move(gm);
+}
+
+void GmRegularizer::CalcRegGrad(const Tensor& w) {
+  GMREG_CHECK_EQ(w.size(), num_dims_);
+  EStep(gm_, w.data(), num_dims_, greg_.data(), /*stats=*/nullptr);
+  ++estep_count_;
+}
+
+void GmRegularizer::UptGmParam(const Tensor& w) {
+  GMREG_CHECK_EQ(w.size(), num_dims_);
+  stats_.Reset(gm_.num_components());
+  EStep(gm_, w.data(), num_dims_, /*greg_out=*/nullptr, &stats_);
+  MStep(stats_, hyper_, options_.bounds, &gm_);
+  ++mstep_count_;
+}
+
+void GmRegularizer::AccumulateGradient(const Tensor& w,
+                                       std::int64_t iteration,
+                                       std::int64_t epoch, double scale,
+                                       Tensor* grad) {
+  GMREG_CHECK_EQ(w.size(), num_dims_);
+  GMREG_CHECK_EQ(grad->size(), num_dims_);
+  // Algorithm 2, lines 4-7: E-step when inside warmup or on the Im grid.
+  if (options_.lazy.ShouldUpdateGreg(iteration, epoch)) {
+    CalcRegGrad(w);
+  }
+  // Line 8: use the (possibly cached) greg.
+  Axpy(static_cast<float>(scale), greg_, grad);
+  // Lines 9-11: M-step when inside warmup or on the Ig grid.
+  if (options_.lazy.ShouldUpdateGm(iteration, epoch)) {
+    UptGmParam(w);
+  }
+}
+
+double GmRegularizer::Penalty(const Tensor& w) const {
+  GMREG_CHECK_EQ(w.size(), num_dims_);
+  double acc = 0.0;
+  const float* wp = w.data();
+  for (std::int64_t m = 0; m < num_dims_; ++m) {
+    acc -= gm_.LogDensity(wp[m]);
+  }
+  return acc;
+}
+
+}  // namespace gmreg

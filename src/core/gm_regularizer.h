@@ -1,0 +1,118 @@
+#ifndef GMREG_CORE_GM_REGULARIZER_H_
+#define GMREG_CORE_GM_REGULARIZER_H_
+
+#include <string>
+
+#include "core/em.h"
+#include "core/gaussian_mixture.h"
+#include "core/hyper.h"
+#include "reg/regularizer.h"
+
+namespace gmreg {
+
+/// Lazy-update schedule (paper Algorithm 2 / Sec. III-D). During the first
+/// `warmup_epochs` (the paper's E) every iteration runs both the E-step and
+/// the M-step; afterwards `greg` is recomputed only every `greg_interval`
+/// (Im) iterations and the GM parameters only every `gm_interval` (Ig)
+/// iterations, with the cached `greg` reused in between.
+struct LazySchedule {
+  int warmup_epochs = 2;            ///< E
+  std::int64_t greg_interval = 1;   ///< Im
+  std::int64_t gm_interval = 1;     ///< Ig
+
+  bool ShouldUpdateGreg(std::int64_t iteration, std::int64_t epoch) const {
+    return epoch < warmup_epochs || iteration % greg_interval == 0;
+  }
+  bool ShouldUpdateGm(std::int64_t iteration, std::int64_t epoch) const {
+    return epoch < warmup_epochs || iteration % gm_interval == 0;
+  }
+};
+
+/// All knobs of the adaptive GM regularization, with the paper's defaults.
+struct GmOptions {
+  int num_components = 4;        ///< initial K (Sec. V-B1: 4 is best)
+  double gamma = 0.005;          ///< b = gamma * M
+  double a_factor = 0.01;        ///< a = 1 + a_factor * b
+  double alpha_exponent = 0.5;   ///< alpha_k = M^alpha_exponent
+  GmInitMethod init_method = GmInitMethod::kLinear;
+  /// Precision of the smallest initial component. The Sec. V-E rule is one
+  /// tenth of the initialized model-parameter precision; callers usually
+  /// derive it via MinPrecisionFromInitStdDev.
+  double min_precision = 10.0;
+  LazySchedule lazy;
+  GmBounds bounds;
+};
+
+/// Sec. V-E rule: min = (1/stddev^2) / 10.
+double MinPrecisionFromInitStdDev(double init_stddev);
+
+/// The paper's adaptive regularization tool for one parameter tensor.
+/// Implements Algorithms 1 and 2: each training iteration interleaves
+///   E-step   (calResponsibility + calcRegGrad, maybe lazily skipped)
+///   greg use (AccumulateGradient adds the cached greg)
+///   M-step   (uptGMParam, maybe lazily skipped)
+/// with the SGD step performed by the caller (Trainer).
+class GmRegularizer : public Regularizer {
+ public:
+  /// `num_dims` is M, the parameter tensor's element count; it fixes the
+  /// hyper-parameters through the automatic rules.
+  GmRegularizer(std::string param_name, std::int64_t num_dims,
+                const GmOptions& options);
+
+  // Regularizer interface -------------------------------------------------
+
+  /// One interleaved update (Algorithm 2 lines 4-11): possibly refresh
+  /// greg / GM parameters per the lazy schedule, then add scale * greg to
+  /// `grad`.
+  void AccumulateGradient(const Tensor& w, std::int64_t iteration,
+                          std::int64_t epoch, double scale,
+                          Tensor* grad) override;
+  double Penalty(const Tensor& w) const override;
+  std::string Name() const override { return "GM Reg"; }
+
+  // The tool's key functions (paper Sec. IV) ------------------------------
+
+  /// calResponsibility + calcRegGrad: one E-step pass over w that refreshes
+  /// the cached greg (Eqs. 9-10).
+  void CalcRegGrad(const Tensor& w);
+
+  /// uptGMParam: recomputes responsibilities over the current w and applies
+  /// the EM M-step (Eqs. 13/17). A separate full pass over the parameter
+  /// vector, exactly as the paper costs it ("the update of GM parameters
+  /// includes calculating the responsibility value as well as calculating
+  /// new lambda and pi using the high-dimensional model parameter vector",
+  /// Sec. V-F2) — this is why raising Ig alone saves time in Fig. 6.
+  void UptGmParam(const Tensor& w);
+
+  /// Warm-starts the mixture (e.g. from a previous run via
+  /// core/serialize.h). The Dirichlet/Gamma hyper-parameters are re-derived
+  /// for the new component count.
+  void SetMixture(GaussianMixture gm);
+
+  // Introspection ----------------------------------------------------------
+
+  const GaussianMixture& mixture() const { return gm_; }
+  const GmOptions& options() const { return options_; }
+  const GmHyperParams& hyper() const { return hyper_; }
+  const std::string& param_name() const { return param_name_; }
+  std::int64_t num_dims() const { return num_dims_; }
+  /// Count of E-step passes actually executed (lazy-update accounting).
+  std::int64_t estep_count() const { return estep_count_; }
+  /// Count of M-steps actually executed.
+  std::int64_t mstep_count() const { return mstep_count_; }
+
+ private:
+  std::string param_name_;
+  std::int64_t num_dims_;
+  GmOptions options_;
+  GmHyperParams hyper_;
+  GaussianMixture gm_;
+  Tensor greg_;        ///< cached regularization gradient
+  GmSuffStats stats_;  ///< scratch for the M-step pass
+  std::int64_t estep_count_ = 0;
+  std::int64_t mstep_count_ = 0;
+};
+
+}  // namespace gmreg
+
+#endif  // GMREG_CORE_GM_REGULARIZER_H_

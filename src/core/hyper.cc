@@ -1,0 +1,38 @@
+#include "core/hyper.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace gmreg {
+
+GmHyperParams GmHyperParams::FromRules(std::int64_t num_dims,
+                                       int num_components, double gamma,
+                                       double a_factor,
+                                       double alpha_exponent) {
+  GMREG_CHECK_GT(num_dims, 0);
+  GMREG_CHECK_GE(num_components, 1);
+  GMREG_CHECK_GT(gamma, 0.0);
+  GMREG_CHECK_GE(a_factor, 0.0);
+  GmHyperParams h;
+  auto m = static_cast<double>(num_dims);
+  h.b = gamma * m;
+  h.a = 1.0 + a_factor * h.b;
+  h.alpha.assign(static_cast<std::size_t>(num_components),
+                 std::pow(m, alpha_exponent));
+  return h;
+}
+
+double GmHyperParams::AlphaSumMinusK() const {
+  double acc = 0.0;
+  for (double a_k : alpha) acc += a_k - 1.0;
+  return acc;
+}
+
+const std::vector<double>& GammaGrid() {
+  static const auto& grid = *new std::vector<double>{
+      0.0002, 0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05};
+  return grid;
+}
+
+}  // namespace gmreg

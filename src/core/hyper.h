@@ -1,0 +1,33 @@
+#ifndef GMREG_CORE_HYPER_H_
+#define GMREG_CORE_HYPER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace gmreg {
+
+/// Hyper-parameters of the Dirichlet prior on pi and the Gamma prior on
+/// lambda (paper Sec. II-C), plus the automatic setting rules of
+/// Sec. V-B1. These smooth the EM updates so the GM can be learned from a
+/// non-stationary stream of intermediate model parameters.
+struct GmHyperParams {
+  double a = 1.0;              ///< Gamma shape
+  double b = 0.0;              ///< Gamma rate
+  std::vector<double> alpha;   ///< Dirichlet parameters, one per component
+
+  /// The paper's rules:  b = gamma * M  (gamma from a small grid),
+  /// a = 1 + a_factor * b (a_factor 1e-2 or 1e-1; "not so significant"),
+  /// alpha_k = M^alpha_exponent (exponent swept in Fig. 4; 0.5 best).
+  static GmHyperParams FromRules(std::int64_t num_dims, int num_components,
+                                 double gamma, double a_factor,
+                                 double alpha_exponent);
+
+  double AlphaSumMinusK() const;  ///< sum_j (alpha_j - 1), Eq. 17 denominator
+};
+
+/// The paper's search grid for gamma (Sec. V-B1).
+const std::vector<double>& GammaGrid();
+
+}  // namespace gmreg
+
+#endif  // GMREG_CORE_HYPER_H_

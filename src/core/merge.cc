@@ -1,0 +1,103 @@
+#include "core/merge.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace gmreg {
+namespace {
+
+struct Cluster {
+  double pi = 0.0;
+  double var = 0.0;  // mixture variance of the merged zero-mean components
+};
+
+// Merged variance of two zero-mean sub-mixtures is the pi-weighted mean.
+Cluster Merge(const Cluster& a, const Cluster& b) {
+  Cluster out;
+  out.pi = a.pi + b.pi;
+  out.var = (a.var * a.pi + b.var * b.pi) / out.pi;
+  return out;
+}
+
+}  // namespace
+
+namespace {
+
+GaussianMixture MergeOnce(const GaussianMixture& gm, double ratio,
+                          double pi_drop);
+
+}  // namespace
+
+GaussianMixture MergeSimilarComponents(const GaussianMixture& gm,
+                                       double ratio, double pi_drop) {
+  // Merging two components can move the cluster's precision within `ratio`
+  // of its next neighbour, so iterate to a fixed point: the merged view has
+  // no two components within `ratio` and no component below `pi_drop`.
+  GaussianMixture merged = MergeOnce(gm, ratio, pi_drop);
+  while (true) {
+    GaussianMixture next = MergeOnce(merged, ratio, pi_drop);
+    if (next.num_components() == merged.num_components()) return next;
+    merged = next;
+  }
+}
+
+namespace {
+
+GaussianMixture MergeOnce(const GaussianMixture& gm, double ratio,
+                          double pi_drop) {
+  GMREG_CHECK_GE(ratio, 1.0);
+  int kk = gm.num_components();
+  // Sweep components in precision order: a component joins the current
+  // cluster while its precision is within `ratio` of the cluster's first
+  // member; otherwise it starts a new cluster.
+  std::vector<int> order(static_cast<std::size_t>(kk));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return gm.lambda()[static_cast<std::size_t>(a)] <
+           gm.lambda()[static_cast<std::size_t>(b)];
+  });
+  std::vector<Cluster> clusters;
+  double base_lambda = 0.0;
+  for (int idx : order) {
+    auto is = static_cast<std::size_t>(idx);
+    double l = gm.lambda()[is];
+    double p = gm.pi()[is];
+    if (clusters.empty() || l / base_lambda > ratio) {
+      clusters.push_back(Cluster{});
+      base_lambda = l;
+    }
+    clusters.back() = Merge(clusters.back(), Cluster{p, 1.0 / l});
+  }
+  // Fold clusters below the mixing-coefficient floor into their nearest
+  // neighbour until every remaining cluster is significant (or one is
+  // left). Mirrors the paper's observation that K = 4 collapses to 1-2
+  // effective components.
+  while (clusters.size() > 1) {
+    std::size_t tiny = clusters.size();
+    for (std::size_t i = 0; i < clusters.size(); ++i) {
+      if (clusters[i].pi < pi_drop) {
+        tiny = i;
+        break;
+      }
+    }
+    if (tiny == clusters.size()) break;
+    std::size_t neighbour = tiny == 0 ? 1 : tiny - 1;
+    clusters[neighbour] = Merge(clusters[neighbour], clusters[tiny]);
+    clusters.erase(clusters.begin() + static_cast<long>(tiny));
+  }
+  std::vector<double> pi_out;
+  std::vector<double> lambda_out;
+  pi_out.reserve(clusters.size());
+  lambda_out.reserve(clusters.size());
+  for (const Cluster& c : clusters) {
+    pi_out.push_back(c.pi);
+    lambda_out.push_back(1.0 / std::max(c.var, 1e-300));
+  }
+  return GaussianMixture(std::move(pi_out), std::move(lambda_out));
+}
+
+}  // namespace
+}  // namespace gmreg

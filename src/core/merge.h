@@ -1,0 +1,27 @@
+#ifndef GMREG_CORE_MERGE_H_
+#define GMREG_CORE_MERGE_H_
+
+#include "core/gaussian_mixture.h"
+
+namespace gmreg {
+
+/// Merges components whose precisions are within a multiplicative factor of
+/// each other. During GM learning some of the initial K = 4 components
+/// drift onto (nearly) the same precision — the paper observes they
+/// "gradually merge" so that one or two effective components remain
+/// (Sec. V-B1). Tables IV/V and Fig. 3 report the merged view.
+///
+/// Merged mixing coefficient: sum of member pi. Merged precision: inverse
+/// of the pi-weighted mean variance (the exact variance of the merged
+/// zero-mean sub-mixture). Components with pi below `pi_drop` are folded
+/// into their nearest neighbour regardless of ratio.
+///
+/// `ratio` >= 1; components i, j merge when
+/// max(l_i,l_j)/min(l_i,l_j) <= ratio.
+GaussianMixture MergeSimilarComponents(const GaussianMixture& gm,
+                                       double ratio = 1.5,
+                                       double pi_drop = 0.01);
+
+}  // namespace gmreg
+
+#endif  // GMREG_CORE_MERGE_H_

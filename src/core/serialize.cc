@@ -1,0 +1,65 @@
+#include "core/serialize.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace gmreg {
+
+std::string SerializeMixture(const GaussianMixture& gm) {
+  std::ostringstream oss;
+  oss << "gm v1 " << gm.num_components();
+  oss.precision(17);
+  for (double p : gm.pi()) oss << " " << p;
+  for (double l : gm.lambda()) oss << " " << l;
+  return oss.str();
+}
+
+Status DeserializeMixture(const std::string& text, GaussianMixture* out) {
+  std::istringstream iss(text);
+  std::string magic, version;
+  int k = 0;
+  if (!(iss >> magic >> version >> k) || magic != "gm" || version != "v1") {
+    return Status::InvalidArgument("not a 'gm v1' mixture record");
+  }
+  if (k < 1 || k > 1024) {
+    return Status::OutOfRange(StrFormat("component count %d outside [1, 1024]", k));
+  }
+  std::vector<double> pi(static_cast<std::size_t>(k));
+  std::vector<double> lambda(static_cast<std::size_t>(k));
+  for (double& p : pi) {
+    if (!(iss >> p)) return Status::InvalidArgument("truncated pi values");
+    if (p < 0.0) return Status::OutOfRange("negative mixing coefficient");
+  }
+  double total = 0.0;
+  for (double p : pi) total += p;
+  if (total <= 0.0) return Status::OutOfRange("pi sums to zero");
+  for (double& l : lambda) {
+    if (!(iss >> l)) return Status::InvalidArgument("truncated lambda values");
+    if (l <= 0.0) return Status::OutOfRange("non-positive precision");
+  }
+  *out = GaussianMixture(std::move(pi), std::move(lambda));
+  return Status::Ok();
+}
+
+Status SaveMixture(const GaussianMixture& gm, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::NotFound("cannot open for writing: " + path);
+  }
+  out << SerializeMixture(gm) << "\n";
+  return out.good() ? Status::Ok()
+                    : Status::Internal("write failed: " + path);
+}
+
+Status LoadMixture(const std::string& path, GaussianMixture* out) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::NotFound("cannot open: " + path);
+  std::string line;
+  std::getline(in, line);
+  return DeserializeMixture(line, out);
+}
+
+}  // namespace gmreg

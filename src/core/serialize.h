@@ -1,0 +1,32 @@
+#ifndef GMREG_CORE_SERIALIZE_H_
+#define GMREG_CORE_SERIALIZE_H_
+
+#include <string>
+
+#include "core/gaussian_mixture.h"
+#include "util/status.h"
+
+namespace gmreg {
+
+/// Text serialization of a learned mixture, so a training run's adaptive
+/// prior can be persisted, inspected, or warm-started in a later run (the
+/// GEMINI deployment scenario of paper Sec. IV, where the tool lives inside
+/// a long-running analytics pipeline).
+///
+/// Format (one line):  gm v1 K pi_1..pi_K lambda_1..lambda_K
+/// Values are printed with enough digits to round-trip doubles.
+std::string SerializeMixture(const GaussianMixture& gm);
+
+/// Parses SerializeMixture output. Returns InvalidArgument on malformed
+/// input, OutOfRange on invalid parameter values.
+Status DeserializeMixture(const std::string& text, GaussianMixture* out);
+
+/// Writes the mixture to `path` (single line + newline).
+Status SaveMixture(const GaussianMixture& gm, const std::string& path);
+
+/// Reads a mixture from `path`.
+Status LoadMixture(const std::string& path, GaussianMixture* out);
+
+}  // namespace gmreg
+
+#endif  // GMREG_CORE_SERIALIZE_H_

@@ -1,0 +1,40 @@
+#include "data/batch.h"
+
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace gmreg {
+
+BatchIterator::BatchIterator(std::int64_t num_samples, std::int64_t batch_size,
+                             Rng* rng)
+    : order_(static_cast<std::size_t>(num_samples)),
+      batch_size_(batch_size),
+      rng_(rng) {
+  GMREG_CHECK_GT(num_samples, 0);
+  GMREG_CHECK_GT(batch_size, 0);
+  GMREG_CHECK(rng != nullptr);
+  std::iota(order_.begin(), order_.end(), 0);
+  Reshuffle();
+}
+
+std::int64_t BatchIterator::NumBatches() const {
+  auto n = static_cast<std::int64_t>(order_.size());
+  return (n + batch_size_ - 1) / batch_size_;
+}
+
+void BatchIterator::Reshuffle() {
+  rng_->Shuffle(order_);
+  cursor_ = 0;
+}
+
+const std::vector<int>& BatchIterator::Next() {
+  auto n = static_cast<std::int64_t>(order_.size());
+  std::int64_t end = std::min(cursor_ + batch_size_, n);
+  batch_.assign(order_.begin() + cursor_, order_.begin() + end);
+  cursor_ = end;
+  if (cursor_ >= n) Reshuffle();
+  return batch_;
+}
+
+}  // namespace gmreg

@@ -1,0 +1,41 @@
+#ifndef GMREG_DATA_BATCH_H_
+#define GMREG_DATA_BATCH_H_
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace gmreg {
+
+/// Yields shuffled mini-batches of sample indices, one epoch at a time.
+/// `B` in the paper's Algorithm 2 — the number of mini-batches per epoch —
+/// is NumBatches().
+class BatchIterator {
+ public:
+  /// num_samples > 0, 0 < batch_size. The final batch of an epoch may be
+  /// smaller when batch_size does not divide num_samples.
+  BatchIterator(std::int64_t num_samples, std::int64_t batch_size, Rng* rng);
+
+  /// Number of mini-batches per epoch (ceil division).
+  std::int64_t NumBatches() const;
+
+  /// Returns the next mini-batch; reshuffles automatically at epoch
+  /// boundaries.
+  const std::vector<int>& Next();
+
+  /// True when the batch just returned completed an epoch.
+  bool EpochDone() const { return cursor_ == 0; }
+
+ private:
+  void Reshuffle();
+
+  std::vector<int> order_;
+  std::vector<int> batch_;
+  std::int64_t batch_size_;
+  std::int64_t cursor_ = 0;
+  Rng* rng_;
+};
+
+}  // namespace gmreg
+
+#endif  // GMREG_DATA_BATCH_H_

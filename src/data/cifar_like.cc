@@ -1,0 +1,210 @@
+#include "data/cifar_like.h"
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace gmreg {
+namespace {
+
+// Per-class appearance model: two oriented gratings plus a colored patch at
+// a class-specific location. Classes are separable by a conv net but not by
+// trivial per-pixel statistics once noise and shifts are added.
+struct ClassTemplate {
+  double freq_a, angle_a, phase_a;
+  double freq_b, angle_b, phase_b;
+  double channel_gain[3];
+  int patch_row, patch_col, patch_size;
+  double patch_color[3];
+};
+
+ClassTemplate SampleTemplate(Rng* rng, int height, int width) {
+  ClassTemplate t;
+  t.freq_a = rng->NextUniform(0.3, 1.2);
+  t.angle_a = rng->NextUniform(0.0, M_PI);
+  t.phase_a = rng->NextUniform(0.0, 2.0 * M_PI);
+  t.freq_b = rng->NextUniform(0.3, 1.2);
+  t.angle_b = rng->NextUniform(0.0, M_PI);
+  t.phase_b = rng->NextUniform(0.0, 2.0 * M_PI);
+  for (double& g : t.channel_gain) g = rng->NextUniform(0.4, 1.0);
+  t.patch_size = std::max(2, height / 5);
+  t.patch_row = static_cast<int>(
+      rng->NextBounded(static_cast<std::uint32_t>(height - t.patch_size)));
+  t.patch_col = static_cast<int>(
+      rng->NextBounded(static_cast<std::uint32_t>(width - t.patch_size)));
+  for (double& c : t.patch_color) c = rng->NextUniform(-1.0, 1.0);
+  return t;
+}
+
+// Writes one instance of class `t` into img[c][h][w] (contiguous CHW).
+void RenderInstance(const ClassTemplate& t, int channels, int height,
+                    int width, int shift_r, int shift_c, double jitter,
+                    double pixel_noise, double signal_gain, Rng* rng,
+                    float* img) {
+  double ca = std::cos(t.angle_a), sa = std::sin(t.angle_a);
+  double cb = std::cos(t.angle_b), sb = std::sin(t.angle_b);
+  for (int c = 0; c < channels; ++c) {
+    double gain = t.channel_gain[c % 3] * jitter * signal_gain;
+    for (int h = 0; h < height; ++h) {
+      for (int w = 0; w < width; ++w) {
+        double r = h + shift_r;
+        double col = w + shift_c;
+        double grating =
+            std::sin(t.freq_a * (ca * r + sa * col) + t.phase_a) +
+            0.7 * std::sin(t.freq_b * (cb * r + sb * col) + t.phase_b);
+        double value = gain * grating;
+        int pr = h - t.patch_row - shift_r;
+        int pc = w - t.patch_col - shift_c;
+        if (pr >= 0 && pr < t.patch_size && pc >= 0 && pc < t.patch_size) {
+          value += t.patch_color[c % 3] * signal_gain;
+        }
+        value += rng->NextGaussian(0.0, pixel_noise);
+        img[(c * height + h) * width + w] = static_cast<float>(value);
+      }
+    }
+  }
+}
+
+ImageDataset Generate(const CifarLikeSpec& spec,
+                      const std::vector<ClassTemplate>& templates,
+                      int num_samples, Rng* rng, const char* name) {
+  ImageDataset out;
+  out.name = name;
+  out.num_classes = spec.num_classes;
+  out.images = Tensor({num_samples, 3, spec.height, spec.width});
+  out.labels.resize(static_cast<std::size_t>(num_samples));
+  std::int64_t chw =
+      3LL * spec.height * spec.width;
+  for (int i = 0; i < num_samples; ++i) {
+    int label = static_cast<int>(
+        rng->NextBounded(static_cast<std::uint32_t>(spec.num_classes)));
+    int shift_r = static_cast<int>(rng->NextBounded(
+                      static_cast<std::uint32_t>(2 * spec.max_shift + 1))) -
+                  spec.max_shift;
+    int shift_c = static_cast<int>(rng->NextBounded(
+                      static_cast<std::uint32_t>(2 * spec.max_shift + 1))) -
+                  spec.max_shift;
+    double jitter = rng->NextUniform(0.8, 1.2);
+    RenderInstance(templates[static_cast<std::size_t>(label)], 3, spec.height,
+                   spec.width, shift_r, shift_c, jitter, spec.pixel_noise,
+                   spec.signal_gain, rng, out.images.data() + i * chw);
+    // Label noise caps the reachable accuracy and gives a high-capacity
+    // network something to (over)fit, as natural-image noise does.
+    if (rng->NextBernoulli(spec.label_noise)) {
+      label = static_cast<int>(
+          rng->NextBounded(static_cast<std::uint32_t>(spec.num_classes)));
+    }
+    out.labels[static_cast<std::size_t>(i)] = label;
+  }
+  return out;
+}
+
+}  // namespace
+
+CifarLikePair MakeCifarLike(const CifarLikeSpec& spec, std::uint64_t seed) {
+  GMREG_CHECK_GT(spec.num_train, 0);
+  GMREG_CHECK_GT(spec.num_test, 0);
+  GMREG_CHECK_GE(spec.height, 8);
+  GMREG_CHECK_GE(spec.width, 8);
+  Rng rng(seed ^ 0x5f3759df9e3779b9ULL);
+  std::vector<ClassTemplate> templates;
+  templates.reserve(static_cast<std::size_t>(spec.num_classes));
+  for (int c = 0; c < spec.num_classes; ++c) {
+    templates.push_back(SampleTemplate(&rng, spec.height, spec.width));
+  }
+  CifarLikePair pair;
+  pair.train = Generate(spec, templates, spec.num_train, &rng, "cifar-like-train");
+  pair.test = Generate(spec, templates, spec.num_test, &rng, "cifar-like-test");
+
+  // Per-pixel mean subtraction with training-set statistics (paper, Sec. V-A
+  // for ResNet). Applied to both splits.
+  std::int64_t chw = pair.train.images.size() / pair.train.num_samples();
+  std::vector<double> mean(static_cast<std::size_t>(chw), 0.0);
+  const float* tr = pair.train.images.data();
+  for (std::int64_t i = 0; i < pair.train.num_samples(); ++i) {
+    for (std::int64_t p = 0; p < chw; ++p) {
+      mean[static_cast<std::size_t>(p)] += tr[i * chw + p];
+    }
+  }
+  for (double& v : mean) v /= static_cast<double>(pair.train.num_samples());
+  auto subtract = [&](ImageDataset* d) {
+    float* img = d->images.data();
+    for (std::int64_t i = 0; i < d->num_samples(); ++i) {
+      for (std::int64_t p = 0; p < chw; ++p) {
+        img[i * chw + p] -=
+            static_cast<float>(mean[static_cast<std::size_t>(p)]);
+      }
+    }
+  };
+  subtract(&pair.train);
+  subtract(&pair.test);
+  return pair;
+}
+
+void GatherImageBatch(const ImageDataset& data, const std::vector<int>& indices,
+                      bool augment, int pad, Rng* rng, Tensor* out,
+                      std::vector<int>* labels) {
+  std::int64_t c = data.channels();
+  std::int64_t h = data.height();
+  std::int64_t w = data.width();
+  std::int64_t chw = c * h * w;
+  auto b = static_cast<std::int64_t>(indices.size());
+  GMREG_CHECK_EQ(out->rank(), 4);
+  GMREG_CHECK_EQ(out->dim(0), b);
+  labels->clear();
+  labels->reserve(indices.size());
+  for (std::int64_t i = 0; i < b; ++i) {
+    int row = indices[static_cast<std::size_t>(i)];
+    labels->push_back(data.labels[static_cast<std::size_t>(row)]);
+    const float* src = data.images.data() + row * chw;
+    float* dst = out->data() + i * chw;
+    if (!augment) {
+      std::memcpy(dst, src, static_cast<std::size_t>(chw) * sizeof(float));
+      continue;
+    }
+    // Pad-and-crop: offsets in [-pad, pad]; out-of-range source pixels are
+    // zero. Horizontal flip with probability 1/2.
+    GMREG_CHECK(rng != nullptr);
+    int dr = static_cast<int>(
+                 rng->NextBounded(static_cast<std::uint32_t>(2 * pad + 1))) -
+             pad;
+    int dc = static_cast<int>(
+                 rng->NextBounded(static_cast<std::uint32_t>(2 * pad + 1))) -
+             pad;
+    bool flip = rng->NextBernoulli(0.5);
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      for (std::int64_t r = 0; r < h; ++r) {
+        for (std::int64_t col = 0; col < w; ++col) {
+          std::int64_t sr = r + dr;
+          std::int64_t sc = (flip ? (w - 1 - col) : col) + dc;
+          float v = 0.0f;
+          if (sr >= 0 && sr < h && sc >= 0 && sc < w) {
+            v = src[(ch * h + sr) * w + sc];
+          }
+          dst[(ch * h + r) * w + col] = v;
+        }
+      }
+    }
+  }
+}
+
+void GatherTabularBatch(const Dataset& data, const std::vector<int>& indices,
+                        Tensor* out, std::vector<int>* labels) {
+  std::int64_t m = data.num_features();
+  auto b = static_cast<std::int64_t>(indices.size());
+  GMREG_CHECK_EQ(out->rank(), 2);
+  GMREG_CHECK_EQ(out->dim(0), b);
+  GMREG_CHECK_EQ(out->dim(1), m);
+  labels->clear();
+  labels->reserve(indices.size());
+  for (std::int64_t i = 0; i < b; ++i) {
+    int row = indices[static_cast<std::size_t>(i)];
+    labels->push_back(data.labels[static_cast<std::size_t>(row)]);
+    std::memcpy(out->data() + i * m, data.features.data() + row * m,
+                static_cast<std::size_t>(m) * sizeof(float));
+  }
+}
+
+}  // namespace gmreg

@@ -1,0 +1,56 @@
+#ifndef GMREG_DATA_CIFAR_LIKE_H_
+#define GMREG_DATA_CIFAR_LIKE_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace gmreg {
+
+/// Configuration for the procedural CIFAR-10 stand-in.
+///
+/// The real CIFAR-10 (60k 32x32x3 natural images) is unavailable offline, so
+/// we synthesize a 10-class image set with the properties that drive the
+/// paper's regularization experiments: class-conditional structure a conv
+/// net can learn (per-class oriented gratings + colored patches), instance
+/// variation (random shifts, color jitter) and pixel noise that a
+/// high-capacity model can overfit.
+struct CifarLikeSpec {
+  int num_train = 2000;
+  int num_test = 1000;
+  int height = 16;       ///< paper: 32; default reduced for single-core CPU
+  int width = 16;
+  int num_classes = 10;
+  double pixel_noise = 1.1;   ///< per-pixel Gaussian noise stddev
+  double label_noise = 0.04;  ///< fraction of training/test labels flipped
+  int max_shift = 2;          ///< instance translation range (pixels)
+  double signal_gain = 0.8;   ///< amplitude of the class-specific structure
+};
+
+/// Train/test pair generated from one spec.
+struct CifarLikePair {
+  ImageDataset train;
+  ImageDataset test;
+};
+
+/// Generates the dataset; deterministic in (spec, seed). Images are
+/// per-pixel mean-subtracted over the training set, as the paper does for
+/// ResNet inputs.
+CifarLikePair MakeCifarLike(const CifarLikeSpec& spec, std::uint64_t seed);
+
+/// Copies the images at `indices` into `out` (shape [B, C, H, W], allocated
+/// by the callee) and their labels into `labels`. When `augment` is true,
+/// applies the standard pad-and-crop plus horizontal-flip augmentation the
+/// paper uses for ResNet (pad `pad` pixels, random crop back, flip w.p. 0.5).
+void GatherImageBatch(const ImageDataset& data, const std::vector<int>& indices,
+                      bool augment, int pad, Rng* rng, Tensor* out,
+                      std::vector<int>* labels);
+
+/// Copies the rows of `data` at `indices` into `out` ([B, M]) and labels.
+void GatherTabularBatch(const Dataset& data, const std::vector<int>& indices,
+                        Tensor* out, std::vector<int>* labels);
+
+}  // namespace gmreg
+
+#endif  // GMREG_DATA_CIFAR_LIKE_H_

@@ -1,0 +1,57 @@
+#include "data/dataset.h"
+
+#include <cstring>
+
+namespace gmreg {
+
+Dataset SelectRows(const Dataset& d, const std::vector<int>& indices) {
+  Dataset out;
+  out.name = d.name;
+  out.num_classes = d.num_classes;
+  std::int64_t m = d.num_features();
+  out.features = Tensor({static_cast<std::int64_t>(indices.size()), m});
+  out.labels.reserve(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    int row = indices[i];
+    GMREG_CHECK_GE(row, 0);
+    GMREG_CHECK_LT(row, d.num_samples());
+    std::memcpy(out.features.data() + static_cast<std::int64_t>(i) * m,
+                d.features.data() + static_cast<std::int64_t>(row) * m,
+                static_cast<std::size_t>(m) * sizeof(float));
+    out.labels.push_back(d.labels[static_cast<std::size_t>(row)]);
+  }
+  return out;
+}
+
+ImageDataset SelectImages(const ImageDataset& d,
+                          const std::vector<int>& indices) {
+  ImageDataset out;
+  out.name = d.name;
+  out.num_classes = d.num_classes;
+  std::int64_t chw = d.channels() * d.height() * d.width();
+  out.images = Tensor({static_cast<std::int64_t>(indices.size()),
+                       d.channels(), d.height(), d.width()});
+  out.labels.reserve(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    int row = indices[i];
+    GMREG_CHECK_GE(row, 0);
+    GMREG_CHECK_LT(row, d.num_samples());
+    std::memcpy(out.images.data() + static_cast<std::int64_t>(i) * chw,
+                d.images.data() + static_cast<std::int64_t>(row) * chw,
+                static_cast<std::size_t>(chw) * sizeof(float));
+    out.labels.push_back(d.labels[static_cast<std::size_t>(row)]);
+  }
+  return out;
+}
+
+std::vector<int> ClassCounts(const std::vector<int>& labels, int num_classes) {
+  std::vector<int> counts(static_cast<std::size_t>(num_classes), 0);
+  for (int y : labels) {
+    GMREG_CHECK_GE(y, 0);
+    GMREG_CHECK_LT(y, num_classes);
+    ++counts[static_cast<std::size_t>(y)];
+  }
+  return counts;
+}
+
+}  // namespace gmreg

@@ -1,0 +1,48 @@
+#ifndef GMREG_DATA_DATASET_H_
+#define GMREG_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace gmreg {
+
+/// Fully-preprocessed tabular dataset: dense [N, M] float features plus
+/// integer class labels. Produced by Preprocessor from TabularData.
+struct Dataset {
+  std::string name;
+  Tensor features;          ///< shape [N, M]
+  std::vector<int> labels;  ///< size N, values in [0, num_classes)
+  int num_classes = 2;
+
+  std::int64_t num_samples() const { return features.dim(0); }
+  std::int64_t num_features() const { return features.dim(1); }
+};
+
+/// Image classification dataset (NCHW layout), e.g. the CIFAR-10 stand-in.
+struct ImageDataset {
+  std::string name;
+  Tensor images;            ///< shape [N, C, H, W]
+  std::vector<int> labels;  ///< size N
+  int num_classes = 10;
+
+  std::int64_t num_samples() const { return images.dim(0); }
+  std::int64_t channels() const { return images.dim(1); }
+  std::int64_t height() const { return images.dim(2); }
+  std::int64_t width() const { return images.dim(3); }
+};
+
+/// Extracts the rows of `d` at `indices` (copying).
+Dataset SelectRows(const Dataset& d, const std::vector<int>& indices);
+
+/// Extracts the images of `d` at `indices` (copying).
+ImageDataset SelectImages(const ImageDataset& d,
+                          const std::vector<int>& indices);
+
+/// Fraction of labels equal to class 1..C-1 etc.; returns per-class counts.
+std::vector<int> ClassCounts(const std::vector<int>& labels, int num_classes);
+
+}  // namespace gmreg
+
+#endif  // GMREG_DATA_DATASET_H_

@@ -1,0 +1,93 @@
+#include "data/preprocess.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace gmreg {
+
+Status Preprocessor::Fit(const TabularData& raw,
+                         const std::vector<int>& train_indices) {
+  GMREG_RETURN_IF_ERROR(raw.Validate());
+  if (train_indices.empty()) {
+    return Status::InvalidArgument("Fit requires at least one training row");
+  }
+  stats_.assign(raw.columns.size(), ColumnStats{});
+  for (std::size_t c = 0; c < raw.columns.size(); ++c) {
+    const Column& col = raw.columns[c];
+    if (col.type != ColumnType::kContinuous) continue;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    std::int64_t count = 0;
+    for (int row : train_indices) {
+      auto r = static_cast<std::size_t>(row);
+      if (col.missing[r]) continue;
+      sum += col.values[r];
+      sum_sq += col.values[r] * col.values[r];
+      ++count;
+    }
+    ColumnStats& st = stats_[c];
+    if (count > 0) {
+      st.mean = sum / static_cast<double>(count);
+      double var = sum_sq / static_cast<double>(count) - st.mean * st.mean;
+      st.stddev = var > 1e-12 ? std::sqrt(var) : 1.0;
+    } else {
+      st.mean = 0.0;
+      st.stddev = 1.0;
+    }
+  }
+  fitted_ = true;
+  return Status::Ok();
+}
+
+Dataset Preprocessor::Transform(const TabularData& raw,
+                                const std::vector<int>& indices) const {
+  GMREG_CHECK(fitted_) << "Transform called before Fit";
+  GMREG_CHECK_EQ(stats_.size(), raw.columns.size());
+  std::int64_t n = static_cast<std::int64_t>(indices.size());
+  std::int64_t m = raw.EncodedWidth();
+  Dataset out;
+  out.name = raw.name;
+  out.num_classes = 2;
+  out.features = Tensor({n, m});
+  out.labels.reserve(indices.size());
+  for (std::int64_t i = 0; i < n; ++i) {
+    auto row = static_cast<std::size_t>(indices[static_cast<std::size_t>(i)]);
+    float* dst = out.features.data() + i * m;
+    std::int64_t offset = 0;
+    for (std::size_t c = 0; c < raw.columns.size(); ++c) {
+      const Column& col = raw.columns[c];
+      if (col.type == ColumnType::kContinuous) {
+        // Missing continuous values are imputed with the train mean, which
+        // standardizes to exactly zero.
+        double v = col.missing[row] ? stats_[c].mean : col.values[row];
+        dst[offset] =
+            static_cast<float>((v - stats_[c].mean) / stats_[c].stddev);
+        offset += 1;
+      } else {
+        // One-hot; generators reserve the last category id for "missing".
+        int id = col.missing[row] ? col.cardinality - 1
+                                  : static_cast<int>(col.values[row]);
+        for (int k = 0; k < col.cardinality; ++k) {
+          dst[offset + k] = (k == id) ? 1.0f : 0.0f;
+        }
+        offset += col.cardinality;
+      }
+    }
+    GMREG_CHECK_EQ(offset, m);
+    out.labels.push_back(raw.labels[row]);
+  }
+  return out;
+}
+
+Dataset Preprocessor::FitTransformAll(const TabularData& raw) {
+  std::vector<int> all(static_cast<std::size_t>(raw.num_samples()));
+  std::iota(all.begin(), all.end(), 0);
+  Status s = Fit(raw, all);
+  GMREG_CHECK(s.ok()) << s.ToString();
+  return Transform(raw, all);
+}
+
+}  // namespace gmreg

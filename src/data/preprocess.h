@@ -1,0 +1,49 @@
+#ifndef GMREG_DATA_PREPROCESS_H_
+#define GMREG_DATA_PREPROCESS_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/tabular.h"
+#include "util/status.h"
+
+namespace gmreg {
+
+/// Implements the paper's preprocessing (Sec. V-A): one-hot encoding of
+/// categorical features, zero-mean/unit-variance standardization of
+/// continuous features, mean imputation for missing continuous values, and
+/// a dedicated category for missing categorical values.
+///
+/// Statistics (means/variances/imputation values) are fit on a training
+/// index set only, then applied to any subset — preventing test-set leakage.
+class Preprocessor {
+ public:
+  Preprocessor() = default;
+
+  /// Computes per-column statistics from the rows of `raw` at
+  /// `train_indices`. Must be called before Transform.
+  Status Fit(const TabularData& raw, const std::vector<int>& train_indices);
+
+  /// Encodes the rows of `raw` at `indices` into a dense Dataset using the
+  /// fitted statistics.
+  Dataset Transform(const TabularData& raw,
+                    const std::vector<int>& indices) const;
+
+  /// Fit on all rows, transform all rows — convenience for quickstarts.
+  Dataset FitTransformAll(const TabularData& raw);
+
+  bool fitted() const { return fitted_; }
+
+ private:
+  struct ColumnStats {
+    double mean = 0.0;    // continuous: train mean (also imputation value)
+    double stddev = 1.0;  // continuous: train standard deviation
+  };
+
+  std::vector<ColumnStats> stats_;
+  bool fitted_ = false;
+};
+
+}  // namespace gmreg
+
+#endif  // GMREG_DATA_PREPROCESS_H_

@@ -1,0 +1,75 @@
+#include "data/split.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.h"
+
+namespace gmreg {
+namespace {
+
+// Groups sample indices by class label and shuffles each group.
+std::map<int, std::vector<int>> ShuffledClassGroups(
+    const std::vector<int>& labels, Rng* rng) {
+  std::map<int, std::vector<int>> groups;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    groups[labels[i]].push_back(static_cast<int>(i));
+  }
+  for (auto& [label, indices] : groups) {
+    (void)label;
+    rng->Shuffle(indices);
+  }
+  return groups;
+}
+
+}  // namespace
+
+TrainTestIndices StratifiedSplit(const std::vector<int>& labels,
+                                 double test_fraction, Rng* rng) {
+  GMREG_CHECK_GT(test_fraction, 0.0);
+  GMREG_CHECK_LT(test_fraction, 1.0);
+  TrainTestIndices out;
+  for (auto& [label, indices] : ShuffledClassGroups(labels, rng)) {
+    (void)label;
+    auto test_count = static_cast<std::size_t>(
+        static_cast<double>(indices.size()) * test_fraction + 0.5);
+    // Keep at least one sample on each side when the class allows it.
+    if (test_count == 0 && indices.size() > 1) test_count = 1;
+    if (test_count == indices.size() && indices.size() > 1) --test_count;
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      (i < test_count ? out.test : out.train).push_back(indices[i]);
+    }
+  }
+  std::sort(out.train.begin(), out.train.end());
+  std::sort(out.test.begin(), out.test.end());
+  return out;
+}
+
+std::vector<TrainTestIndices> StratifiedKFold(const std::vector<int>& labels,
+                                              int num_folds, Rng* rng) {
+  GMREG_CHECK_GE(num_folds, 2);
+  std::vector<std::vector<int>> folds(static_cast<std::size_t>(num_folds));
+  for (auto& [label, indices] : ShuffledClassGroups(labels, rng)) {
+    (void)label;
+    // Deal samples round-robin so every fold gets a near-equal share of
+    // every class.
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      folds[i % static_cast<std::size_t>(num_folds)].push_back(indices[i]);
+    }
+  }
+  std::vector<TrainTestIndices> rounds(static_cast<std::size_t>(num_folds));
+  for (int f = 0; f < num_folds; ++f) {
+    auto& round = rounds[static_cast<std::size_t>(f)];
+    round.test = folds[static_cast<std::size_t>(f)];
+    for (int g = 0; g < num_folds; ++g) {
+      if (g == f) continue;
+      const auto& fold = folds[static_cast<std::size_t>(g)];
+      round.train.insert(round.train.end(), fold.begin(), fold.end());
+    }
+    std::sort(round.train.begin(), round.train.end());
+    std::sort(round.test.begin(), round.test.end());
+  }
+  return rounds;
+}
+
+}  // namespace gmreg

@@ -1,0 +1,30 @@
+#ifndef GMREG_DATA_SPLIT_H_
+#define GMREG_DATA_SPLIT_H_
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace gmreg {
+
+/// Train/test index pair produced by a stratified split.
+struct TrainTestIndices {
+  std::vector<int> train;
+  std::vector<int> test;
+};
+
+/// Stratified train/test split: each class contributes `test_fraction` of
+/// its samples to the test set (rounded), preserving class ratios — the
+/// paper's "stratified sampling with a 80-20 train test split" (Sec. V-C).
+TrainTestIndices StratifiedSplit(const std::vector<int>& labels,
+                                 double test_fraction, Rng* rng);
+
+/// Stratified k-fold cross-validation indices; fold i is the validation set
+/// of round i, the remaining folds form the training set. Used to pick the
+/// best regularization strength per the paper's CV protocol.
+std::vector<TrainTestIndices> StratifiedKFold(const std::vector<int>& labels,
+                                              int num_folds, Rng* rng);
+
+}  // namespace gmreg
+
+#endif  // GMREG_DATA_SPLIT_H_

@@ -1,0 +1,65 @@
+#include "data/tabular.h"
+
+#include "util/string_util.h"
+
+namespace gmreg {
+
+std::int64_t TabularData::EncodedWidth() const {
+  std::int64_t width = 0;
+  for (const Column& col : columns) {
+    width += col.type == ColumnType::kContinuous ? 1 : col.cardinality;
+  }
+  return width;
+}
+
+std::string TabularData::FeatureTypeString() const {
+  bool has_cont = false;
+  bool has_cat = false;
+  for (const Column& col : columns) {
+    if (col.type == ColumnType::kContinuous) {
+      has_cont = true;
+    } else {
+      has_cat = true;
+    }
+  }
+  if (has_cont && has_cat) return "combined";
+  if (has_cat) return "categorical";
+  return "continuous";
+}
+
+Status TabularData::Validate() const {
+  std::size_t n = labels.size();
+  if (n == 0) return Status::InvalidArgument("dataset has no samples");
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    const Column& col = columns[c];
+    if (col.values.size() != n || col.missing.size() != n) {
+      return Status::InvalidArgument(
+          StrFormat("column %zu: length mismatch (%zu values, %zu samples)",
+                    c, col.values.size(), n));
+    }
+    if (col.type == ColumnType::kCategorical) {
+      if (col.cardinality < 2) {
+        return Status::InvalidArgument(
+            StrFormat("column %zu: categorical cardinality %d < 2", c,
+                      col.cardinality));
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        if (col.missing[i]) continue;
+        int id = static_cast<int>(col.values[i]);
+        if (id < 0 || id >= col.cardinality) {
+          return Status::OutOfRange(
+              StrFormat("column %zu row %zu: category %d outside [0,%d)", c,
+                        i, id, col.cardinality));
+        }
+      }
+    }
+  }
+  for (int y : labels) {
+    if (y != 0 && y != 1) {
+      return Status::OutOfRange("labels must be binary {0,1}");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace gmreg

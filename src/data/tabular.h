@@ -1,0 +1,56 @@
+#ifndef GMREG_DATA_TABULAR_H_
+#define GMREG_DATA_TABULAR_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gmreg {
+
+enum class ColumnType {
+  kContinuous,
+  kCategorical,
+};
+
+/// A single raw column. Continuous columns hold real values; categorical
+/// columns hold integer category ids in [0, cardinality). Either kind can
+/// carry missing entries, mirroring the raw UCI data the paper preprocesses.
+struct Column {
+  ColumnType type = ColumnType::kContinuous;
+  int cardinality = 0;          ///< categorical only: number of categories
+  std::vector<double> values;   ///< length N; for categorical, category ids
+  std::vector<bool> missing;    ///< length N; true = value absent
+};
+
+/// Raw (un-encoded) tabular dataset, the input to Preprocessor. This is the
+/// stage at which the paper's pipeline applies one-hot encoding,
+/// standardization and imputation.
+struct TabularData {
+  std::string name;
+  std::vector<Column> columns;
+  std::vector<int> labels;  ///< binary labels {0,1}
+
+  std::int64_t num_samples() const {
+    return static_cast<std::int64_t>(labels.size());
+  }
+  std::int64_t num_columns() const {
+    return static_cast<std::int64_t>(columns.size());
+  }
+
+  /// Width of the encoded feature space: 1 per continuous column,
+  /// `cardinality` per categorical column (missing categoricals are assigned
+  /// the dedicated category id `cardinality - 1` by the generators, matching
+  /// the paper's "separate class" rule without changing the width).
+  std::int64_t EncodedWidth() const;
+
+  /// "categorical", "continuous" or "combined" — the Table II feature type.
+  std::string FeatureTypeString() const;
+
+  /// Validates internal consistency (column lengths, category ranges).
+  Status Validate() const;
+};
+
+}  // namespace gmreg
+
+#endif  // GMREG_DATA_TABULAR_H_

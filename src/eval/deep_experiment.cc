@@ -1,0 +1,125 @@
+#include "eval/deep_experiment.h"
+
+#include "core/merge.h"
+#include "data/batch.h"
+#include "models/alex_cifar10.h"
+#include "models/resnet.h"
+#include "reg/norms.h"
+#include "util/logging.h"
+
+namespace gmreg {
+
+const char* DeepModelName(DeepModel model) {
+  switch (model) {
+    case DeepModel::kAlexCifar10:
+      return "Alex-CIFAR-10";
+    case DeepModel::kResNet:
+      return "ResNet";
+  }
+  return "?";
+}
+
+const char* DeepRegKindName(DeepRegKind kind) {
+  switch (kind) {
+    case DeepRegKind::kNone:
+      return "no regularization";
+    case DeepRegKind::kL2:
+      return "L2 Reg";
+    case DeepRegKind::kGm:
+      return "GM regularization";
+  }
+  return "?";
+}
+
+DeepExperimentResult RunDeepExperiment(const CifarLikePair& data,
+                                       const DeepExperimentOptions& options,
+                                       DeepRegKind kind) {
+  Rng rng(options.seed);
+  std::unique_ptr<Sequential> net;
+  bool is_resnet = options.model == DeepModel::kResNet;
+  if (is_resnet) {
+    ResNetConfig cfg;
+    cfg.input_hw = options.input_hw;
+    net = BuildResNet(cfg, &rng);
+  } else {
+    AlexCifar10Config cfg;
+    cfg.input_hw = options.input_hw;
+    net = BuildAlexCifar10(cfg, &rng);
+  }
+
+  TrainOptions topts;
+  topts.epochs = options.epochs;
+  topts.batch_size = options.batch_size;
+  topts.learning_rate = options.learning_rate > 0.0
+                            ? options.learning_rate
+                            : (is_resnet ? 0.1 : 0.001);
+  topts.momentum = options.momentum;
+  topts.lr_schedule = options.lr_schedule;
+  topts.num_train_samples = data.train.num_samples();
+  Trainer trainer(net.get(), topts);
+
+  std::vector<GmRegularizer*> gm_regs;
+  DeepExperimentResult result;
+  switch (kind) {
+    case DeepRegKind::kNone:
+      break;
+    case DeepRegKind::kL2:
+      trainer.AttachToAllWeights(
+          [&](const ParamRef& p) -> std::unique_ptr<Regularizer> {
+            bool is_dense = p.name.find("dense") != std::string::npos ||
+                            p.name.find("ip5") != std::string::npos;
+            double beta = is_dense ? options.l2_dense : options.l2_conv;
+            return std::make_unique<L2Reg>(beta);
+          });
+      break;
+    case DeepRegKind::kGm:
+      trainer.AttachToAllWeights(
+          [&](const ParamRef& p) -> std::unique_ptr<Regularizer> {
+            GmOptions gm = options.gm;
+            gm.min_precision = MinPrecisionFromInitStdDev(p.init_stddev);
+            auto reg = std::make_unique<GmRegularizer>(p.name,
+                                                       p.value->size(), gm);
+            gm_regs.push_back(reg.get());
+            return reg;
+          });
+      break;
+  }
+  for (const ParamRef& p : trainer.params()) {
+    if (p.is_weight) result.num_weight_dims += p.value->size();
+  }
+
+  bool augment = options.augment >= 0 ? options.augment != 0 : is_resnet;
+  std::int64_t n = data.train.num_samples();
+  BatchIterator batches(n, options.batch_size, &rng);
+  Trainer::BatchFn next_batch = [&](Tensor* input, std::vector<int>* labels) {
+    const std::vector<int>& idx = batches.Next();
+    std::vector<std::int64_t> shape = {
+        static_cast<std::int64_t>(idx.size()), data.train.channels(),
+        data.train.height(), data.train.width()};
+    if (input->shape() != shape) *input = Tensor(shape);
+    GatherImageBatch(data.train, idx, augment, /*pad=*/2, &rng, input,
+                     labels);
+  };
+  result.epoch_stats = trainer.Train(next_batch, batches.NumBatches());
+  result.total_seconds = result.epoch_stats.empty()
+                             ? 0.0
+                             : result.epoch_stats.back().elapsed_seconds;
+  result.test_accuracy = trainer.EvaluateAccuracy(
+      data.test.images, data.test.labels, /*eval_batch=*/64);
+  result.train_accuracy = trainer.EvaluateAccuracy(
+      data.train.images, data.train.labels, /*eval_batch=*/64);
+  for (GmRegularizer* reg : gm_regs) {
+    result.total_esteps += reg->estep_count();
+    result.total_msteps += reg->mstep_count();
+    GaussianMixture merged = MergeSimilarComponents(reg->mixture());
+    LayerGm lg;
+    lg.layer = reg->param_name();
+    lg.pi = merged.pi();
+    lg.lambda = merged.lambda();
+    lg.effective_components = merged.EffectiveComponents();
+    result.learned.push_back(std::move(lg));
+  }
+  return result;
+}
+
+}  // namespace gmreg

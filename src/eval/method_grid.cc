@@ -1,0 +1,92 @@
+#include "eval/method_grid.h"
+
+#include "core/gm_regularizer.h"
+#include "core/hyper.h"
+#include "reg/norms.h"
+#include "util/string_util.h"
+
+namespace gmreg {
+namespace {
+
+const std::vector<double>& StrengthGrid() {
+  static const auto& grid = *new std::vector<double>{
+      0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0};
+  return grid;
+}
+
+}  // namespace
+
+RegMethod L1Method() {
+  RegMethod m{"L1 Reg", {}};
+  for (double beta : StrengthGrid()) {
+    m.grid.push_back({StrFormat("beta=%g", beta),
+                      [beta](std::int64_t, double) {
+                        return std::make_unique<L1Reg>(beta);
+                      }});
+  }
+  return m;
+}
+
+RegMethod L2Method() {
+  RegMethod m{"L2 Reg", {}};
+  for (double beta : StrengthGrid()) {
+    m.grid.push_back({StrFormat("beta=%g", beta),
+                      [beta](std::int64_t, double) {
+                        return std::make_unique<L2Reg>(beta);
+                      }});
+  }
+  return m;
+}
+
+RegMethod ElasticNetMethod() {
+  RegMethod m{"Elastic-net Reg", {}};
+  for (double beta : {0.03, 0.3, 3.0, 30.0}) {
+    for (double ratio : {0.15, 0.5, 0.85}) {
+      m.grid.push_back({StrFormat("beta=%g,l1_ratio=%g", beta, ratio),
+                        [beta, ratio](std::int64_t, double) {
+                          return std::make_unique<ElasticNetReg>(beta, ratio);
+                        }});
+    }
+  }
+  return m;
+}
+
+RegMethod HuberMethod() {
+  RegMethod m{"Huber Reg", {}};
+  for (double beta : {0.03, 0.3, 3.0, 30.0}) {
+    for (double mu : {0.01, 0.1, 1.0}) {
+      m.grid.push_back({StrFormat("beta=%g,mu=%g", beta, mu),
+                        [beta, mu](std::int64_t, double) {
+                          return std::make_unique<HuberReg>(beta, mu);
+                        }});
+    }
+  }
+  return m;
+}
+
+RegMethod GmMethod() {
+  RegMethod m{"GM Reg", {}};
+  for (double gamma : GammaGrid()) {
+    m.grid.push_back(
+        {StrFormat("gamma=%g", gamma),
+         [gamma](std::int64_t num_dims, double init_stddev) {
+           GmOptions opts;
+           opts.gamma = gamma;
+           opts.min_precision = MinPrecisionFromInitStdDev(init_stddev);
+           return std::make_unique<GmRegularizer>("w", num_dims, opts);
+         }});
+  }
+  return m;
+}
+
+std::vector<RegMethod> AllMethods() {
+  std::vector<RegMethod> methods;
+  methods.push_back(L1Method());
+  methods.push_back(L2Method());
+  methods.push_back(ElasticNetMethod());
+  methods.push_back(HuberMethod());
+  methods.push_back(GmMethod());
+  return methods;
+}
+
+}  // namespace gmreg

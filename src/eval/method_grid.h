@@ -1,0 +1,46 @@
+#ifndef GMREG_EVAL_METHOD_GRID_H_
+#define GMREG_EVAL_METHOD_GRID_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "reg/regularizer.h"
+
+namespace gmreg {
+
+/// One hyper-parameter setting of a regularization method. `make` builds a
+/// fresh regularizer for a parameter vector of `num_dims` dimensions
+/// initialized with stddev `init_stddev` (only the adaptive GM method uses
+/// these — its hyper rules depend on M and the init precision).
+struct RegCandidate {
+  std::string label;
+  std::function<std::unique_ptr<Regularizer>(std::int64_t num_dims,
+                                             double init_stddev)>
+      make;
+};
+
+/// A regularization method plus its cross-validation grid, mirroring the
+/// paper's protocol of reporting each baseline "under its best setting".
+struct RegMethod {
+  std::string name;
+  std::vector<RegCandidate> grid;
+};
+
+/// The paper's five methods with sensible CV grids (strengths are prior
+/// precisions/rates under the library's 1/N MAP scaling).
+RegMethod L1Method();
+RegMethod L2Method();
+RegMethod ElasticNetMethod();
+RegMethod HuberMethod();
+/// GM Reg grid sweeps gamma over the paper's Sec. V-B1 grid; K = 4,
+/// linear initialization, alpha exponent 0.5.
+RegMethod GmMethod();
+
+/// All five, in Table VII column order.
+std::vector<RegMethod> AllMethods();
+
+}  // namespace gmreg
+
+#endif  // GMREG_EVAL_METHOD_GRID_H_

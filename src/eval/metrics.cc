@@ -1,0 +1,27 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+namespace gmreg {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double acc = 0.0;
+  for (double v : values) acc += v;
+  return acc / static_cast<double>(values.size());
+}
+
+double SampleStdDev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  double mean = Mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - mean) * (v - mean);
+  return std::sqrt(acc / static_cast<double>(values.size() - 1));
+}
+
+double StdError(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  return SampleStdDev(values) / std::sqrt(static_cast<double>(values.size()));
+}
+
+}  // namespace gmreg

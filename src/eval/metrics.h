@@ -1,0 +1,20 @@
+#ifndef GMREG_EVAL_METRICS_H_
+#define GMREG_EVAL_METRICS_H_
+
+#include <vector>
+
+namespace gmreg {
+
+/// Arithmetic mean; 0 for an empty vector.
+double Mean(const std::vector<double>& values);
+
+/// Sample standard deviation (n-1 denominator); 0 when n < 2.
+double SampleStdDev(const std::vector<double>& values);
+
+/// Standard error of the mean: SampleStdDev / sqrt(n). The "+/-" column of
+/// the paper's Table VII.
+double StdError(const std::vector<double>& values);
+
+}  // namespace gmreg
+
+#endif  // GMREG_EVAL_METRICS_H_

@@ -1,0 +1,95 @@
+#include "eval/small_data_experiment.h"
+
+#include <map>
+
+#include "data/preprocess.h"
+#include "data/split.h"
+#include "eval/metrics.h"
+#include "util/logging.h"
+
+namespace gmreg {
+
+double TrainEvalCandidate(const Dataset& train, const Dataset& test,
+                          const RegCandidate& candidate,
+                          const LogisticRegression::Options& lr_opts,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  LogisticRegression model(train.num_features(), lr_opts, &rng);
+  auto reg = candidate.make(train.num_features(), lr_opts.init_stddev);
+  model.Train(train, reg.get(), &rng);
+  return model.EvaluateAccuracy(test);
+}
+
+double CrossValidateCandidate(const Dataset& train,
+                              const RegCandidate& candidate, int folds,
+                              const LogisticRegression::Options& lr_opts,
+                              std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TrainTestIndices> rounds =
+      StratifiedKFold(train.labels, folds, &rng);
+  std::vector<double> accs;
+  accs.reserve(rounds.size());
+  for (std::size_t f = 0; f < rounds.size(); ++f) {
+    Dataset fold_train = SelectRows(train, rounds[f].train);
+    Dataset fold_val = SelectRows(train, rounds[f].test);
+    accs.push_back(TrainEvalCandidate(fold_train, fold_val, candidate,
+                                      lr_opts, seed + 1000 + f));
+  }
+  return Mean(accs);
+}
+
+std::vector<MethodResult> RunSmallDataComparison(
+    const TabularData& raw, const std::vector<RegMethod>& methods,
+    const SmallDataOptions& options) {
+  Status valid = raw.Validate();
+  GMREG_CHECK(valid.ok()) << valid.ToString();
+  std::vector<MethodResult> results(methods.size());
+  std::vector<std::map<std::string, int>> chosen(methods.size());
+  for (std::size_t m = 0; m < methods.size(); ++m) {
+    results[m].method = methods[m].name;
+  }
+  Rng split_rng(options.seed);
+  for (int s = 0; s < options.num_subsamples; ++s) {
+    TrainTestIndices split =
+        StratifiedSplit(raw.labels, options.test_fraction, &split_rng);
+    Preprocessor prep;
+    Status st = prep.Fit(raw, split.train);
+    GMREG_CHECK(st.ok()) << st.ToString();
+    Dataset train = prep.Transform(raw, split.train);
+    Dataset test = prep.Transform(raw, split.test);
+    for (std::size_t m = 0; m < methods.size(); ++m) {
+      // Model selection by CV on the training split only.
+      double best_cv = -1.0;
+      const RegCandidate* best = nullptr;
+      for (const RegCandidate& cand : methods[m].grid) {
+        double cv = CrossValidateCandidate(
+            train, cand, options.cv_folds, options.lr,
+            options.seed + static_cast<std::uint64_t>(s) * 7919);
+        if (cv > best_cv) {
+          best_cv = cv;
+          best = &cand;
+        }
+      }
+      GMREG_CHECK(best != nullptr);
+      double acc = TrainEvalCandidate(
+          train, test, *best, options.lr,
+          options.seed + static_cast<std::uint64_t>(s) * 104729 + m);
+      results[m].per_subsample_accuracy.push_back(acc);
+      ++chosen[m][best->label];
+    }
+  }
+  for (std::size_t m = 0; m < methods.size(); ++m) {
+    results[m].mean_accuracy = Mean(results[m].per_subsample_accuracy);
+    results[m].stderr_accuracy = StdError(results[m].per_subsample_accuracy);
+    int best_count = -1;
+    for (const auto& [label, count] : chosen[m]) {
+      if (count > best_count) {
+        best_count = count;
+        results[m].representative_setting = label;
+      }
+    }
+  }
+  return results;
+}
+
+}  // namespace gmreg

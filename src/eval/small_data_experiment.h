@@ -1,0 +1,55 @@
+#ifndef GMREG_EVAL_SMALL_DATA_EXPERIMENT_H_
+#define GMREG_EVAL_SMALL_DATA_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "data/tabular.h"
+#include "eval/method_grid.h"
+#include "models/logistic_regression.h"
+
+namespace gmreg {
+
+/// Protocol of the paper's small-dataset study (Sec. V-C): for each of
+/// `num_subsamples` stratified 80-20 splits, pick each method's best grid
+/// setting by k-fold cross-validation on the training side, retrain on the
+/// full training side, and measure test accuracy. Report mean +/- standard
+/// error per method.
+struct SmallDataOptions {
+  int num_subsamples = 5;
+  double test_fraction = 0.2;
+  int cv_folds = 5;
+  LogisticRegression::Options lr;
+  std::uint64_t seed = 42;
+};
+
+struct MethodResult {
+  std::string method;
+  double mean_accuracy = 0.0;
+  double stderr_accuracy = 0.0;
+  /// Grid label chosen most often across subsamples (diagnostics).
+  std::string representative_setting;
+  std::vector<double> per_subsample_accuracy;
+};
+
+/// Trains one LR with the given candidate on `train` and returns accuracy
+/// on `test`. Exposed for tests and examples.
+double TrainEvalCandidate(const Dataset& train, const Dataset& test,
+                          const RegCandidate& candidate,
+                          const LogisticRegression::Options& lr_opts,
+                          std::uint64_t seed);
+
+/// Mean k-fold CV accuracy of `candidate` on `train`.
+double CrossValidateCandidate(const Dataset& train,
+                              const RegCandidate& candidate, int folds,
+                              const LogisticRegression::Options& lr_opts,
+                              std::uint64_t seed);
+
+/// Runs the full protocol for every method. Results are in `methods` order.
+std::vector<MethodResult> RunSmallDataComparison(
+    const TabularData& raw, const std::vector<RegMethod>& methods,
+    const SmallDataOptions& options);
+
+}  // namespace gmreg
+
+#endif  // GMREG_EVAL_SMALL_DATA_EXPERIMENT_H_

@@ -1,0 +1,63 @@
+#ifndef GMREG_GMREG_H_
+#define GMREG_GMREG_H_
+
+/// Umbrella header for the gmreg library — the adaptive lightweight GM
+/// regularization tool (Luo et al., ICDE 2018) together with the substrate
+/// it ships with. Include this to get the whole public API, or include the
+/// individual headers (listed below, grouped by module) to keep builds
+/// lean.
+
+// The paper's contribution.
+#include "core/em.h"               // E-step / M-step kernels (Eqs. 9-17)
+#include "core/factory.h"          // regularizer from config string
+#include "core/gaussian_mixture.h" // zero-mean GM prior
+#include "core/gm_regularizer.h"   // the tool: Algorithms 1 & 2
+#include "core/hyper.h"            // Dirichlet/Gamma rules (Sec. V-B1)
+#include "core/merge.h"            // effective-component reporting
+#include "core/serialize.h"        // persist / warm-start learned priors
+
+// Baseline regularization methods (Sec. V baselines).
+#include "reg/norms.h"
+#include "reg/regularizer.h"
+
+// Models.
+#include "models/alex_cifar10.h"
+#include "models/logistic_regression.h"
+#include "models/resnet.h"
+
+// Training substrate.
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv.h"
+#include "nn/dense.h"
+#include "nn/layer.h"
+#include "nn/loss.h"
+#include "nn/pool.h"
+#include "nn/residual.h"
+#include "nn/sequential.h"
+#include "optim/sgd.h"
+#include "optim/trainer.h"
+
+// Data layer.
+#include "data/batch.h"
+#include "data/cifar_like.h"
+#include "data/dataset.h"
+#include "data/preprocess.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "data/tabular.h"
+
+// Evaluation protocols.
+#include "eval/deep_experiment.h"
+#include "eval/method_grid.h"
+#include "eval/metrics.h"
+#include "eval/small_data_experiment.h"
+
+// Utilities.
+#include "tensor/random.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+#endif  // GMREG_GMREG_H_

@@ -1,0 +1,43 @@
+#include "models/alex_cifar10.h"
+
+#include "nn/activations.h"
+#include "nn/conv.h"
+#include "nn/dense.h"
+#include "nn/pool.h"
+
+namespace gmreg {
+
+std::unique_ptr<Sequential> BuildAlexCifar10(const AlexCifar10Config& config,
+                                             Rng* rng) {
+  auto net = std::make_unique<Sequential>("alex-cifar-10");
+  InitSpec init = InitSpec::Gaussian(config.init_stddev);
+  // Stage 1: 5x5 conv -> max pool -> ReLU -> LRN (Table III).
+  net->Emplace<Conv2d>("conv1", config.input_channels, config.conv1_channels,
+                       /*kernel=*/5, /*stride=*/1, /*padding=*/2, init, rng);
+  net->Emplace<MaxPool2d>("pool1", /*kernel=*/3, /*stride=*/2);
+  net->Emplace<Relu>("relu1");
+  net->Emplace<Lrn>("lrn1", /*local_size=*/3, /*alpha=*/5e-5, /*beta=*/0.75,
+                    /*k=*/1.0);
+  // Stage 2: 5x5 conv -> ReLU -> avg pool -> LRN.
+  net->Emplace<Conv2d>("conv2", config.conv1_channels, config.conv2_channels,
+                       5, 1, 2, init, rng);
+  net->Emplace<Relu>("relu2");
+  net->Emplace<AvgPool2d>("pool2", 3, 2);
+  net->Emplace<Lrn>("lrn2", 3, 5e-5, 0.75, 1.0);
+  // Stage 3: 5x5 conv -> ReLU -> avg pool.
+  net->Emplace<Conv2d>("conv3", config.conv2_channels, config.conv3_channels,
+                       5, 1, 2, init, rng);
+  net->Emplace<Relu>("relu3");
+  net->Emplace<AvgPool2d>("pool3", 3, 2);
+  // 10-way softmax classifier (softmax itself lives in the loss).
+  net->Emplace<Flatten>("flatten");
+  // Spatial extent after three stride-2 pools (ceil mode): hw -> ceil chain.
+  int hw = config.input_hw;
+  for (int i = 0; i < 3; ++i) hw = (hw - 3 + 1) / 2 + 1;
+  std::int64_t dense_in =
+      static_cast<std::int64_t>(config.conv3_channels) * hw * hw;
+  net->Emplace<Dense>("dense", dense_in, config.num_classes, init, rng);
+  return net;
+}
+
+}  // namespace gmreg

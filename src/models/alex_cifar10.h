@@ -1,0 +1,33 @@
+#ifndef GMREG_MODELS_ALEX_CIFAR10_H_
+#define GMREG_MODELS_ALEX_CIFAR10_H_
+
+#include <memory>
+
+#include "nn/sequential.h"
+#include "util/rng.h"
+
+namespace gmreg {
+
+/// Configuration of the Alex-CIFAR-10 model (paper Table III, left): three
+/// 5x5 convolution stages with pooling/ReLU/LRN, then a 10-way softmax
+/// dense layer. `input_hw` scales resolution (paper: 32; default reduced
+/// for single-core benches — the layer structure is unchanged).
+struct AlexCifar10Config {
+  int input_hw = 16;
+  int input_channels = 3;
+  int conv1_channels = 32;
+  int conv2_channels = 32;
+  int conv3_channels = 64;
+  int num_classes = 10;
+  /// Paper: zero-mean Gaussian with precision 100 (stddev 0.1).
+  double init_stddev = 0.1;
+};
+
+/// Builds the network. Weight layer names match the paper's Table IV:
+/// conv1, conv2, conv3, dense.
+std::unique_ptr<Sequential> BuildAlexCifar10(const AlexCifar10Config& config,
+                                             Rng* rng);
+
+}  // namespace gmreg
+
+#endif  // GMREG_MODELS_ALEX_CIFAR10_H_

@@ -1,0 +1,118 @@
+#include "models/logistic_regression.h"
+
+#include <cmath>
+
+#include "data/batch.h"
+#include "tensor/random.h"
+#include "util/logging.h"
+
+namespace gmreg {
+namespace {
+
+double Sigmoid(double z) {
+  if (z >= 0.0) {
+    return 1.0 / (1.0 + std::exp(-z));
+  }
+  double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+LogisticRegression::LogisticRegression(std::int64_t num_features,
+                                       const Options& options, Rng* rng)
+    : num_features_(num_features),
+      options_(options),
+      weights_({num_features}) {
+  GMREG_CHECK_GT(num_features, 0);
+  GMREG_CHECK(rng != nullptr);
+  FillGaussian(rng, 0.0, options.init_stddev, &weights_);
+}
+
+double LogisticRegression::RawScore(const float* row) const {
+  double z = bias_;
+  const float* wp = weights_.data();
+  for (std::int64_t j = 0; j < num_features_; ++j) {
+    z += static_cast<double>(wp[j]) * row[j];
+  }
+  return z;
+}
+
+void LogisticRegression::Train(const Dataset& train, Regularizer* reg,
+                               Rng* rng) {
+  GMREG_CHECK_EQ(train.num_features(), num_features_);
+  std::int64_t n = train.num_samples();
+  GMREG_CHECK_GT(n, 0);
+  double scale = 1.0 / static_cast<double>(n);
+  BatchIterator batches(n, options_.batch_size, rng);
+  std::int64_t batches_per_epoch = batches.NumBatches();
+  Tensor grad({num_features_});
+  Tensor velocity({num_features_});
+  double bias_velocity = 0.0;
+  auto lr = options_.learning_rate;
+  auto mom = options_.momentum;
+  std::int64_t iteration = 0;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (const auto& [fraction, factor] : options_.lr_drops) {
+      if (epoch == static_cast<int>(fraction * options_.epochs)) {
+        lr *= factor;
+      }
+    }
+    for (std::int64_t b = 0; b < batches_per_epoch; ++b) {
+      const std::vector<int>& idx = batches.Next();
+      grad.SetZero();
+      double bias_grad = 0.0;
+      double inv_b = 1.0 / static_cast<double>(idx.size());
+      for (int row : idx) {
+        const float* x = train.features.data() + row * num_features_;
+        double err =
+            Sigmoid(RawScore(x)) -
+            static_cast<double>(train.labels[static_cast<std::size_t>(row)]);
+        auto coeff = static_cast<float>(err * inv_b);
+        float* gp = grad.data();
+        for (std::int64_t j = 0; j < num_features_; ++j) {
+          gp[j] += coeff * x[j];
+        }
+        bias_grad += err * inv_b;
+      }
+      if (reg != nullptr) {
+        reg->AccumulateGradient(weights_, iteration, epoch, scale, &grad);
+      }
+      float* wp = weights_.data();
+      float* vp = velocity.data();
+      const float* gp = grad.data();
+      for (std::int64_t j = 0; j < num_features_; ++j) {
+        vp[j] = static_cast<float>(mom) * vp[j] + gp[j];
+        wp[j] -= static_cast<float>(lr) * vp[j];
+      }
+      bias_velocity = mom * bias_velocity + bias_grad;
+      bias_ -= lr * bias_velocity;
+      ++iteration;
+    }
+  }
+}
+
+double LogisticRegression::EvaluateAccuracy(const Dataset& data) const {
+  GMREG_CHECK_EQ(data.num_features(), num_features_);
+  std::int64_t correct = 0;
+  for (std::int64_t i = 0; i < data.num_samples(); ++i) {
+    int pred = RawScore(data.features.data() + i * num_features_) > 0.0;
+    if (pred == data.labels[static_cast<std::size_t>(i)]) ++correct;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(data.num_samples());
+}
+
+double LogisticRegression::EvaluateLoss(const Dataset& data) const {
+  GMREG_CHECK_EQ(data.num_features(), num_features_);
+  double total = 0.0;
+  for (std::int64_t i = 0; i < data.num_samples(); ++i) {
+    double p = Sigmoid(RawScore(data.features.data() + i * num_features_));
+    int y = data.labels[static_cast<std::size_t>(i)];
+    double q = y == 1 ? p : 1.0 - p;
+    total += -std::log(std::max(q, 1e-300));
+  }
+  return total / static_cast<double>(data.num_samples());
+}
+
+}  // namespace gmreg

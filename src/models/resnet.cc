@@ -1,0 +1,69 @@
+#include "models/resnet.h"
+
+#include <string>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv.h"
+#include "nn/dense.h"
+#include "nn/pool.h"
+#include "nn/residual.h"
+#include "util/string_util.h"
+
+namespace gmreg {
+namespace {
+
+// One residual block: main = conv-BN-ReLU-conv-BN; shortcut = identity, or
+// 3x3/stride-2 conv + BN when the block downsamples/widens.
+std::unique_ptr<Residual> MakeBlock(const std::string& prefix,
+                                    std::int64_t in_channels,
+                                    std::int64_t out_channels, int stride,
+                                    Rng* rng) {
+  InitSpec he = InitSpec::He();
+  auto main = std::make_unique<Sequential>(prefix + "-br1");
+  main->Emplace<Conv2d>(prefix + "-br1-conv1", in_channels, out_channels, 3,
+                        stride, 1, he, rng);
+  main->Emplace<BatchNorm2d>(prefix + "-br1-bn1", out_channels);
+  main->Emplace<Relu>(prefix + "-br1-relu");
+  main->Emplace<Conv2d>(prefix + "-br1-conv2", out_channels, out_channels, 3,
+                        1, 1, he, rng);
+  main->Emplace<BatchNorm2d>(prefix + "-br1-bn2", out_channels);
+  std::unique_ptr<Sequential> shortcut;
+  if (stride != 1 || in_channels != out_channels) {
+    shortcut = std::make_unique<Sequential>(prefix + "-br2");
+    shortcut->Emplace<Conv2d>(prefix + "-br2-conv", in_channels, out_channels,
+                              3, stride, 1, he, rng);
+    shortcut->Emplace<BatchNorm2d>(prefix + "-br2-bn", out_channels);
+  }
+  return std::make_unique<Residual>(prefix, std::move(main),
+                                    std::move(shortcut));
+}
+
+}  // namespace
+
+std::unique_ptr<Sequential> BuildResNet(const ResNetConfig& config, Rng* rng) {
+  auto net = std::make_unique<Sequential>("resnet");
+  InitSpec he = InitSpec::He();
+  std::int64_t c = config.base_channels;
+  net->Emplace<Conv2d>("conv1", config.input_channels, c, 3, 1, 1, he, rng);
+  net->Emplace<BatchNorm2d>("bn1", c);
+  net->Emplace<Relu>("relu1");
+  // Three stages, named 2, 3, 4 with block letters a, b, c... to match the
+  // paper's Table V layer names.
+  std::int64_t in_channels = c;
+  for (int stage = 0; stage < 3; ++stage) {
+    std::int64_t out_channels = c << stage;
+    for (int block = 0; block < config.blocks_per_stage; ++block) {
+      std::string prefix =
+          StrFormat("%d%c", stage + 2, static_cast<char>('a' + block));
+      int stride = (stage > 0 && block == 0) ? 2 : 1;
+      net->Add(MakeBlock(prefix, in_channels, out_channels, stride, rng));
+      in_channels = out_channels;
+    }
+  }
+  net->Emplace<GlobalAvgPool>("gap");
+  net->Emplace<Dense>("ip5", in_channels, config.num_classes, he, rng);
+  return net;
+}
+
+}  // namespace gmreg

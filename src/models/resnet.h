@@ -1,0 +1,31 @@
+#ifndef GMREG_MODELS_RESNET_H_
+#define GMREG_MODELS_RESNET_H_
+
+#include <memory>
+
+#include "nn/sequential.h"
+#include "util/rng.h"
+
+namespace gmreg {
+
+/// Configuration of the 20-layer CIFAR ResNet (paper Table III, right;
+/// He et al. 2016): a 3x3 stem, three stacks of `blocks_per_stage` residual
+/// blocks with `base_channels`, 2x and 4x channels, global average pooling
+/// and a 10-way softmax. Downsampling blocks use a 3x3/stride-2 projection
+/// shortcut (the paper's `*-br2-conv` weights).
+struct ResNetConfig {
+  int input_hw = 16;           ///< paper: 32; reduced default for 1 core
+  int input_channels = 3;
+  int base_channels = 16;      ///< paper: 16 (stacks of 16/32/64 filters)
+  int blocks_per_stage = 3;    ///< paper: n = 3 -> 20 weighted layers
+  int num_classes = 10;
+  // Weights use He-normal initialization (Sec. V-E cites He et al. 2015).
+};
+
+/// Builds the network. Weight names follow the paper's Table V scheme:
+/// conv1, {2,3,4}{a,b,c}-br1-conv{1,2}, {3,4}a-br2-conv, ip5.
+std::unique_ptr<Sequential> BuildResNet(const ResNetConfig& config, Rng* rng);
+
+}  // namespace gmreg
+
+#endif  // GMREG_MODELS_RESNET_H_

@@ -1,0 +1,115 @@
+#include "nn/activations.h"
+
+#include <cmath>
+
+namespace gmreg {
+
+Relu::Relu(std::string name) : Layer(std::move(name)) {}
+
+void Relu::Forward(const Tensor& in, Tensor* out, bool train) {
+  EnsureShape(in.shape(), out);
+  in_shape_ = in.shape();
+  const float* ip = in.data();
+  float* op = out->data();
+  std::int64_t n = in.size();
+  if (train) {
+    mask_.assign(static_cast<std::size_t>(n), false);
+    for (std::int64_t i = 0; i < n; ++i) {
+      bool pos = ip[i] > 0.0f;
+      mask_[static_cast<std::size_t>(i)] = pos;
+      op[i] = pos ? ip[i] : 0.0f;
+    }
+  } else {
+    for (std::int64_t i = 0; i < n; ++i) op[i] = ip[i] > 0.0f ? ip[i] : 0.0f;
+  }
+}
+
+void Relu::Backward(const Tensor& grad_out, Tensor* grad_in) {
+  EnsureShape(in_shape_, grad_in);
+  const float* gp = grad_out.data();
+  float* gi = grad_in->data();
+  std::int64_t n = grad_out.size();
+  GMREG_CHECK_EQ(static_cast<std::int64_t>(mask_.size()), n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    gi[i] = mask_[static_cast<std::size_t>(i)] ? gp[i] : 0.0f;
+  }
+}
+
+Lrn::Lrn(std::string name, int local_size, double alpha, double beta,
+         double k)
+    : Layer(std::move(name)),
+      local_size_(local_size),
+      alpha_(alpha),
+      beta_(beta),
+      k_(k) {
+  GMREG_CHECK_GT(local_size, 0);
+  GMREG_CHECK_EQ(local_size % 2, 1);
+}
+
+void Lrn::Forward(const Tensor& in, Tensor* out, bool train) {
+  GMREG_CHECK_EQ(in.rank(), 4);
+  EnsureShape(in.shape(), out);
+  EnsureShape(in.shape(), &denom_);
+  std::int64_t b = in.dim(0), c = in.dim(1), hw = in.dim(2) * in.dim(3);
+  int half = local_size_ / 2;
+  double scale = alpha_ / local_size_;
+  const float* ip = in.data();
+  float* op = out->data();
+  float* dp = denom_.data();
+  for (std::int64_t i = 0; i < b; ++i) {
+    const float* sample = ip + i * c * hw;
+    for (std::int64_t p = 0; p < hw; ++p) {
+      for (std::int64_t ch = 0; ch < c; ++ch) {
+        std::int64_t lo = std::max<std::int64_t>(0, ch - half);
+        std::int64_t hi = std::min<std::int64_t>(c - 1, ch + half);
+        double acc = 0.0;
+        for (std::int64_t cc = lo; cc <= hi; ++cc) {
+          double v = sample[cc * hw + p];
+          acc += v * v;
+        }
+        double denom = k_ + scale * acc;
+        std::int64_t idx = i * c * hw + ch * hw + p;
+        dp[idx] = static_cast<float>(denom);
+        op[idx] = static_cast<float>(sample[ch * hw + p] *
+                                     std::pow(denom, -beta_));
+      }
+    }
+  }
+  if (train) cached_in_ = in;
+}
+
+void Lrn::Backward(const Tensor& grad_out, Tensor* grad_in) {
+  // gin_j = gout_j * denom_j^{-beta}
+  //         - (2*alpha*beta/n) * in_j * sum_{i: j in win(i)} gout_i*out_i/denom_i
+  // where out_i = in_i * denom_i^{-beta}.
+  EnsureShape(cached_in_.shape(), grad_in);
+  std::int64_t b = cached_in_.dim(0), c = cached_in_.dim(1),
+               hw = cached_in_.dim(2) * cached_in_.dim(3);
+  int half = local_size_ / 2;
+  double scale = 2.0 * alpha_ * beta_ / local_size_;
+  const float* ip = cached_in_.data();
+  const float* gp = grad_out.data();
+  const float* dp = denom_.data();
+  float* gi = grad_in->data();
+  for (std::int64_t i = 0; i < b; ++i) {
+    for (std::int64_t p = 0; p < hw; ++p) {
+      // ratio_i = gout_i * in_i * denom_i^{-beta-1}
+      for (std::int64_t ch = 0; ch < c; ++ch) {
+        std::int64_t idx = i * c * hw + ch * hw + p;
+        double gout = gp[idx];
+        double denom = dp[idx];
+        double direct = gout * std::pow(denom, -beta_);
+        std::int64_t lo = std::max<std::int64_t>(0, ch - half);
+        std::int64_t hi = std::min<std::int64_t>(c - 1, ch + half);
+        double cross = 0.0;
+        for (std::int64_t cc = lo; cc <= hi; ++cc) {
+          std::int64_t jdx = i * c * hw + cc * hw + p;
+          cross += gp[jdx] * ip[jdx] * std::pow(dp[jdx], -beta_ - 1.0);
+        }
+        gi[idx] = static_cast<float>(direct - scale * ip[idx] * cross);
+      }
+    }
+  }
+}
+
+}  // namespace gmreg

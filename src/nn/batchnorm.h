@@ -1,0 +1,42 @@
+#ifndef GMREG_NN_BATCHNORM_H_
+#define GMREG_NN_BATCHNORM_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace gmreg {
+
+/// Spatial batch normalization (NCHW): per-channel statistics over
+/// (N, H, W), learnable scale gamma and shift beta, running statistics for
+/// evaluation. The BN layers are what make the paper's ResNet need much
+/// weaker regularization than Alex-CIFAR-10 (Sec. V-B3).
+class BatchNorm2d : public Layer {
+ public:
+  BatchNorm2d(std::string name, std::int64_t channels, double momentum = 0.9,
+              double eps = 1e-5);
+
+  void Forward(const Tensor& in, Tensor* out, bool train) override;
+  void Backward(const Tensor& grad_out, Tensor* grad_in) override;
+  void CollectParams(std::vector<ParamRef>* out) override;
+
+ private:
+  std::int64_t channels_;
+  double momentum_;
+  double eps_;
+  Tensor gamma_;         // [C]
+  Tensor beta_;          // [C]
+  Tensor gamma_grad_;
+  Tensor beta_grad_;
+  Tensor running_mean_;  // [C]
+  Tensor running_var_;   // [C]
+  // Training-time caches for backward.
+  Tensor x_hat_;                      // normalized input
+  std::vector<double> batch_inv_std_;  // per channel
+  std::vector<std::int64_t> in_shape_;
+};
+
+}  // namespace gmreg
+
+#endif  // GMREG_NN_BATCHNORM_H_

@@ -1,0 +1,153 @@
+#include "nn/conv.h"
+
+#include <cstring>
+
+#include "tensor/random.h"
+#include "tensor/tensor_ops.h"
+
+namespace gmreg {
+
+Conv2d::Conv2d(std::string name, std::int64_t in_channels,
+               std::int64_t out_channels, int kernel, int stride, int padding,
+               const InitSpec& init, Rng* rng)
+    : Layer(std::move(name)),
+      in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      weight_({out_channels, in_channels * kernel * kernel}),
+      bias_({out_channels}),
+      weight_grad_({out_channels, in_channels * kernel * kernel}),
+      bias_grad_({out_channels}) {
+  GMREG_CHECK_GT(kernel, 0);
+  GMREG_CHECK_GT(stride, 0);
+  GMREG_CHECK_GE(padding, 0);
+  std::int64_t fan_in = in_channels * kernel * kernel;
+  if (init.kind == InitSpec::Kind::kHeNormal) {
+    init_stddev_ = HeStdDev(fan_in);
+  } else {
+    init_stddev_ = init.stddev;
+  }
+  FillGaussian(rng, 0.0, init_stddev_, &weight_);
+}
+
+void Conv2d::Im2Col(const float* img, std::int64_t h, std::int64_t w,
+                    std::int64_t out_h, std::int64_t out_w, float* col) const {
+  std::int64_t patch = in_channels_ * kernel_ * kernel_;
+  std::int64_t cols = out_h * out_w;
+  std::memset(col, 0, static_cast<std::size_t>(patch * cols) * sizeof(float));
+  for (std::int64_t c = 0; c < in_channels_; ++c) {
+    for (int kh = 0; kh < kernel_; ++kh) {
+      for (int kw = 0; kw < kernel_; ++kw) {
+        std::int64_t row = (c * kernel_ + kh) * kernel_ + kw;
+        float* dst = col + row * cols;
+        for (std::int64_t oh = 0; oh < out_h; ++oh) {
+          std::int64_t ih = oh * stride_ - padding_ + kh;
+          if (ih < 0 || ih >= h) continue;
+          const float* src = img + (c * h + ih) * w;
+          for (std::int64_t ow = 0; ow < out_w; ++ow) {
+            std::int64_t iw = ow * stride_ - padding_ + kw;
+            if (iw < 0 || iw >= w) continue;
+            dst[oh * out_w + ow] = src[iw];
+          }
+        }
+      }
+    }
+  }
+}
+
+void Conv2d::Col2Im(const float* col, std::int64_t h, std::int64_t w,
+                    std::int64_t out_h, std::int64_t out_w, float* img) const {
+  std::int64_t cols = out_h * out_w;
+  for (std::int64_t c = 0; c < in_channels_; ++c) {
+    for (int kh = 0; kh < kernel_; ++kh) {
+      for (int kw = 0; kw < kernel_; ++kw) {
+        std::int64_t row = (c * kernel_ + kh) * kernel_ + kw;
+        const float* src = col + row * cols;
+        for (std::int64_t oh = 0; oh < out_h; ++oh) {
+          std::int64_t ih = oh * stride_ - padding_ + kh;
+          if (ih < 0 || ih >= h) continue;
+          float* dst = img + (c * h + ih) * w;
+          for (std::int64_t ow = 0; ow < out_w; ++ow) {
+            std::int64_t iw = ow * stride_ - padding_ + kw;
+            if (iw < 0 || iw >= w) continue;
+            dst[iw] += src[oh * out_w + ow];
+          }
+        }
+      }
+    }
+  }
+}
+
+void Conv2d::Forward(const Tensor& in, Tensor* out, bool train) {
+  GMREG_CHECK_EQ(in.rank(), 4);
+  GMREG_CHECK_EQ(in.dim(1), in_channels_);
+  std::int64_t b = in.dim(0);
+  std::int64_t h = in.dim(2);
+  std::int64_t w = in.dim(3);
+  std::int64_t out_h = OutSize(h);
+  std::int64_t out_w = OutSize(w);
+  GMREG_CHECK_GT(out_h, 0);
+  GMREG_CHECK_GT(out_w, 0);
+  EnsureShape({b, out_channels_, out_h, out_w}, out);
+  std::int64_t patch = in_channels_ * kernel_ * kernel_;
+  std::int64_t cols = out_h * out_w;
+  EnsureShape({patch, cols}, &col_);
+  std::int64_t in_chw = in_channels_ * h * w;
+  std::int64_t out_chw = out_channels_ * cols;
+  for (std::int64_t i = 0; i < b; ++i) {
+    Im2Col(in.data() + i * in_chw, h, w, out_h, out_w, col_.data());
+    // out_i [Cout, cols] = W [Cout, patch] * col [patch, cols]
+    Gemm(false, false, out_channels_, cols, patch, 1.0f, weight_.data(),
+         patch, col_.data(), cols, 0.0f, out->data() + i * out_chw, cols);
+    // bias broadcast over spatial positions
+    float* op = out->data() + i * out_chw;
+    for (std::int64_t co = 0; co < out_channels_; ++co) {
+      float bval = bias_[co];
+      for (std::int64_t p = 0; p < cols; ++p) op[co * cols + p] += bval;
+    }
+  }
+  if (train) cached_in_ = in;
+}
+
+void Conv2d::Backward(const Tensor& grad_out, Tensor* grad_in) {
+  std::int64_t b = cached_in_.dim(0);
+  std::int64_t h = cached_in_.dim(2);
+  std::int64_t w = cached_in_.dim(3);
+  std::int64_t out_h = grad_out.dim(2);
+  std::int64_t out_w = grad_out.dim(3);
+  std::int64_t patch = in_channels_ * kernel_ * kernel_;
+  std::int64_t cols = out_h * out_w;
+  std::int64_t in_chw = in_channels_ * h * w;
+  std::int64_t out_chw = out_channels_ * cols;
+  EnsureShape(cached_in_.shape(), grad_in);
+  grad_in->SetZero();
+  Tensor gcol({patch, cols});
+  for (std::int64_t i = 0; i < b; ++i) {
+    const float* gout = grad_out.data() + i * out_chw;
+    // Recompute col for this sample (memory-lean: one col buffer, not B).
+    Im2Col(cached_in_.data() + i * in_chw, h, w, out_h, out_w, col_.data());
+    // dW += gout_i [Cout, cols] * col^T [cols, patch]
+    Gemm(false, true, out_channels_, patch, cols, 1.0f, gout, cols,
+         col_.data(), cols, 1.0f, weight_grad_.data(), patch);
+    // db += spatial sums
+    for (std::int64_t co = 0; co < out_channels_; ++co) {
+      float acc = 0.0f;
+      for (std::int64_t p = 0; p < cols; ++p) acc += gout[co * cols + p];
+      bias_grad_[co] += acc;
+    }
+    // gcol = W^T [patch, Cout] * gout_i [Cout, cols]
+    Gemm(true, false, patch, cols, out_channels_, 1.0f, weight_.data(), patch,
+         gout, cols, 0.0f, gcol.data(), cols);
+    Col2Im(gcol.data(), h, w, out_h, out_w, grad_in->data() + i * in_chw);
+  }
+}
+
+void Conv2d::CollectParams(std::vector<ParamRef>* out) {
+  out->push_back({name() + "/weight", &weight_, &weight_grad_, true,
+                  init_stddev_});
+  out->push_back({name() + "/bias", &bias_, &bias_grad_, false, 0.0});
+}
+
+}  // namespace gmreg

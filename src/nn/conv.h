@@ -1,0 +1,52 @@
+#ifndef GMREG_NN_CONV_H_
+#define GMREG_NN_CONV_H_
+
+#include <string>
+
+#include "nn/layer.h"
+#include "util/rng.h"
+
+namespace gmreg {
+
+/// 2-d convolution (NCHW) via im2col + GEMM. Weight layout is
+/// [Cout, Cin*Kh*Kw] so the per-sample forward is a single GEMM.
+class Conv2d : public Layer {
+ public:
+  Conv2d(std::string name, std::int64_t in_channels, std::int64_t out_channels,
+         int kernel, int stride, int padding, const InitSpec& init, Rng* rng);
+
+  void Forward(const Tensor& in, Tensor* out, bool train) override;
+  void Backward(const Tensor& grad_out, Tensor* grad_in) override;
+  void CollectParams(std::vector<ParamRef>* out) override;
+
+  Tensor& weight() { return weight_; }
+  double init_stddev() const { return init_stddev_; }
+
+  /// Output spatial size for an input extent `in_size`.
+  std::int64_t OutSize(std::int64_t in_size) const {
+    return (in_size + 2 * padding_ - kernel_) / stride_ + 1;
+  }
+
+ private:
+  void Im2Col(const float* img, std::int64_t h, std::int64_t w,
+              std::int64_t out_h, std::int64_t out_w, float* col) const;
+  void Col2Im(const float* col, std::int64_t h, std::int64_t w,
+              std::int64_t out_h, std::int64_t out_w, float* img) const;
+
+  std::int64_t in_channels_;
+  std::int64_t out_channels_;
+  int kernel_;
+  int stride_;
+  int padding_;
+  double init_stddev_;
+  Tensor weight_;       // [Cout, Cin*K*K]
+  Tensor bias_;         // [Cout]
+  Tensor weight_grad_;
+  Tensor bias_grad_;
+  Tensor cached_in_;    // [B, Cin, H, W]
+  Tensor col_;          // scratch [Cin*K*K, Hout*Wout]
+};
+
+}  // namespace gmreg
+
+#endif  // GMREG_NN_CONV_H_

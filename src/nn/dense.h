@@ -1,0 +1,38 @@
+#ifndef GMREG_NN_DENSE_H_
+#define GMREG_NN_DENSE_H_
+
+#include <string>
+
+#include "nn/layer.h"
+#include "util/rng.h"
+
+namespace gmreg {
+
+/// Fully-connected layer: out = in * W + b, with in [B, In], W [In, Out].
+class Dense : public Layer {
+ public:
+  Dense(std::string name, std::int64_t in_features, std::int64_t out_features,
+        const InitSpec& init, Rng* rng);
+
+  void Forward(const Tensor& in, Tensor* out, bool train) override;
+  void Backward(const Tensor& grad_out, Tensor* grad_in) override;
+  void CollectParams(std::vector<ParamRef>* out) override;
+
+  Tensor& weight() { return weight_; }
+  Tensor& bias() { return bias_; }
+  double init_stddev() const { return init_stddev_; }
+
+ private:
+  std::int64_t in_features_;
+  std::int64_t out_features_;
+  double init_stddev_;
+  Tensor weight_;       // [In, Out]
+  Tensor bias_;         // [Out]
+  Tensor weight_grad_;  // [In, Out]
+  Tensor bias_grad_;    // [Out]
+  Tensor cached_in_;    // [B, In]
+};
+
+}  // namespace gmreg
+
+#endif  // GMREG_NN_DENSE_H_

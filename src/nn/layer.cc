@@ -1,0 +1,13 @@
+#include "nn/layer.h"
+
+namespace gmreg {
+
+void Layer::CollectParams(std::vector<ParamRef>* out) { (void)out; }
+
+void Layer::EnsureShape(const std::vector<std::int64_t>& shape, Tensor* t) {
+  if (t->shape() != shape) {
+    *t = Tensor(shape);
+  }
+}
+
+}  // namespace gmreg

@@ -1,0 +1,72 @@
+#ifndef GMREG_NN_LAYER_H_
+#define GMREG_NN_LAYER_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace gmreg {
+
+/// A named view onto one learnable parameter tensor and its gradient
+/// accumulator. The regularization tool consumes these: a GmRegularizer is
+/// attached per ParamRef whose `is_weight` is true (the paper regularizes
+/// `.../weight` tensors only; biases and BN scale/shift are exempt, as in
+/// standard weight-decay practice).
+struct ParamRef {
+  std::string name;       ///< e.g. "conv1/weight"
+  Tensor* value = nullptr;
+  Tensor* grad = nullptr;
+  bool is_weight = false;  ///< true => subject to regularization
+  double init_stddev = 0.0;  ///< stddev of the initializer (GM `min` rule)
+};
+
+/// Initialization scheme for weight tensors.
+struct InitSpec {
+  enum class Kind { kGaussian, kHeNormal };
+  Kind kind = Kind::kGaussian;
+  double stddev = 0.1;  ///< used when kind == kGaussian
+
+  static InitSpec Gaussian(double stddev) {
+    return InitSpec{Kind::kGaussian, stddev};
+  }
+  static InitSpec He() { return InitSpec{Kind::kHeNormal, 0.0}; }
+};
+
+/// Base class for differentiable network layers. Layers cache whatever they
+/// need from Forward for the subsequent Backward; Backward ACCUMULATES into
+/// parameter gradients (the trainer zeroes them between steps).
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+
+  /// Computes the layer output. `train` toggles training-mode behaviour
+  /// (batch statistics in BatchNorm). `out` is resized as needed.
+  virtual void Forward(const Tensor& in, Tensor* out, bool train) = 0;
+
+  /// Propagates the loss gradient. `grad_out` is d(loss)/d(output);
+  /// `grad_in` receives d(loss)/d(input) (resized as needed). Must be
+  /// preceded by a Forward(train=true) on the same input.
+  virtual void Backward(const Tensor& grad_out, Tensor* grad_in) = 0;
+
+  /// Appends this layer's learnable parameters to `out`. Default: none.
+  virtual void CollectParams(std::vector<ParamRef>* out);
+
+  const std::string& name() const { return name_; }
+
+ protected:
+  explicit Layer(std::string name) : name_(std::move(name)) {}
+
+  /// Reallocates `*t` to `shape` unless it already matches.
+  static void EnsureShape(const std::vector<std::int64_t>& shape, Tensor* t);
+
+ private:
+  std::string name_;
+};
+
+}  // namespace gmreg
+
+#endif  // GMREG_NN_LAYER_H_

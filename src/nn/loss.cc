@@ -1,0 +1,85 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+#include "util/logging.h"
+
+namespace gmreg {
+namespace {
+
+// Writes the softmax of row `row` of logits into `probs` and returns the
+// log-sum-exp (max-shifted for stability).
+void SoftmaxRow(const float* logits, std::int64_t c, double* probs) {
+  double max_logit = logits[0];
+  for (std::int64_t j = 1; j < c; ++j) {
+    max_logit = std::max<double>(max_logit, logits[j]);
+  }
+  double denom = 0.0;
+  for (std::int64_t j = 0; j < c; ++j) {
+    probs[j] = std::exp(logits[j] - max_logit);
+    denom += probs[j];
+  }
+  for (std::int64_t j = 0; j < c; ++j) probs[j] /= denom;
+}
+
+}  // namespace
+
+double SoftmaxCrossEntropy::ForwardBackward(const Tensor& logits,
+                                            const std::vector<int>& labels,
+                                            Tensor* grad_logits) {
+  GMREG_CHECK_EQ(logits.rank(), 2);
+  std::int64_t b = logits.dim(0);
+  std::int64_t c = logits.dim(1);
+  GMREG_CHECK_EQ(static_cast<std::int64_t>(labels.size()), b);
+  if (grad_logits->shape() != logits.shape()) {
+    *grad_logits = Tensor(logits.shape());
+  }
+  std::vector<double> probs(static_cast<std::size_t>(c));
+  double total = 0.0;
+  float* gp = grad_logits->data();
+  double inv_b = 1.0 / static_cast<double>(b);
+  for (std::int64_t i = 0; i < b; ++i) {
+    const float* row = logits.data() + i * c;
+    SoftmaxRow(row, c, probs.data());
+    int y = labels[static_cast<std::size_t>(i)];
+    GMREG_CHECK_GE(y, 0);
+    GMREG_CHECK_LT(y, c);
+    total += -std::log(std::max(probs[static_cast<std::size_t>(y)], 1e-300));
+    for (std::int64_t j = 0; j < c; ++j) {
+      double g = probs[static_cast<std::size_t>(j)] - (j == y ? 1.0 : 0.0);
+      gp[i * c + j] = static_cast<float>(g * inv_b);
+    }
+  }
+  return total * inv_b;
+}
+
+double SoftmaxCrossEntropy::Loss(const Tensor& logits,
+                                 const std::vector<int>& labels) {
+  GMREG_CHECK_EQ(logits.rank(), 2);
+  std::int64_t b = logits.dim(0);
+  std::int64_t c = logits.dim(1);
+  GMREG_CHECK_EQ(static_cast<std::int64_t>(labels.size()), b);
+  std::vector<double> probs(static_cast<std::size_t>(c));
+  double total = 0.0;
+  for (std::int64_t i = 0; i < b; ++i) {
+    SoftmaxRow(logits.data() + i * c, c, probs.data());
+    int y = labels[static_cast<std::size_t>(i)];
+    total += -std::log(std::max(probs[static_cast<std::size_t>(y)], 1e-300));
+  }
+  return total / static_cast<double>(b);
+}
+
+double Accuracy(const Tensor& logits, const std::vector<int>& labels) {
+  std::int64_t b = logits.dim(0);
+  GMREG_CHECK_EQ(static_cast<std::int64_t>(labels.size()), b);
+  std::int64_t correct = 0;
+  for (std::int64_t i = 0; i < b; ++i) {
+    if (ArgMaxRow(logits, i) == labels[static_cast<std::size_t>(i)]) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(b);
+}
+
+}  // namespace gmreg

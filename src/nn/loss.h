@@ -1,0 +1,30 @@
+#ifndef GMREG_NN_LOSS_H_
+#define GMREG_NN_LOSS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace gmreg {
+
+/// Softmax + cross-entropy, fused for numerical stability. This is the
+/// negative log-likelihood term `-log p(D|w)` (the `gll` of Algorithm 1).
+class SoftmaxCrossEntropy {
+ public:
+  /// Computes the mean cross-entropy over the batch and writes
+  /// d(mean loss)/d(logits) into `grad_logits` (resized as needed).
+  /// logits: [B, C]; labels: size B with values in [0, C).
+  static double ForwardBackward(const Tensor& logits,
+                                const std::vector<int>& labels,
+                                Tensor* grad_logits);
+
+  /// Mean cross-entropy only (no gradient).
+  static double Loss(const Tensor& logits, const std::vector<int>& labels);
+};
+
+/// Fraction of rows whose argmax matches the label.
+double Accuracy(const Tensor& logits, const std::vector<int>& labels);
+
+}  // namespace gmreg
+
+#endif  // GMREG_NN_LOSS_H_

@@ -1,0 +1,68 @@
+#ifndef GMREG_NN_POOL_H_
+#define GMREG_NN_POOL_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace gmreg {
+
+/// Max pooling (NCHW). Caches argmax positions for the backward pass.
+class MaxPool2d : public Layer {
+ public:
+  MaxPool2d(std::string name, int kernel, int stride);
+
+  void Forward(const Tensor& in, Tensor* out, bool train) override;
+  void Backward(const Tensor& grad_out, Tensor* grad_in) override;
+
+ private:
+  int kernel_;
+  int stride_;
+  std::vector<std::int64_t> in_shape_;
+  std::vector<std::int64_t> argmax_;  // flat input index per output element
+};
+
+/// Average pooling (NCHW) over kernel windows (zero-padding-free; windows
+/// clipped at the border divide by the actual window size).
+class AvgPool2d : public Layer {
+ public:
+  AvgPool2d(std::string name, int kernel, int stride);
+
+  void Forward(const Tensor& in, Tensor* out, bool train) override;
+  void Backward(const Tensor& grad_out, Tensor* grad_in) override;
+
+ private:
+  int kernel_;
+  int stride_;
+  std::vector<std::int64_t> in_shape_;
+};
+
+/// Global average pooling: [B, C, H, W] -> [B, C]. Used at the top of the
+/// ResNet before the softmax classifier.
+class GlobalAvgPool : public Layer {
+ public:
+  explicit GlobalAvgPool(std::string name);
+
+  void Forward(const Tensor& in, Tensor* out, bool train) override;
+  void Backward(const Tensor& grad_out, Tensor* grad_in) override;
+
+ private:
+  std::vector<std::int64_t> in_shape_;
+};
+
+/// Flatten: [B, ...] -> [B, prod(...)]. Pure reshape both ways.
+class Flatten : public Layer {
+ public:
+  explicit Flatten(std::string name);
+
+  void Forward(const Tensor& in, Tensor* out, bool train) override;
+  void Backward(const Tensor& grad_out, Tensor* grad_in) override;
+
+ private:
+  std::vector<std::int64_t> in_shape_;
+};
+
+}  // namespace gmreg
+
+#endif  // GMREG_NN_POOL_H_

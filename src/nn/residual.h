@@ -1,0 +1,38 @@
+#ifndef GMREG_NN_RESIDUAL_H_
+#define GMREG_NN_RESIDUAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/sequential.h"
+
+namespace gmreg {
+
+/// Residual block (He et al. 2016): out = ReLU(main(x) + shortcut(x)).
+/// `shortcut` is the identity when null, or a projection path (1x1/3x3 conv
+/// + BN) when the block changes resolution or channel count — the
+/// `*-br2-conv` weights in the paper's Table V.
+class Residual : public Layer {
+ public:
+  Residual(std::string name, std::unique_ptr<Sequential> main_path,
+           std::unique_ptr<Sequential> shortcut /* may be null */);
+
+  void Forward(const Tensor& in, Tensor* out, bool train) override;
+  void Backward(const Tensor& grad_out, Tensor* grad_in) override;
+  void CollectParams(std::vector<ParamRef>* out) override;
+
+ private:
+  std::unique_ptr<Sequential> main_;
+  std::unique_ptr<Sequential> shortcut_;
+  Tensor main_out_;
+  Tensor shortcut_out_;
+  std::vector<bool> relu_mask_;
+  Tensor main_grad_;
+  Tensor shortcut_grad_;
+  Tensor relu_grad_;
+};
+
+}  // namespace gmreg
+
+#endif  // GMREG_NN_RESIDUAL_H_

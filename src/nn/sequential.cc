@@ -1,0 +1,41 @@
+#include "nn/sequential.h"
+
+namespace gmreg {
+
+Sequential::Sequential(std::string name) : Layer(std::move(name)) {}
+
+Layer* Sequential::Add(std::unique_ptr<Layer> layer) {
+  layers_.push_back(std::move(layer));
+  return layers_.back().get();
+}
+
+void Sequential::Forward(const Tensor& in, Tensor* out, bool train) {
+  GMREG_CHECK(!layers_.empty()) << "empty Sequential '" << name() << "'";
+  acts_.resize(layers_.size());
+  const Tensor* current = &in;
+  for (std::size_t i = 0; i + 1 < layers_.size(); ++i) {
+    layers_[i]->Forward(*current, &acts_[i], train);
+    current = &acts_[i];
+  }
+  layers_.back()->Forward(*current, out, train);
+}
+
+void Sequential::Backward(const Tensor& grad_out, Tensor* grad_in) {
+  const Tensor* current = &grad_out;
+  // Ping-pong between two scratch tensors walking the chain backwards.
+  Tensor* bufs[2] = {&scratch_a_, &scratch_b_};
+  int which = 0;
+  for (std::size_t i = layers_.size(); i-- > 1;) {
+    Tensor* next = bufs[which];
+    layers_[i]->Backward(*current, next);
+    current = next;
+    which ^= 1;
+  }
+  layers_[0]->Backward(*current, grad_in);
+}
+
+void Sequential::CollectParams(std::vector<ParamRef>* out) {
+  for (auto& layer : layers_) layer->CollectParams(out);
+}
+
+}  // namespace gmreg

@@ -1,0 +1,45 @@
+#ifndef GMREG_NN_SEQUENTIAL_H_
+#define GMREG_NN_SEQUENTIAL_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace gmreg {
+
+/// Linear chain of layers; itself a Layer, so it nests (residual branches).
+class Sequential : public Layer {
+ public:
+  explicit Sequential(std::string name);
+
+  /// Appends a layer; returns a non-owning pointer for convenience.
+  Layer* Add(std::unique_ptr<Layer> layer);
+
+  /// Constructs a layer in place and appends it.
+  template <typename T, typename... Args>
+  T* Emplace(Args&&... args) {
+    auto layer = std::make_unique<T>(std::forward<Args>(args)...);
+    T* raw = layer.get();
+    Add(std::move(layer));
+    return raw;
+  }
+
+  void Forward(const Tensor& in, Tensor* out, bool train) override;
+  void Backward(const Tensor& grad_out, Tensor* grad_in) override;
+  void CollectParams(std::vector<ParamRef>* out) override;
+
+  std::size_t NumLayers() const { return layers_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+  std::vector<Tensor> acts_;   // acts_[i]: output of layers_[i] (except last)
+  Tensor scratch_a_;
+  Tensor scratch_b_;
+};
+
+}  // namespace gmreg
+
+#endif  // GMREG_NN_SEQUENTIAL_H_

@@ -1,0 +1,41 @@
+#include "optim/sgd.h"
+
+#include "util/logging.h"
+
+namespace gmreg {
+
+Sgd::Sgd(std::vector<ParamRef> params, double learning_rate, double momentum)
+    : params_(std::move(params)),
+      learning_rate_(learning_rate),
+      momentum_(momentum) {
+  GMREG_CHECK_GT(learning_rate, 0.0);
+  GMREG_CHECK_GE(momentum, 0.0);
+  GMREG_CHECK_LT(momentum, 1.0);
+  velocity_.reserve(params_.size());
+  for (const ParamRef& p : params_) {
+    GMREG_CHECK(p.value != nullptr && p.grad != nullptr);
+    GMREG_CHECK_EQ(p.value->size(), p.grad->size());
+    velocity_.emplace_back(p.value->shape());
+  }
+}
+
+void Sgd::Step() {
+  auto lr = static_cast<float>(learning_rate_);
+  auto mom = static_cast<float>(momentum_);
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    float* w = params_[k].value->data();
+    const float* g = params_[k].grad->data();
+    float* v = velocity_[k].data();
+    std::int64_t n = params_[k].value->size();
+    for (std::int64_t i = 0; i < n; ++i) {
+      v[i] = mom * v[i] + g[i];
+      w[i] -= lr * v[i];
+    }
+  }
+}
+
+void Sgd::ZeroGrad() {
+  for (ParamRef& p : params_) p.grad->SetZero();
+}
+
+}  // namespace gmreg

@@ -1,0 +1,39 @@
+#ifndef GMREG_OPTIM_SGD_H_
+#define GMREG_OPTIM_SGD_H_
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace gmreg {
+
+/// Stochastic gradient descent with classical momentum:
+///   v <- momentum * v + grad;  w <- w - lr * v
+/// The update framework of the paper's Algorithm 1 (SGD step, line 7).
+class Sgd {
+ public:
+  /// Registers the parameter set; velocity buffers are sized to match.
+  Sgd(std::vector<ParamRef> params, double learning_rate, double momentum);
+
+  /// Applies one update using the gradients currently accumulated in each
+  /// ParamRef::grad, then leaves the gradients untouched (caller zeroes).
+  void Step();
+
+  /// Sets all gradient accumulators to zero.
+  void ZeroGrad();
+
+  double learning_rate() const { return learning_rate_; }
+  void set_learning_rate(double lr) { learning_rate_ = lr; }
+
+  const std::vector<ParamRef>& params() const { return params_; }
+
+ private:
+  std::vector<ParamRef> params_;
+  std::vector<Tensor> velocity_;
+  double learning_rate_;
+  double momentum_;
+};
+
+}  // namespace gmreg
+
+#endif  // GMREG_OPTIM_SGD_H_

@@ -1,0 +1,143 @@
+#include "optim/trainer.h"
+
+#include <algorithm>
+
+#include "nn/loss.h"
+#include "tensor/tensor_ops.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace gmreg {
+namespace {
+
+std::vector<ParamRef> Collect(Layer* net) {
+  std::vector<ParamRef> params;
+  net->CollectParams(&params);
+  return params;
+}
+
+}  // namespace
+
+Trainer::Trainer(Layer* net, const TrainOptions& opts)
+    : net_(net),
+      opts_(opts),
+      params_(Collect(net)),
+      sgd_(params_, opts.learning_rate, opts.momentum),
+      regs_(params_.size(), nullptr) {
+  GMREG_CHECK(net != nullptr);
+  GMREG_CHECK_GT(opts.num_train_samples, 0)
+      << "TrainOptions::num_train_samples must be set (prior scale 1/N)";
+}
+
+void Trainer::AttachRegularizer(const std::string& param_name,
+                                Regularizer* reg) {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (params_[i].name == param_name) {
+      regs_[i] = reg;
+      return;
+    }
+  }
+  GMREG_CHECK(false) << "no parameter named '" << param_name << "'";
+}
+
+void Trainer::AttachToAllWeights(
+    const std::function<std::unique_ptr<Regularizer>(const ParamRef&)>&
+        factory) {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (!params_[i].is_weight) continue;
+    auto reg = factory(params_[i]);
+    if (reg == nullptr) continue;
+    regs_[i] = reg.get();
+    owned_regs_.push_back(std::move(reg));
+  }
+}
+
+std::vector<EpochStats> Trainer::Train(const BatchFn& next_batch,
+                                       std::int64_t batches_per_epoch) {
+  GMREG_CHECK_GT(batches_per_epoch, 0);
+  double scale = 1.0 / static_cast<double>(opts_.num_train_samples);
+  std::vector<EpochStats> stats;
+  stats.reserve(static_cast<std::size_t>(opts_.epochs));
+  Tensor input;
+  Tensor logits;
+  Tensor grad_logits;
+  Tensor grad_input;
+  std::vector<int> labels;
+  std::int64_t iteration = 0;
+  Stopwatch watch;
+  for (int epoch = 0; epoch < opts_.epochs; ++epoch) {
+    for (const auto& [at_epoch, factor] : opts_.lr_schedule) {
+      if (at_epoch == epoch) {
+        sgd_.set_learning_rate(sgd_.learning_rate() * factor);
+      }
+    }
+    double loss_sum = 0.0;
+    for (std::int64_t b = 0; b < batches_per_epoch; ++b) {
+      next_batch(&input, &labels);
+      sgd_.ZeroGrad();
+      net_->Forward(input, &logits, /*train=*/true);
+      loss_sum +=
+          SoftmaxCrossEntropy::ForwardBackward(logits, labels, &grad_logits);
+      net_->Backward(grad_logits, &grad_input);
+      for (std::size_t k = 0; k < params_.size(); ++k) {
+        if (regs_[k] == nullptr) continue;
+        regs_[k]->AccumulateGradient(*params_[k].value, iteration, epoch,
+                                     scale, params_[k].grad);
+      }
+      sgd_.Step();
+      ++iteration;
+    }
+    EpochStats es;
+    es.epoch = epoch;
+    es.mean_loss = loss_sum / static_cast<double>(batches_per_epoch);
+    es.elapsed_seconds = watch.ElapsedSeconds();
+    stats.push_back(es);
+    if (opts_.log_every_epochs > 0 &&
+        (epoch + 1) % opts_.log_every_epochs == 0) {
+      GMREG_LOG(Info) << "epoch " << epoch + 1 << "/" << opts_.epochs
+                      << " loss=" << es.mean_loss
+                      << " t=" << es.elapsed_seconds << "s";
+    }
+  }
+  return stats;
+}
+
+double Trainer::EvaluateAccuracy(const Tensor& inputs,
+                                 const std::vector<int>& labels,
+                                 std::int64_t eval_batch) {
+  GMREG_CHECK_GT(eval_batch, 0);
+  std::int64_t n = inputs.dim(0);
+  GMREG_CHECK_EQ(static_cast<std::int64_t>(labels.size()), n);
+  std::int64_t row_size = inputs.size() / n;
+  Tensor chunk;
+  Tensor logits;
+  std::int64_t correct = 0;
+  for (std::int64_t start = 0; start < n; start += eval_batch) {
+    std::int64_t count = std::min(eval_batch, n - start);
+    std::vector<std::int64_t> shape = inputs.shape();
+    shape[0] = count;
+    if (chunk.shape() != shape) chunk = Tensor(shape);
+    std::copy(inputs.data() + start * row_size,
+              inputs.data() + (start + count) * row_size, chunk.data());
+    net_->Forward(chunk, &logits, /*train=*/false);
+    for (std::int64_t i = 0; i < count; ++i) {
+      if (ArgMaxRow(logits, i) ==
+          labels[static_cast<std::size_t>(start + i)]) {
+        ++correct;
+      }
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+double Trainer::RegularizationPenalty() const {
+  double scale = 1.0 / static_cast<double>(opts_.num_train_samples);
+  double total = 0.0;
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    if (regs_[k] == nullptr) continue;
+    total += scale * regs_[k]->Penalty(*params_[k].value);
+  }
+  return total;
+}
+
+}  // namespace gmreg

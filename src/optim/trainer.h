@@ -1,0 +1,88 @@
+#ifndef GMREG_OPTIM_TRAINER_H_
+#define GMREG_OPTIM_TRAINER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+#include "optim/sgd.h"
+#include "reg/regularizer.h"
+
+namespace gmreg {
+
+/// Training hyper-parameters for one run.
+struct TrainOptions {
+  int epochs = 10;
+  std::int64_t batch_size = 32;
+  double learning_rate = 0.01;
+  double momentum = 0.9;
+  /// Pairs (epoch, factor): at the start of `epoch` multiply the lr by
+  /// `factor` (step schedule, as in the ResNet recipe).
+  std::vector<std::pair<int, double>> lr_schedule;
+  /// Number of training samples N — sets the prior scale 1/N (see
+  /// Regularizer). Must be set.
+  std::int64_t num_train_samples = 0;
+  int log_every_epochs = 0;  ///< 0 = silent
+};
+
+/// Per-epoch bookkeeping; `elapsed_seconds` is cumulative wall-clock since
+/// training started, which is exactly what Figs. 5 and 7 plot.
+struct EpochStats {
+  int epoch = 0;
+  double mean_loss = 0.0;
+  double elapsed_seconds = 0.0;
+};
+
+/// Drives the paper's interleaved update loop (Algorithms 1 and 2): per
+/// iteration it computes `gll` via forward/backward, lets each attached
+/// Regularizer add its `greg` (adaptive ones also run their E/M steps on
+/// their own lazy schedule), and takes an SGD step.
+class Trainer {
+ public:
+  /// `net` is not owned. Parameters are collected once at construction.
+  Trainer(Layer* net, const TrainOptions& opts);
+
+  /// Attaches a regularizer (not owned) to the parameter named
+  /// `param_name`; aborts if no such parameter exists.
+  void AttachRegularizer(const std::string& param_name, Regularizer* reg);
+
+  /// Attaches `factory(param)` to every parameter with is_weight == true.
+  /// The trainer takes ownership of the returned regularizers.
+  void AttachToAllWeights(
+      const std::function<std::unique_ptr<Regularizer>(const ParamRef&)>&
+          factory);
+
+  /// Fills `input` (resizing as needed) and `labels` with one mini-batch.
+  using BatchFn = std::function<void(Tensor* input, std::vector<int>* labels)>;
+
+  /// Runs `opts.epochs` epochs of `batches_per_epoch` iterations each.
+  std::vector<EpochStats> Train(const BatchFn& next_batch,
+                                std::int64_t batches_per_epoch);
+
+  /// Mean accuracy of the network (eval mode) on `inputs`/`labels`,
+  /// processed in chunks of `eval_batch` rows along dim 0.
+  double EvaluateAccuracy(const Tensor& inputs, const std::vector<int>& labels,
+                          std::int64_t eval_batch);
+
+  const std::vector<ParamRef>& params() const { return params_; }
+
+  /// Total -log prior over all regularized parameters (scaled by 1/N), for
+  /// loss reporting.
+  double RegularizationPenalty() const;
+
+ private:
+  Layer* net_;
+  TrainOptions opts_;
+  std::vector<ParamRef> params_;
+  Sgd sgd_;
+  // Regularizer per parameter index (nullptr = none).
+  std::vector<Regularizer*> regs_;
+  std::vector<std::unique_ptr<Regularizer>> owned_regs_;
+};
+
+}  // namespace gmreg
+
+#endif  // GMREG_OPTIM_TRAINER_H_

@@ -1,0 +1,133 @@
+#include "reg/norms.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+#include "util/logging.h"
+
+namespace gmreg {
+
+void NoReg::AccumulateGradient(const Tensor& w, std::int64_t iteration,
+                               std::int64_t epoch, double scale,
+                               Tensor* grad) {
+  (void)w;
+  (void)iteration;
+  (void)epoch;
+  (void)scale;
+  (void)grad;
+}
+
+double NoReg::Penalty(const Tensor& w) const {
+  (void)w;
+  return 0.0;
+}
+
+L1Reg::L1Reg(double beta) : beta_(beta) { GMREG_CHECK_GE(beta, 0.0); }
+
+void L1Reg::AccumulateGradient(const Tensor& w, std::int64_t iteration,
+                               std::int64_t epoch, double scale,
+                               Tensor* grad) {
+  (void)iteration;
+  (void)epoch;
+  GMREG_CHECK_EQ(w.size(), grad->size());
+  auto s = static_cast<float>(scale * beta_);
+  const float* wp = w.data();
+  float* gp = grad->data();
+  for (std::int64_t i = 0; i < w.size(); ++i) {
+    if (wp[i] > 0.0f) {
+      gp[i] += s;
+    } else if (wp[i] < 0.0f) {
+      gp[i] -= s;
+    }
+  }
+}
+
+double L1Reg::Penalty(const Tensor& w) const { return beta_ * SumAbs(w); }
+
+L2Reg::L2Reg(double beta) : beta_(beta) { GMREG_CHECK_GE(beta, 0.0); }
+
+void L2Reg::AccumulateGradient(const Tensor& w, std::int64_t iteration,
+                               std::int64_t epoch, double scale,
+                               Tensor* grad) {
+  (void)iteration;
+  (void)epoch;
+  GMREG_CHECK_EQ(w.size(), grad->size());
+  Axpy(static_cast<float>(scale * beta_), w, grad);
+}
+
+double L2Reg::Penalty(const Tensor& w) const {
+  return 0.5 * beta_ * SumSquares(w);
+}
+
+ElasticNetReg::ElasticNetReg(double beta, double l1_ratio)
+    : beta_(beta), l1_ratio_(l1_ratio) {
+  GMREG_CHECK_GE(beta, 0.0);
+  GMREG_CHECK_GE(l1_ratio, 0.0);
+  GMREG_CHECK_LE(l1_ratio, 1.0);
+}
+
+void ElasticNetReg::AccumulateGradient(const Tensor& w,
+                                       std::int64_t iteration,
+                                       std::int64_t epoch, double scale,
+                                       Tensor* grad) {
+  (void)iteration;
+  (void)epoch;
+  GMREG_CHECK_EQ(w.size(), grad->size());
+  auto s1 = static_cast<float>(scale * beta_ * l1_ratio_);
+  auto s2 = static_cast<float>(scale * beta_ * (1.0 - l1_ratio_));
+  const float* wp = w.data();
+  float* gp = grad->data();
+  for (std::int64_t i = 0; i < w.size(); ++i) {
+    float g = s2 * wp[i];
+    if (wp[i] > 0.0f) {
+      g += s1;
+    } else if (wp[i] < 0.0f) {
+      g -= s1;
+    }
+    gp[i] += g;
+  }
+}
+
+double ElasticNetReg::Penalty(const Tensor& w) const {
+  return beta_ * (l1_ratio_ * SumAbs(w) +
+                  0.5 * (1.0 - l1_ratio_) * SumSquares(w));
+}
+
+HuberReg::HuberReg(double beta, double mu) : beta_(beta), mu_(mu) {
+  GMREG_CHECK_GE(beta, 0.0);
+  GMREG_CHECK_GT(mu, 0.0);
+}
+
+void HuberReg::AccumulateGradient(const Tensor& w, std::int64_t iteration,
+                                  std::int64_t epoch, double scale,
+                                  Tensor* grad) {
+  (void)iteration;
+  (void)epoch;
+  GMREG_CHECK_EQ(w.size(), grad->size());
+  auto s = static_cast<float>(scale * beta_);
+  auto mu = static_cast<float>(mu_);
+  const float* wp = w.data();
+  float* gp = grad->data();
+  for (std::int64_t i = 0; i < w.size(); ++i) {
+    float v = wp[i];
+    if (v > mu) {
+      gp[i] += s;
+    } else if (v < -mu) {
+      gp[i] -= s;
+    } else {
+      gp[i] += s * v / mu;
+    }
+  }
+}
+
+double HuberReg::Penalty(const Tensor& w) const {
+  double total = 0.0;
+  const float* wp = w.data();
+  for (std::int64_t i = 0; i < w.size(); ++i) {
+    double v = std::fabs(wp[i]);
+    total += v <= mu_ ? v * v / (2.0 * mu_) : v - mu_ / 2.0;
+  }
+  return beta_ * total;
+}
+
+}  // namespace gmreg

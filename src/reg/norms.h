@@ -1,0 +1,98 @@
+#ifndef GMREG_REG_NORMS_H_
+#define GMREG_REG_NORMS_H_
+
+#include <string>
+
+#include "reg/regularizer.h"
+
+namespace gmreg {
+
+/// No regularization; the "no regularization" row of Table VI.
+class NoReg : public Regularizer {
+ public:
+  void AccumulateGradient(const Tensor& w, std::int64_t iteration,
+                          std::int64_t epoch, double scale,
+                          Tensor* grad) override;
+  double Penalty(const Tensor& w) const override;
+  std::string Name() const override { return "No Reg"; }
+};
+
+/// L1-norm (Lasso): penalty beta * sum |w_m| — Laplacian prior with rate
+/// beta. Uses the subgradient sign(w) (0 at 0).
+class L1Reg : public Regularizer {
+ public:
+  explicit L1Reg(double beta);
+
+  void AccumulateGradient(const Tensor& w, std::int64_t iteration,
+                          std::int64_t epoch, double scale,
+                          Tensor* grad) override;
+  double Penalty(const Tensor& w) const override;
+  std::string Name() const override { return "L1 Reg"; }
+  double beta() const { return beta_; }
+
+ private:
+  double beta_;
+};
+
+/// L2-norm (weight decay / ridge): penalty (beta/2) * sum w_m^2 — Gaussian
+/// prior with precision beta. The GM regularization with K = 1 reduces to
+/// this (Sec. VI-A).
+class L2Reg : public Regularizer {
+ public:
+  explicit L2Reg(double beta);
+
+  void AccumulateGradient(const Tensor& w, std::int64_t iteration,
+                          std::int64_t epoch, double scale,
+                          Tensor* grad) override;
+  double Penalty(const Tensor& w) const override;
+  std::string Name() const override { return "L2 Reg"; }
+  double beta() const { return beta_; }
+
+ private:
+  double beta_;
+};
+
+/// Elastic-net (Zou & Hastie 2005): beta * (l1_ratio * |w| +
+/// (1 - l1_ratio)/2 * w^2); l1_ratio in [0, 1] trades off L1 vs L2.
+class ElasticNetReg : public Regularizer {
+ public:
+  ElasticNetReg(double beta, double l1_ratio);
+
+  void AccumulateGradient(const Tensor& w, std::int64_t iteration,
+                          std::int64_t epoch, double scale,
+                          Tensor* grad) override;
+  double Penalty(const Tensor& w) const override;
+  std::string Name() const override { return "Elastic-net Reg"; }
+  double beta() const { return beta_; }
+  double l1_ratio() const { return l1_ratio_; }
+
+ private:
+  double beta_;
+  double l1_ratio_;
+};
+
+/// Huber-norm regularization (Zadorozhnyi et al. 2016): quadratic inside
+/// |w| <= mu (L2-like, differentiable at 0), linear outside (L1-like):
+///   h(w) = w^2 / (2 mu)        for |w| <= mu
+///        = |w| - mu / 2        otherwise
+/// penalty = beta * sum h(w_m).
+class HuberReg : public Regularizer {
+ public:
+  HuberReg(double beta, double mu);
+
+  void AccumulateGradient(const Tensor& w, std::int64_t iteration,
+                          std::int64_t epoch, double scale,
+                          Tensor* grad) override;
+  double Penalty(const Tensor& w) const override;
+  std::string Name() const override { return "Huber Reg"; }
+  double beta() const { return beta_; }
+  double mu() const { return mu_; }
+
+ private:
+  double beta_;
+  double mu_;
+};
+
+}  // namespace gmreg
+
+#endif  // GMREG_REG_NORMS_H_

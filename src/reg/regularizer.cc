@@ -1,0 +1,8 @@
+#include "reg/regularizer.h"
+
+namespace gmreg {
+
+// Regularizer is an interface; the virtual destructor's key function lives
+// here so the vtable is emitted once.
+
+}  // namespace gmreg

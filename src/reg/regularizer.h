@@ -1,0 +1,41 @@
+#ifndef GMREG_REG_REGULARIZER_H_
+#define GMREG_REG_REGULARIZER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace gmreg {
+
+/// Interface for regularization terms attached to one parameter tensor.
+///
+/// Scaling convention: the trainer optimizes the MEAN data loss
+/// (1/N)·(-log p(D|w)), i.e. (1/N)·G in the paper's Eq. (8). The prior term
+/// is therefore applied with `scale = 1/N`, which keeps every method an
+/// exact MAP estimate regardless of dataset size. Under this convention a
+/// Gaussian prior precision λ corresponds to the familiar per-step weight
+/// decay λ/N — e.g. the paper's expert-tuned λ = 200 on CIFAR-10
+/// (N = 50000) is weight decay 0.004, the classic cuda-convnet value.
+class Regularizer {
+ public:
+  virtual ~Regularizer() = default;
+
+  /// Adds scale * d(-log p(w))/dw — the paper's `greg` — into `grad`.
+  /// `iteration` counts SGD steps and `epoch` completed epochs; adaptive
+  /// implementations use them for lazy scheduling, baselines ignore them.
+  virtual void AccumulateGradient(const Tensor& w, std::int64_t iteration,
+                                  std::int64_t epoch, double scale,
+                                  Tensor* grad) = 0;
+
+  /// The unscaled penalty -log p(w) (additive constants dropped). Used for
+  /// loss reporting and gradient checks.
+  virtual double Penalty(const Tensor& w) const = 0;
+
+  /// Display name, e.g. "L2 Reg".
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace gmreg
+
+#endif  // GMREG_REG_REGULARIZER_H_

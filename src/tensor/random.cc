@@ -1,0 +1,30 @@
+#include "tensor/random.h"
+
+#include <cmath>
+
+namespace gmreg {
+
+void FillGaussian(Rng* rng, double mean, double stddev, Tensor* t) {
+  float* p = t->data();
+  for (std::int64_t i = 0; i < t->size(); ++i) {
+    p[i] = static_cast<float>(rng->NextGaussian(mean, stddev));
+  }
+}
+
+void FillUniform(Rng* rng, double lo, double hi, Tensor* t) {
+  float* p = t->data();
+  for (std::int64_t i = 0; i < t->size(); ++i) {
+    p[i] = static_cast<float>(rng->NextUniform(lo, hi));
+  }
+}
+
+double HeStdDev(std::int64_t fan_in) {
+  GMREG_CHECK_GT(fan_in, 0);
+  return std::sqrt(2.0 / static_cast<double>(fan_in));
+}
+
+void FillHeNormal(Rng* rng, std::int64_t fan_in, Tensor* t) {
+  FillGaussian(rng, 0.0, HeStdDev(fan_in), t);
+}
+
+}  // namespace gmreg

@@ -1,0 +1,25 @@
+#ifndef GMREG_TENSOR_RANDOM_H_
+#define GMREG_TENSOR_RANDOM_H_
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace gmreg {
+
+/// Fills `t` with N(mean, stddev²) samples.
+void FillGaussian(Rng* rng, double mean, double stddev, Tensor* t);
+
+/// Fills `t` with Uniform[lo, hi) samples.
+void FillUniform(Rng* rng, double lo, double hi, Tensor* t);
+
+/// He-normal initialization (He et al. 2015): N(0, sqrt(2/fan_in)²). The
+/// paper's ResNet initialization; the per-layer initialized precision
+/// fan_in/2 drives the GM `min` precision rule (Sec. V-E).
+void FillHeNormal(Rng* rng, std::int64_t fan_in, Tensor* t);
+
+/// Returns the He-normal standard deviation sqrt(2/fan_in).
+double HeStdDev(std::int64_t fan_in);
+
+}  // namespace gmreg
+
+#endif  // GMREG_TENSOR_RANDOM_H_

@@ -1,0 +1,89 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace gmreg {
+
+std::int64_t ShapeSize(const std::vector<std::int64_t>& shape) {
+  std::int64_t total = 1;
+  for (std::int64_t d : shape) total *= d;
+  return total;
+}
+
+Tensor::Tensor(std::vector<std::int64_t> shape) : shape_(std::move(shape)) {
+  for (std::int64_t d : shape_) GMREG_CHECK_GT(d, 0);
+  data_.assign(static_cast<std::size_t>(ShapeSize(shape_)), 0.0f);
+}
+
+Tensor::Tensor(std::initializer_list<std::int64_t> shape)
+    : Tensor(std::vector<std::int64_t>(shape)) {}
+
+Tensor Tensor::FromVector(const std::vector<float>& values) {
+  Tensor t({static_cast<std::int64_t>(values.size())});
+  std::copy(values.begin(), values.end(), t.data());
+  return t;
+}
+
+Tensor Tensor::Full(std::vector<std::int64_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+std::int64_t Tensor::dim(int i) const {
+  GMREG_CHECK_GE(i, 0);
+  GMREG_CHECK_LT(i, rank());
+  return shape_[static_cast<std::size_t>(i)];
+}
+
+float& Tensor::At(std::int64_t i) {
+  GMREG_CHECK_EQ(rank(), 1);
+  return data_[static_cast<std::size_t>(i)];
+}
+float Tensor::At(std::int64_t i) const {
+  GMREG_CHECK_EQ(rank(), 1);
+  return data_[static_cast<std::size_t>(i)];
+}
+float& Tensor::At(std::int64_t i, std::int64_t j) {
+  GMREG_CHECK_EQ(rank(), 2);
+  return data_[static_cast<std::size_t>(i * shape_[1] + j)];
+}
+float Tensor::At(std::int64_t i, std::int64_t j) const {
+  GMREG_CHECK_EQ(rank(), 2);
+  return data_[static_cast<std::size_t>(i * shape_[1] + j)];
+}
+float& Tensor::At(std::int64_t i, std::int64_t j, std::int64_t k,
+                  std::int64_t l) {
+  GMREG_CHECK_EQ(rank(), 4);
+  return data_[static_cast<std::size_t>(
+      ((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l)];
+}
+float Tensor::At(std::int64_t i, std::int64_t j, std::int64_t k,
+                 std::int64_t l) const {
+  GMREG_CHECK_EQ(rank(), 4);
+  return data_[static_cast<std::size_t>(
+      ((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l)];
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::Reshape(std::vector<std::int64_t> shape) {
+  GMREG_CHECK_EQ(ShapeSize(shape), size());
+  shape_ = std::move(shape);
+}
+
+std::string Tensor::ShapeString() const {
+  std::ostringstream oss;
+  oss << "[";
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) oss << ", ";
+    oss << shape_[i];
+  }
+  oss << "]";
+  return oss.str();
+}
+
+}  // namespace gmreg

@@ -1,0 +1,88 @@
+#ifndef GMREG_TENSOR_TENSOR_H_
+#define GMREG_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace gmreg {
+
+/// Dense row-major float32 tensor. This is the numeric workhorse under the
+/// NN substrate: parameters, activations and gradients are all Tensors.
+///
+/// Design notes:
+///  * float32 storage matches the deep-learning substrate the paper used
+///    (Apache SINGA); GM statistics are accumulated in double elsewhere.
+///  * value semantics (copyable + movable); copies are explicit data copies.
+///  * no strides/views — layers that need reinterpretation use Reshape,
+///    which is O(1) and keeps the buffer.
+class Tensor {
+ public:
+  /// Empty tensor (rank 0, size 0).
+  Tensor() = default;
+
+  /// Allocates a zero-initialized tensor of the given shape. All dims > 0.
+  explicit Tensor(std::vector<std::int64_t> shape);
+  Tensor(std::initializer_list<std::int64_t> shape);
+
+  Tensor(const Tensor&) = default;
+  Tensor& operator=(const Tensor&) = default;
+  Tensor(Tensor&&) noexcept = default;
+  Tensor& operator=(Tensor&&) noexcept = default;
+
+  /// Builds a 1-d tensor from values.
+  static Tensor FromVector(const std::vector<float>& values);
+
+  /// Builds a tensor of the given shape filled with `value`.
+  static Tensor Full(std::vector<std::int64_t> shape, float value);
+
+  const std::vector<std::int64_t>& shape() const { return shape_; }
+  int rank() const { return static_cast<int>(shape_.size()); }
+  std::int64_t dim(int i) const;
+  std::int64_t size() const { return static_cast<std::int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Flat element access.
+  float& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  float operator[](std::int64_t i) const { return data_[static_cast<std::size_t>(i)]; }
+
+  /// Indexed access for common ranks (bounds-checked in debug via CHECK).
+  float& At(std::int64_t i);
+  float At(std::int64_t i) const;
+  float& At(std::int64_t i, std::int64_t j);
+  float At(std::int64_t i, std::int64_t j) const;
+  float& At(std::int64_t i, std::int64_t j, std::int64_t k, std::int64_t l);
+  float At(std::int64_t i, std::int64_t j, std::int64_t k, std::int64_t l) const;
+
+  /// Sets every element to `value`.
+  void Fill(float value);
+
+  /// Sets every element to zero.
+  void SetZero() { Fill(0.0f); }
+
+  /// Reinterprets the shape; total size must be unchanged. O(1).
+  void Reshape(std::vector<std::int64_t> shape);
+
+  /// "[2, 3, 4]" — for logging and error messages.
+  std::string ShapeString() const;
+
+  /// True when shapes are identical.
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+
+ private:
+  std::vector<std::int64_t> shape_;
+  std::vector<float> data_;
+};
+
+/// Product of dims; 1 for an empty shape.
+std::int64_t ShapeSize(const std::vector<std::int64_t>& shape);
+
+}  // namespace gmreg
+
+#endif  // GMREG_TENSOR_TENSOR_H_

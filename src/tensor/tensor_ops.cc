@@ -1,0 +1,202 @@
+#include "tensor/tensor_ops.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace gmreg {
+namespace {
+
+// Inner kernel: C[m,n] += A[m,k] * B[k,n], all row-major, no transposes.
+// i-k-j loop order keeps B and C accesses contiguous so the compiler can
+// vectorize the j loop.
+void GemmNn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+            const float* a, std::int64_t lda, const float* b,
+            std::int64_t ldb, float* c, std::int64_t ldc) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * lda;
+    float* c_row = c + i * ldc;
+    for (std::int64_t p = 0; p < k; ++p) {
+      float a_ip = alpha * a_row[p];
+      if (a_ip == 0.0f) continue;
+      const float* b_row = b + p * ldb;
+      for (std::int64_t j = 0; j < n; ++j) {
+        c_row[j] += a_ip * b_row[j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void Gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+          std::int64_t k, float alpha, const float* a, std::int64_t lda,
+          const float* b, std::int64_t ldb, float beta, float* c,
+          std::int64_t ldc) {
+  // Scale (or clear) C first.
+  if (beta == 0.0f) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      std::memset(c + i * ldc, 0, static_cast<std::size_t>(n) * sizeof(float));
+    }
+  } else if (beta != 1.0f) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      for (std::int64_t j = 0; j < n; ++j) c[i * ldc + j] *= beta;
+    }
+  }
+  if (!trans_a && !trans_b) {
+    GemmNn(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+    return;
+  }
+  // Transposed variants: fall back to a cache-friendly accumulation that
+  // reads the transposed operand column-wise. These paths are used by
+  // backward passes, which dominate less than the forward GEMM.
+  if (trans_a && !trans_b) {
+    // C[i,j] += sum_p A[p,i] * B[p,j]
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float* a_row = a + p * lda;
+      const float* b_row = b + p * ldb;
+      for (std::int64_t i = 0; i < m; ++i) {
+        float a_pi = alpha * a_row[i];
+        if (a_pi == 0.0f) continue;
+        float* c_row = c + i * ldc;
+        for (std::int64_t j = 0; j < n; ++j) c_row[j] += a_pi * b_row[j];
+      }
+    }
+    return;
+  }
+  if (!trans_a && trans_b) {
+    // C[i,j] += sum_p A[i,p] * B[j,p] — dot of two contiguous rows.
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float* a_row = a + i * lda;
+      float* c_row = c + i * ldc;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float* b_row = b + j * ldb;
+        float acc = 0.0f;
+        for (std::int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+        c_row[j] += alpha * acc;
+      }
+    }
+    return;
+  }
+  // trans_a && trans_b: C[i,j] += sum_p A[p,i] * B[j,p]
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* c_row = c + i * ldc;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* b_row = b + j * ldb;
+      float acc = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) acc += a[p * lda + i] * b_row[p];
+      c_row[j] += alpha * acc;
+    }
+  }
+}
+
+void MatMul(const Tensor& a, const Tensor& b, Tensor* out) {
+  GMREG_CHECK_EQ(a.rank(), 2);
+  GMREG_CHECK_EQ(b.rank(), 2);
+  GMREG_CHECK_EQ(a.dim(1), b.dim(0));
+  GMREG_CHECK_EQ(out->rank(), 2);
+  GMREG_CHECK_EQ(out->dim(0), a.dim(0));
+  GMREG_CHECK_EQ(out->dim(1), b.dim(1));
+  Gemm(false, false, a.dim(0), b.dim(1), a.dim(1), 1.0f, a.data(), a.dim(1),
+       b.data(), b.dim(1), 0.0f, out->data(), out->dim(1));
+}
+
+void Axpy(float alpha, const Tensor& x, Tensor* y) {
+  GMREG_CHECK_EQ(x.size(), y->size());
+  const float* xp = x.data();
+  float* yp = y->data();
+  std::int64_t n = x.size();
+  for (std::int64_t i = 0; i < n; ++i) yp[i] += alpha * xp[i];
+}
+
+void Scale(float alpha, Tensor* x) {
+  float* xp = x->data();
+  std::int64_t n = x->size();
+  for (std::int64_t i = 0; i < n; ++i) xp[i] *= alpha;
+}
+
+void Add(const Tensor& a, const Tensor& b, Tensor* out) {
+  GMREG_CHECK_EQ(a.size(), b.size());
+  GMREG_CHECK_EQ(a.size(), out->size());
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* op = out->data();
+  std::int64_t n = a.size();
+  for (std::int64_t i = 0; i < n; ++i) op[i] = ap[i] + bp[i];
+}
+
+void Sub(const Tensor& a, const Tensor& b, Tensor* out) {
+  GMREG_CHECK_EQ(a.size(), b.size());
+  GMREG_CHECK_EQ(a.size(), out->size());
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* op = out->data();
+  std::int64_t n = a.size();
+  for (std::int64_t i = 0; i < n; ++i) op[i] = ap[i] - bp[i];
+}
+
+void Mul(const Tensor& a, const Tensor& b, Tensor* out) {
+  GMREG_CHECK_EQ(a.size(), b.size());
+  GMREG_CHECK_EQ(a.size(), out->size());
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* op = out->data();
+  std::int64_t n = a.size();
+  for (std::int64_t i = 0; i < n; ++i) op[i] = ap[i] * bp[i];
+}
+
+double Sum(const Tensor& x) {
+  double acc = 0.0;
+  const float* xp = x.data();
+  for (std::int64_t i = 0; i < x.size(); ++i) acc += xp[i];
+  return acc;
+}
+
+double SumSquares(const Tensor& x) {
+  double acc = 0.0;
+  const float* xp = x.data();
+  for (std::int64_t i = 0; i < x.size(); ++i) {
+    acc += static_cast<double>(xp[i]) * xp[i];
+  }
+  return acc;
+}
+
+double SumAbs(const Tensor& x) {
+  double acc = 0.0;
+  const float* xp = x.data();
+  for (std::int64_t i = 0; i < x.size(); ++i) acc += std::fabs(xp[i]);
+  return acc;
+}
+
+double Dot(const Tensor& a, const Tensor& b) {
+  GMREG_CHECK_EQ(a.size(), b.size());
+  double acc = 0.0;
+  const float* ap = a.data();
+  const float* bp = b.data();
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(ap[i]) * bp[i];
+  }
+  return acc;
+}
+
+float MaxAbs(const Tensor& x) {
+  float best = 0.0f;
+  const float* xp = x.data();
+  for (std::int64_t i = 0; i < x.size(); ++i) {
+    best = std::max(best, std::fabs(xp[i]));
+  }
+  return best;
+}
+
+std::int64_t ArgMaxRow(const Tensor& x, std::int64_t row) {
+  GMREG_CHECK_EQ(x.rank(), 2);
+  GMREG_CHECK_GE(row, 0);
+  GMREG_CHECK_LT(row, x.dim(0));
+  const float* base = x.data() + row * x.dim(1);
+  std::int64_t best = 0;
+  for (std::int64_t j = 1; j < x.dim(1); ++j) {
+    if (base[j] > base[best]) best = j;
+  }
+  return best;
+}
+
+}  // namespace gmreg

@@ -1,0 +1,57 @@
+#ifndef GMREG_TENSOR_TENSOR_OPS_H_
+#define GMREG_TENSOR_TENSOR_OPS_H_
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace gmreg {
+
+/// C[m,n] (+)= alpha * op(A) * op(B): single-precision GEMM with optional
+/// transposes, row-major, simple register-blocked kernel. `beta` scales the
+/// existing C (0 overwrites). Dimensions are of op(A)=m*k and op(B)=k*n.
+void Gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+          std::int64_t k, float alpha, const float* a, std::int64_t lda,
+          const float* b, std::int64_t ldb, float beta, float* c,
+          std::int64_t ldc);
+
+/// out = a * b for rank-2 tensors; out is resized/allocated by the caller
+/// with shape [a.dim(0), b.dim(1)].
+void MatMul(const Tensor& a, const Tensor& b, Tensor* out);
+
+/// y += alpha * x (same shape).
+void Axpy(float alpha, const Tensor& x, Tensor* y);
+
+/// x *= alpha.
+void Scale(float alpha, Tensor* x);
+
+/// out = a + b elementwise (same shape).
+void Add(const Tensor& a, const Tensor& b, Tensor* out);
+
+/// out = a - b elementwise (same shape).
+void Sub(const Tensor& a, const Tensor& b, Tensor* out);
+
+/// out = a * b elementwise (same shape).
+void Mul(const Tensor& a, const Tensor& b, Tensor* out);
+
+/// Sum of all elements (double accumulator).
+double Sum(const Tensor& x);
+
+/// Sum of squares (double accumulator).
+double SumSquares(const Tensor& x);
+
+/// Sum of absolute values (double accumulator).
+double SumAbs(const Tensor& x);
+
+/// Dot product (double accumulator); same shape required.
+double Dot(const Tensor& a, const Tensor& b);
+
+/// Largest absolute element; 0 for empty tensors.
+float MaxAbs(const Tensor& x);
+
+/// Index of the maximum element in row `row` of a rank-2 tensor.
+std::int64_t ArgMaxRow(const Tensor& x, std::int64_t row);
+
+}  // namespace gmreg
+
+#endif  // GMREG_TENSOR_TENSOR_OPS_H_

@@ -1,0 +1,34 @@
+#include "util/csv.h"
+
+namespace gmreg {
+namespace {
+
+std::string EscapeField(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path) {
+  if (out_.is_open()) WriteRow(header);
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  if (!out_.is_open()) return;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ",";
+    out_ << EscapeField(fields[i]);
+  }
+  out_ << "\n";
+}
+
+}  // namespace gmreg

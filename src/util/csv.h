@@ -1,0 +1,31 @@
+#ifndef GMREG_UTIL_CSV_H_
+#define GMREG_UTIL_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gmreg {
+
+/// Minimal CSV writer used by the bench harnesses to emit machine-readable
+/// copies of each reproduced table/figure next to the printed version.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Check Ok() before
+  /// writing rows; construction failure is not fatal (benches still print).
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  bool Ok() const { return out_.is_open(); }
+
+  /// Writes one row; fields containing commas or quotes are quoted.
+  void WriteRow(const std::vector<std::string>& fields);
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace gmreg
+
+#endif  // GMREG_UTIL_CSV_H_

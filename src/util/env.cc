@@ -1,0 +1,19 @@
+#include "util/env.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace gmreg {
+
+BenchScale GetBenchScale() {
+  static BenchScale scale = [] {
+    const char* env = std::getenv("GMREG_BENCH_SCALE");
+    if (env == nullptr) return BenchScale::kDefault;
+    if (std::strcmp(env, "smoke") == 0) return BenchScale::kSmoke;
+    if (std::strcmp(env, "full") == 0) return BenchScale::kFull;
+    return BenchScale::kDefault;
+  }();
+  return scale;
+}
+
+}  // namespace gmreg

@@ -1,0 +1,74 @@
+#ifndef GMREG_UTIL_LOGGING_H_
+#define GMREG_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace gmreg {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Minimum level that is actually emitted; default kInfo. Controlled by the
+/// GMREG_LOG_LEVEL environment variable (debug|info|warning|error).
+LogLevel MinLogLevel();
+void SetMinLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+/// Stream-style log-message collector; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process on destruction. Used by the CHECK
+/// macros for unrecoverable programmer errors.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define GMREG_LOG(level)                                                  \
+  ::gmreg::internal_logging::LogMessage(::gmreg::LogLevel::k##level,      \
+                                        __FILE__, __LINE__)               \
+      .stream()
+
+/// Aborts with a message when `condition` is false. For invariants and
+/// programmer errors, not for data-dependent failures (use Status there).
+#define GMREG_CHECK(condition)                                            \
+  if (!(condition))                                                       \
+  ::gmreg::internal_logging::FatalLogMessage(__FILE__, __LINE__).stream() \
+      << "Check failed: " #condition " "
+
+#define GMREG_CHECK_EQ(a, b) GMREG_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define GMREG_CHECK_NE(a, b) GMREG_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define GMREG_CHECK_LT(a, b) GMREG_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define GMREG_CHECK_LE(a, b) GMREG_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define GMREG_CHECK_GT(a, b) GMREG_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define GMREG_CHECK_GE(a, b) GMREG_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+}  // namespace gmreg
+
+#endif  // GMREG_UTIL_LOGGING_H_

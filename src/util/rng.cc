@@ -1,0 +1,87 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace gmreg {
+namespace {
+constexpr std::uint64_t kPcgMultiplier = 6364136223846793005ULL;
+constexpr std::uint64_t kDefaultStream = 0xda3e39cb94b95bdbULL;
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : state_(0), inc_((kDefaultStream << 1u) | 1u) {
+  NextUint32();
+  state_ += seed;
+  NextUint32();
+}
+
+std::uint32_t Rng::NextUint32() {
+  std::uint64_t old = state_;
+  state_ = old * kPcgMultiplier + inc_;
+  auto xorshifted =
+      static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  auto rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+std::uint32_t Rng::NextBounded(std::uint32_t bound) {
+  GMREG_CHECK_GT(bound, 0u);
+  // Rejection sampling: discard the biased tail of the 32-bit range.
+  std::uint32_t threshold = (0u - bound) % bound;
+  while (true) {
+    std::uint32_t r = NextUint32();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::NextDouble() {
+  // 53 random bits -> [0, 1).
+  std::uint64_t hi = NextUint32();
+  std::uint64_t lo = NextUint32();
+  std::uint64_t bits = ((hi << 32) | lo) >> 11;
+  return static_cast<double>(bits) * (1.0 / 9007199254740992.0);
+}
+
+double Rng::NextUniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box-Muller; u1 bounded away from zero to keep log() finite.
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  double u2 = NextDouble();
+  double radius = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = radius * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(theta);
+}
+
+double Rng::NextGaussian(double mean, double stddev) {
+  return mean + stddev * NextGaussian();
+}
+
+bool Rng::NextBernoulli(double p) { return NextDouble() < p; }
+
+void Rng::Shuffle(std::vector<int>& values) {
+  for (std::size_t i = values.size(); i > 1; --i) {
+    std::uint32_t j = NextBounded(static_cast<std::uint32_t>(i));
+    std::swap(values[i - 1], values[j]);
+  }
+}
+
+Rng Rng::Split() {
+  std::uint64_t child_seed =
+      (static_cast<std::uint64_t>(NextUint32()) << 32) | NextUint32();
+  return Rng(child_seed);
+}
+
+}  // namespace gmreg

@@ -1,0 +1,70 @@
+#ifndef GMREG_UTIL_STATUS_H_
+#define GMREG_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace gmreg {
+
+/// Error categories used across the library. Mirrors the RocksDB/Abseil
+/// convention of returning a Status instead of throwing across library
+/// boundaries.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kFailedPrecondition,
+  kNotFound,
+  kInternal,
+};
+
+/// Lightweight status object. Cheap to copy in the OK case (no allocation);
+/// carries a code and message otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: K must be >= 1".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Returns early from the enclosing function if `expr` produced a non-OK
+/// status.
+#define GMREG_RETURN_IF_ERROR(expr)                 \
+  do {                                              \
+    ::gmreg::Status _gmreg_status = (expr);         \
+    if (!_gmreg_status.ok()) return _gmreg_status;  \
+  } while (false)
+
+}  // namespace gmreg
+
+#endif  // GMREG_UTIL_STATUS_H_

@@ -1,0 +1,31 @@
+#ifndef GMREG_UTIL_STOPWATCH_H_
+#define GMREG_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace gmreg {
+
+/// Monotonic wall-clock stopwatch used by the trainer and the lazy-update
+/// timing experiments (Figs. 5-7).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts timing from now.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gmreg
+
+#endif  // GMREG_UTIL_STOPWATCH_H_

@@ -1,0 +1,28 @@
+#ifndef GMREG_UTIL_STRING_UTIL_H_
+#define GMREG_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace gmreg {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Renders a double with `digits` digits after the decimal point.
+std::string FormatDouble(double value, int digits);
+
+/// Renders "mean ± err" with three decimals each, matching Table VII.
+std::string FormatMeanErr(double mean, double err);
+
+/// Renders a vector like "[0.216, 0.784]" with `digits` decimals,
+/// matching the π / λ columns of Tables IV and V.
+std::string FormatVector(const std::vector<double>& values, int digits);
+
+/// Joins strings with a separator.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    const std::string& sep);
+
+}  // namespace gmreg
+
+#endif  // GMREG_UTIL_STRING_UTIL_H_

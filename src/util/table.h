@@ -1,0 +1,33 @@
+#ifndef GMREG_UTIL_TABLE_H_
+#define GMREG_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gmreg {
+
+/// ASCII table renderer used by the bench harnesses to print rows in the
+/// same layout as the paper's tables.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with column-aligned padding and a header separator.
+  void Print(std::ostream& os) const;
+
+  /// Convenience: renders to a string.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gmreg
+
+#endif  // GMREG_UTIL_TABLE_H_

@@ -1,0 +1,213 @@
+// Boundary and degenerate-input behaviour across modules: the cases a
+// downstream user hits first when wiring the library into their own stack.
+
+#include <cmath>
+
+#include "core/gm_regularizer.h"
+#include "core/merge.h"
+#include "data/batch.h"
+#include "data/preprocess.h"
+#include "data/split.h"
+#include "data/tabular.h"
+#include "gtest/gtest.h"
+#include "models/resnet.h"
+#include "reg/norms.h"
+#include "tensor/tensor_ops.h"
+
+namespace gmreg {
+namespace {
+
+TEST(BatchIteratorEdgeTest, BatchLargerThanDataset) {
+  Rng rng(1);
+  BatchIterator it(5, 100, &rng);
+  EXPECT_EQ(it.NumBatches(), 1);
+  EXPECT_EQ(it.Next().size(), 5u);
+  EXPECT_TRUE(it.EpochDone());
+}
+
+TEST(BatchIteratorEdgeTest, BatchSizeOne) {
+  Rng rng(2);
+  BatchIterator it(3, 1, &rng);
+  EXPECT_EQ(it.NumBatches(), 3);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(it.Next().size(), 1u);
+  EXPECT_TRUE(it.EpochDone());
+}
+
+TEST(SplitEdgeTest, SingleSamplePerClassStaysInTrain) {
+  std::vector<int> labels = {0, 1};
+  Rng rng(3);
+  TrainTestIndices split = StratifiedSplit(labels, 0.2, &rng);
+  // With one sample per class, both sides cannot be non-empty per class;
+  // the split must keep at least one training sample per class.
+  EXPECT_EQ(split.train.size() + split.test.size(), 2u);
+  EXPECT_FALSE(split.train.empty());
+}
+
+TEST(SplitEdgeTest, HighTestFraction) {
+  std::vector<int> labels(20, 0);
+  for (int i = 0; i < 10; ++i) labels.push_back(1);
+  Rng rng(4);
+  TrainTestIndices split = StratifiedSplit(labels, 0.9, &rng);
+  // Every class keeps at least one training sample.
+  int train0 = 0, train1 = 0;
+  for (int i : split.train) (labels[static_cast<std::size_t>(i)] == 0 ? train0 : train1)++;
+  EXPECT_GE(train0, 1);
+  EXPECT_GE(train1, 1);
+}
+
+TEST(PreprocessorEdgeTest, AllMissingContinuousColumn) {
+  TabularData raw;
+  raw.name = "edge";
+  Column c;
+  c.type = ColumnType::kContinuous;
+  c.values = {0.0, 0.0, 0.0};
+  c.missing = {true, true, true};
+  raw.columns = {c};
+  raw.labels = {0, 1, 0};
+  Preprocessor prep;
+  ASSERT_TRUE(prep.Fit(raw, {0, 1, 2}).ok());
+  Dataset d = prep.Transform(raw, {0, 1, 2});
+  // Nothing to estimate: imputed values standardize to 0, not NaN.
+  for (std::int64_t i = 0; i < d.features.size(); ++i) {
+    EXPECT_EQ(d.features[i], 0.0f);
+  }
+}
+
+TEST(PreprocessorEdgeTest, ConstantContinuousColumn) {
+  TabularData raw;
+  raw.name = "edge";
+  Column c;
+  c.type = ColumnType::kContinuous;
+  c.values = {5.0, 5.0, 5.0, 5.0};
+  c.missing = {false, false, false, false};
+  raw.columns = {c};
+  raw.labels = {0, 1, 0, 1};
+  Preprocessor prep;
+  ASSERT_TRUE(prep.Fit(raw, {0, 1, 2, 3}).ok());
+  Dataset d = prep.Transform(raw, {0, 1, 2, 3});
+  // Zero-variance column: stddev guard keeps the output finite (0).
+  for (std::int64_t i = 0; i < d.features.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(d.features[i]));
+    EXPECT_EQ(d.features[i], 0.0f);
+  }
+}
+
+TEST(GmEdgeTest, SingleComponentResponsibilityIsOne) {
+  GaussianMixture gm({1.0}, {7.0});
+  double r[1];
+  for (double x : {-5.0, 0.0, 0.3}) {
+    gm.Responsibilities(x, r);
+    EXPECT_DOUBLE_EQ(r[0], 1.0) << "x=" << x;
+  }
+}
+
+TEST(GmEdgeTest, SingleComponentRegularizerIsAdaptiveL2) {
+  // K = 1 collapses GM Reg to an L2 whose precision is learned: greg must
+  // equal lambda * w exactly.
+  GmOptions opts;
+  opts.num_components = 1;
+  GmRegularizer reg("w", 64, opts);
+  Rng rng(5);
+  Tensor w({64});
+  for (std::int64_t i = 0; i < 64; ++i) {
+    w[i] = static_cast<float>(rng.NextGaussian(0.0, 0.2));
+  }
+  Tensor grad({64});
+  grad.SetZero();
+  reg.AccumulateGradient(w, 0, 0, 1.0, &grad);
+  double lambda = reg.mixture().lambda()[0];
+  (void)lambda;
+  // The greg was computed with the pre-M-step lambda (initial value).
+  GaussianMixture init = GaussianMixture::Initialize(
+      1, opts.init_method, opts.min_precision);
+  for (std::int64_t i = 0; i < 64; ++i) {
+    EXPECT_NEAR(grad[i], init.lambda()[0] * w[i], 1e-4) << "i=" << i;
+  }
+}
+
+TEST(GmEdgeTest, ZeroWeightVectorStaysFinite) {
+  GmOptions opts;
+  GmRegularizer reg("w", 32, opts);
+  Tensor w({32});  // all zeros
+  Tensor grad({32});
+  for (int it = 0; it < 5; ++it) {
+    grad.SetZero();
+    reg.AccumulateGradient(w, it, 0, 1.0, &grad);
+  }
+  for (double l : reg.mixture().lambda()) {
+    EXPECT_TRUE(std::isfinite(l));
+    EXPECT_GT(l, 0.0);
+  }
+  for (std::int64_t i = 0; i < 32; ++i) EXPECT_EQ(grad[i], 0.0f);
+}
+
+TEST(GmEdgeTest, HugeWeightsClampedByBounds) {
+  GmOptions opts;
+  opts.bounds.lambda_min = 1e-3;
+  GmRegularizer reg("w", 16, opts);
+  Tensor w = Tensor::Full({16}, 1e6f);
+  Tensor grad({16});
+  for (int it = 0; it < 5; ++it) {
+    grad.SetZero();
+    reg.AccumulateGradient(w, it, 0, 1.0, &grad);
+  }
+  for (double l : reg.mixture().lambda()) {
+    EXPECT_GE(l, opts.bounds.lambda_min);
+    EXPECT_TRUE(std::isfinite(l));
+  }
+}
+
+TEST(HuberEdgeTest, SmallMuApproachesL1) {
+  HuberReg huber(2.0, 1e-4);
+  L1Reg l1(2.0);
+  Tensor w = Tensor::FromVector({0.5f, -1.5f, 3.0f});
+  EXPECT_NEAR(huber.Penalty(w), l1.Penalty(w), 1e-3);
+}
+
+TEST(HuberEdgeTest, LargeMuMatchesScaledL2Inside) {
+  // For |w| << mu, h(w) = w^2/(2 mu): beta_eff = beta/mu of L2.
+  double mu = 100.0;
+  HuberReg huber(3.0, mu);
+  L2Reg l2(3.0 / mu);
+  Tensor w = Tensor::FromVector({0.5f, -1.5f, 3.0f});
+  EXPECT_NEAR(huber.Penalty(w), l2.Penalty(w), 1e-9);
+}
+
+TEST(ResNetEdgeTest, SingleBlockPerStage) {
+  Rng rng(6);
+  ResNetConfig cfg;
+  cfg.blocks_per_stage = 1;  // 8 weighted layers
+  cfg.input_hw = 12;
+  auto net = BuildResNet(cfg, &rng);
+  std::vector<ParamRef> params;
+  net->CollectParams(&params);
+  int convs = 0;
+  for (const ParamRef& p : params) {
+    if (p.is_weight) ++convs;
+  }
+  // 1 stem + 6 block convs + 2 projections + 1 dense.
+  EXPECT_EQ(convs, 10);
+  Tensor in({1, 3, 12, 12});
+  Tensor out;
+  net->Forward(in, &out, false);
+  EXPECT_EQ(out.dim(1), 10);
+}
+
+TEST(TensorEdgeTest, GemmDegenerateDims) {
+  // 1x1 matrices and empty accumulation paths.
+  float a = 2.0f, b = 3.0f, c = 1.0f;
+  Gemm(false, false, 1, 1, 1, 1.0f, &a, 1, &b, 1, 1.0f, &c, 1);
+  EXPECT_FLOAT_EQ(c, 7.0f);
+  Gemm(true, true, 1, 1, 1, 2.0f, &a, 1, &b, 1, 0.0f, &c, 1);
+  EXPECT_FLOAT_EQ(c, 12.0f);
+}
+
+TEST(MergeEdgeTest, SingleComponentUnchanged) {
+  GaussianMixture gm({1.0}, {42.0});
+  GaussianMixture merged = MergeSimilarComponents(gm);
+  ASSERT_EQ(merged.num_components(), 1);
+  EXPECT_DOUBLE_EQ(merged.lambda()[0], 42.0);
+}
+
+}  // namespace
+}  // namespace gmreg

@@ -1,0 +1,106 @@
+#include <cmath>
+
+#include "data/preprocess.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "eval/method_grid.h"
+#include "eval/small_data_experiment.h"
+#include "gtest/gtest.h"
+
+namespace gmreg {
+namespace {
+
+TEST(MetricsTest, MeanAndStdDev) {
+  std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+  EXPECT_NEAR(SampleStdDev(v), std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_NEAR(StdError(v), std::sqrt(5.0 / 3.0) / 2.0, 1e-12);
+}
+
+TEST(MetricsTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(SampleStdDev({1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(StdError({1.0}), 0.0);
+}
+
+TEST(MethodGridTest, FiveMethodsInTableSevenOrder) {
+  auto methods = AllMethods();
+  ASSERT_EQ(methods.size(), 5u);
+  EXPECT_EQ(methods[0].name, "L1 Reg");
+  EXPECT_EQ(methods[1].name, "L2 Reg");
+  EXPECT_EQ(methods[2].name, "Elastic-net Reg");
+  EXPECT_EQ(methods[3].name, "Huber Reg");
+  EXPECT_EQ(methods[4].name, "GM Reg");
+  for (const auto& m : methods) {
+    EXPECT_FALSE(m.grid.empty()) << m.name;
+  }
+}
+
+TEST(MethodGridTest, GmGridSweepsPaperGammas) {
+  RegMethod gm = GmMethod();
+  EXPECT_EQ(gm.grid.size(), 8u);
+  auto reg = gm.grid[0].make(100, 0.1);
+  EXPECT_EQ(reg->Name(), "GM Reg");
+}
+
+TEST(MethodGridTest, CandidatesBuildFreshRegularizers) {
+  RegMethod l2 = L2Method();
+  auto a = l2.grid[0].make(10, 0.1);
+  auto b = l2.grid[0].make(10, 0.1);
+  EXPECT_NE(a.get(), b.get());
+}
+
+TEST(SmallDataExperimentTest, TrainEvalCandidateIsDeterministic) {
+  TabularData raw = MakeUciLike("hepatitis", 3);
+  Preprocessor prep;
+  Dataset all = prep.FitTransformAll(raw);
+  Rng rng(1);
+  TrainTestIndices split = StratifiedSplit(all.labels, 0.2, &rng);
+  Dataset train = SelectRows(all, split.train);
+  Dataset test = SelectRows(all, split.test);
+  LogisticRegression::Options lr;
+  lr.epochs = 20;
+  RegCandidate cand = L2Method().grid[4];
+  double acc1 = TrainEvalCandidate(train, test, cand, lr, 7);
+  double acc2 = TrainEvalCandidate(train, test, cand, lr, 7);
+  EXPECT_DOUBLE_EQ(acc1, acc2);
+  EXPECT_GT(acc1, 0.5);
+}
+
+TEST(SmallDataExperimentTest, CrossValidateReturnsSaneAccuracy) {
+  TabularData raw = MakeUciLike("climate-model", 5);
+  Preprocessor prep;
+  Dataset all = prep.FitTransformAll(raw);
+  LogisticRegression::Options lr;
+  lr.epochs = 20;
+  double cv = CrossValidateCandidate(all, L2Method().grid[4], 5, lr, 11);
+  EXPECT_GT(cv, 0.6);
+  EXPECT_LE(cv, 1.0);
+}
+
+TEST(SmallDataExperimentTest, ComparisonProducesAllMethodRows) {
+  TabularData raw = MakeUciLike("hepatitis", 1);
+  // Trimmed protocol so the test stays fast: 2 subsamples, 3 folds, tiny
+  // grids.
+  std::vector<RegMethod> methods;
+  RegMethod l2{"L2 Reg", {L2Method().grid[2], L2Method().grid[5]}};
+  RegMethod gm{"GM Reg", {GmMethod().grid[3]}};
+  methods.push_back(l2);
+  methods.push_back(gm);
+  SmallDataOptions opts;
+  opts.num_subsamples = 2;
+  opts.cv_folds = 3;
+  opts.lr.epochs = 15;
+  auto results = RunSmallDataComparison(raw, methods, opts);
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& r : results) {
+    EXPECT_EQ(r.per_subsample_accuracy.size(), 2u);
+    EXPECT_GT(r.mean_accuracy, 0.5) << r.method;
+    EXPECT_LE(r.mean_accuracy, 1.0);
+    EXPECT_FALSE(r.representative_setting.empty());
+  }
+}
+
+}  // namespace
+}  // namespace gmreg

@@ -1,0 +1,199 @@
+#include <cmath>
+
+#include "core/em.h"
+#include "core/merge.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace gmreg {
+namespace {
+
+GmHyperParams FlatHyper(int k) {
+  // a = 1, b = 0, alpha = 1: the priors vanish and the M-step reduces to
+  // plain maximum-likelihood EM — ideal for checking the formulas.
+  GmHyperParams h;
+  h.a = 1.0;
+  h.b = 0.0;
+  h.alpha.assign(static_cast<std::size_t>(k), 1.0);
+  return h;
+}
+
+TEST(EStepTest, SufficientStatisticsSumToCount) {
+  GaussianMixture gm({0.5, 0.5}, {1.0, 100.0});
+  std::vector<double> data = {-1.0, -0.01, 0.0, 0.02, 0.5, 2.0};
+  GmSuffStats stats;
+  stats.Reset(2);
+  EStep(gm, data.data(), static_cast<std::int64_t>(data.size()), nullptr,
+        &stats);
+  EXPECT_EQ(stats.count, 6);
+  EXPECT_NEAR(stats.resp_sum[0] + stats.resp_sum[1], 6.0, 1e-9);
+  // resp_w2 partitions sum of squares.
+  double ss = 0.0;
+  for (double v : data) ss += v * v;
+  EXPECT_NEAR(stats.resp_w2_sum[0] + stats.resp_w2_sum[1], ss, 1e-9);
+}
+
+TEST(EStepTest, GregMatchesMixtureRegGradient) {
+  GaussianMixture gm({0.3, 0.7}, {2.0, 50.0});
+  std::vector<float> w = {-0.8f, -0.05f, 0.0f, 0.1f, 1.2f};
+  std::vector<float> greg(w.size());
+  EStep(gm, w.data(), static_cast<std::int64_t>(w.size()), greg.data(),
+        nullptr);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(greg[i], gm.RegGradient(w[i]), 1e-5) << "i=" << i;
+  }
+}
+
+TEST(MStepTest, HandComputedSingleComponent) {
+  // One component: lambda = M / sum(w^2) under the flat prior; pi = 1.
+  GaussianMixture gm({1.0}, {1.0});
+  std::vector<double> data = {1.0, -1.0, 2.0};
+  GmSuffStats stats;
+  stats.Reset(1);
+  EStep(gm, data.data(), 3, nullptr, &stats);
+  MStep(stats, FlatHyper(1), GmBounds{}, &gm);
+  EXPECT_NEAR(gm.lambda()[0], 3.0 / 6.0, 1e-12);
+  EXPECT_NEAR(gm.pi()[0], 1.0, 1e-12);
+}
+
+TEST(MStepTest, SmoothingTermsActAsPseudoCounts) {
+  // Eq. 13: lambda = (2(a-1) + sum r) / (2b + sum r w^2).
+  GaussianMixture gm({1.0}, {1.0});
+  std::vector<double> data = {1.0, -1.0};
+  GmSuffStats stats;
+  stats.Reset(1);
+  EStep(gm, data.data(), 2, nullptr, &stats);
+  GmHyperParams h;
+  h.a = 2.0;   // adds 2 pseudo responsibilities
+  h.b = 3.0;   // adds 6 pseudo squared mass
+  h.alpha = {1.0};
+  MStep(stats, h, GmBounds{}, &gm);
+  EXPECT_NEAR(gm.lambda()[0], (2.0 + 2.0) / (6.0 + 2.0), 1e-12);
+}
+
+TEST(MStepTest, PiFormulaWithDirichlet) {
+  // Two far-separated components so responsibilities are ~hard: 4 points
+  // near 0 (precision 10000), 1 point at 10 (precision ~0.01).
+  GaussianMixture gm({0.5, 0.5}, {0.01, 10000.0});
+  std::vector<double> data = {0.001, -0.002, 0.0005, -0.001, 10.0};
+  GmSuffStats stats;
+  stats.Reset(2);
+  EStep(gm, data.data(), 5, nullptr, &stats);
+  GmHyperParams h = FlatHyper(2);
+  h.alpha = {3.0, 3.0};  // adds (alpha-1)=2 pseudo members per component
+  MStep(stats, h, GmBounds{}, &gm);
+  // Eq. 17: pi_0 = (1 + 2) / (5 + 4), pi_1 = (4 + 2) / 9. Responsibilities
+  // are soft (~1e-3 leakage between the far-separated components).
+  EXPECT_NEAR(gm.pi()[0], 3.0 / 9.0, 2e-3);
+  EXPECT_NEAR(gm.pi()[1], 6.0 / 9.0, 2e-3);
+}
+
+TEST(MStepTest, LargeAlphaEqualizesMixingCoefficients) {
+  // Sec. III-C3: large alpha drives all pi_k to the same value, so a single
+  // effective Gaussian is learned.
+  GaussianMixture gm({0.5, 0.5}, {0.01, 10000.0});
+  std::vector<double> data = {0.001, -0.002, 0.0005, -0.001, 10.0};
+  GmSuffStats stats;
+  stats.Reset(2);
+  EStep(gm, data.data(), 5, nullptr, &stats);
+  GmHyperParams h = FlatHyper(2);
+  h.alpha = {1e6, 1e6};
+  MStep(stats, h, GmBounds{}, &gm);
+  EXPECT_NEAR(gm.pi()[0], 0.5, 1e-3);
+  EXPECT_NEAR(gm.pi()[1], 0.5, 1e-3);
+}
+
+TEST(MStepTest, BoundsClampLambda) {
+  GaussianMixture gm({1.0}, {1.0});
+  std::vector<double> data = {1e-12};  // would give a huge lambda
+  GmSuffStats stats;
+  stats.Reset(1);
+  EStep(gm, data.data(), 1, nullptr, &stats);
+  GmBounds bounds;
+  bounds.lambda_max = 500.0;
+  MStep(stats, FlatHyper(1), bounds, &gm);
+  EXPECT_DOUBLE_EQ(gm.lambda()[0], 500.0);
+}
+
+TEST(FitTest, RecoversPlantedTwoComponentMixture) {
+  // Planted: 80% N(0, 0.05^2)  (precision 400), 20% N(0, 1) (precision 1).
+  Rng rng(42);
+  std::vector<double> data;
+  for (int i = 0; i < 20000; ++i) {
+    data.push_back(rng.NextBernoulli(0.8) ? rng.NextGaussian(0.0, 0.05)
+                                          : rng.NextGaussian(0.0, 1.0));
+  }
+  GaussianMixture init =
+      GaussianMixture::Initialize(4, GmInitMethod::kLinear, 0.5);
+  GmHyperParams hyper = GmHyperParams::FromRules(
+      static_cast<std::int64_t>(data.size()), 4, 0.0002, 0.01, 0.5);
+  GaussianMixture fit =
+      FitZeroMeanGm(data, init, hyper, GmBounds{}, /*iterations=*/200);
+  GaussianMixture merged = MergeSimilarComponents(fit, 2.0);
+  ASSERT_EQ(merged.num_components(), 2)
+      << "fit: " << fit.ToString() << " merged: " << merged.ToString();
+  // Small-variance (noise) component: pi ~ 0.8, lambda ~ 400.
+  EXPECT_NEAR(merged.pi()[1], 0.8, 0.05);
+  EXPECT_GT(merged.lambda()[1], 200.0);
+  EXPECT_LT(merged.lambda()[1], 800.0);
+  // Large-variance (signal) component: pi ~ 0.2, lambda ~ 1.
+  EXPECT_NEAR(merged.pi()[0], 0.2, 0.05);
+  EXPECT_GT(merged.lambda()[0], 0.5);
+  EXPECT_LT(merged.lambda()[0], 2.0);
+}
+
+TEST(FitTest, SingleGaussianDataGetsOneDominantComponent) {
+  // Pure N(0, 0.1^2) data (precision 100). The Dirichlet pseudo-counts keep
+  // the extra components alive with a tiny share of the mass (they model
+  // the tails), but one component must dominate with roughly the data
+  // precision — the paper's "one effective Gaussian learned" outcome.
+  Rng rng(43);
+  std::vector<double> data;
+  for (int i = 0; i < 5000; ++i) data.push_back(rng.NextGaussian(0.0, 0.1));
+  GaussianMixture init =
+      GaussianMixture::Initialize(4, GmInitMethod::kLinear, 10.0);
+  GmHyperParams hyper =
+      GmHyperParams::FromRules(5000, 4, 0.001, 0.01, 0.5);
+  GaussianMixture fit =
+      FitZeroMeanGm(data, init, hyper, GmBounds{}, /*iterations=*/100);
+  GaussianMixture merged = MergeSimilarComponents(fit, 2.0, /*pi_drop=*/0.05);
+  std::size_t top = 0;
+  for (std::size_t k = 1; k < merged.pi().size(); ++k) {
+    if (merged.pi()[k] > merged.pi()[top]) top = k;
+  }
+  EXPECT_GT(merged.pi()[top], 0.85) << fit.ToString();
+  EXPECT_GT(merged.lambda()[top], 50.0) << fit.ToString();
+  EXPECT_LT(merged.lambda()[top], 150.0) << fit.ToString();
+  EXPECT_EQ(fit.EffectiveComponents(0.05), 1) << fit.ToString();
+}
+
+TEST(FitTest, LikelihoodNonDecreasingUnderFlatPrior) {
+  Rng rng(44);
+  std::vector<double> data;
+  for (int i = 0; i < 2000; ++i) {
+    data.push_back(rng.NextBernoulli(0.5) ? rng.NextGaussian(0.0, 0.02)
+                                          : rng.NextGaussian(0.0, 0.5));
+  }
+  GaussianMixture gm =
+      GaussianMixture::Initialize(3, GmInitMethod::kProportional, 1.0);
+  GmHyperParams hyper = FlatHyper(3);
+  auto log_lik = [&](const GaussianMixture& g) {
+    double acc = 0.0;
+    for (double v : data) acc += g.LogDensity(v);
+    return acc;
+  };
+  double prev = log_lik(gm);
+  for (int it = 0; it < 30; ++it) {
+    GmSuffStats stats;
+    stats.Reset(3);
+    EStep(gm, data.data(), static_cast<std::int64_t>(data.size()), nullptr,
+          &stats);
+    MStep(stats, hyper, GmBounds{}, &gm);
+    double cur = log_lik(gm);
+    EXPECT_GE(cur, prev - 1e-6) << "iteration " << it;
+    prev = cur;
+  }
+}
+
+}  // namespace
+}  // namespace gmreg

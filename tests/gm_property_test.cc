@@ -1,0 +1,299 @@
+// Property-based tests of the GM regularization machinery: invariants that
+// must hold across swept parameter ranges, not just hand-picked cases.
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/em.h"
+#include "core/gm_regularizer.h"
+#include "core/merge.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace gmreg {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Mixture invariants under random parameterizations.
+// ---------------------------------------------------------------------------
+
+class RandomMixtureTest : public ::testing::TestWithParam<int> {
+ protected:
+  GaussianMixture MakeRandom(Rng* rng, int k) {
+    std::vector<double> pi(static_cast<std::size_t>(k));
+    std::vector<double> lambda(static_cast<std::size_t>(k));
+    for (int i = 0; i < k; ++i) {
+      pi[static_cast<std::size_t>(i)] = rng->NextUniform(0.05, 1.0);
+      lambda[static_cast<std::size_t>(i)] =
+          std::pow(10.0, rng->NextUniform(-2.0, 4.0));
+    }
+    return GaussianMixture(std::move(pi), std::move(lambda));
+  }
+};
+
+TEST_P(RandomMixtureTest, PiAlwaysNormalized) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int rep = 0; rep < 20; ++rep) {
+    GaussianMixture gm = MakeRandom(&rng, 2 + GetParam() % 5);
+    double total = 0.0;
+    for (double p : gm.pi()) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST_P(RandomMixtureTest, DensitySymmetricAndPeakedAtZero) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31);
+  GaussianMixture gm = MakeRandom(&rng, 3);
+  for (double x : {0.01, 0.1, 0.5, 2.0, 10.0}) {
+    EXPECT_NEAR(gm.Density(x), gm.Density(-x), 1e-12 + 1e-9 * gm.Density(x));
+    // Zero-mean mixture of zero-mean Gaussians is maximal at 0.
+    EXPECT_LE(gm.Density(x), gm.Density(0.0) + 1e-12);
+  }
+}
+
+TEST_P(RandomMixtureTest, RegGradientOddAndSignPreserving) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 71);
+  GaussianMixture gm = MakeRandom(&rng, 4);
+  for (double x : {0.001, 0.05, 0.3, 1.5, 20.0}) {
+    double g = gm.RegGradient(x);
+    EXPECT_NEAR(gm.RegGradient(-x), -g, 1e-12 + 1e-9 * std::fabs(g));
+    // -log p(|x|) is increasing in |x| for zero-mean mixtures: greg pulls
+    // towards zero, never away.
+    EXPECT_GE(g, 0.0) << "x=" << x;
+  }
+}
+
+TEST_P(RandomMixtureTest, SmallestPrecisionDominatesFarFromZero) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 113);
+  GaussianMixture gm = MakeRandom(&rng, 4);
+  std::size_t widest = 0;
+  for (std::size_t k = 1; k < gm.lambda().size(); ++k) {
+    if (gm.lambda()[k] < gm.lambda()[widest]) widest = k;
+  }
+  // Unless another component has (nearly) the same precision, far enough
+  // from zero the widest component takes all responsibility.
+  double second = 1e300;
+  for (std::size_t k = 0; k < gm.lambda().size(); ++k) {
+    if (k != widest) second = std::min(second, gm.lambda()[k]);
+  }
+  if (second / gm.lambda()[widest] < 1.5) return;  // degenerate draw
+  double r[8];
+  double x = 20.0 / std::sqrt(gm.lambda()[widest]);
+  gm.Responsibilities(x, r);
+  EXPECT_GT(r[widest], 0.99);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMixtureTest,
+                         ::testing::Range(1, 11));
+
+// ---------------------------------------------------------------------------
+// EM self-consistency: data sampled from a mixture is a near fixed point.
+// ---------------------------------------------------------------------------
+
+class SelfConsistencyTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(SelfConsistencyTest, MStepNearFixedPointOnOwnSample) {
+  auto [pi0, lambda_ratio] = GetParam();
+  std::vector<double> pi = {pi0, 1.0 - pi0};
+  std::vector<double> lambda = {10.0, 10.0 * lambda_ratio};
+  GaussianMixture truth(pi, lambda);
+  Rng rng(static_cast<std::uint64_t>(pi0 * 1000 + lambda_ratio));
+  std::vector<double> data;
+  for (int i = 0; i < 50000; ++i) {
+    std::size_t comp = rng.NextBernoulli(truth.pi()[0]) ? 0u : 1u;
+    data.push_back(rng.NextGaussian(0.0, 1.0 / std::sqrt(lambda[comp])));
+  }
+  // Flat-ish hyper priors so the fixed point is the ML one.
+  GmHyperParams hyper;
+  hyper.a = 1.0;
+  hyper.b = 0.0;
+  hyper.alpha = {1.0, 1.0};
+  GmSuffStats stats;
+  GaussianMixture gm = truth;
+  stats.Reset(2);
+  EStep(gm, data.data(), static_cast<std::int64_t>(data.size()), nullptr,
+        &stats);
+  MStep(stats, hyper, GmBounds{}, &gm);
+  // One EM step from the truth stays near the truth (sampling noise only).
+  EXPECT_NEAR(gm.pi()[0], truth.pi()[0], 0.05);
+  EXPECT_NEAR(gm.lambda()[0] / lambda[0], 1.0, 0.25);
+  EXPECT_NEAR(gm.lambda()[1] / lambda[1], 1.0, 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SelfConsistencyTest,
+    ::testing::Combine(::testing::Values(0.2, 0.5, 0.8),
+                       ::testing::Values(30.0, 100.0, 1000.0)));
+
+// ---------------------------------------------------------------------------
+// Merging invariants.
+// ---------------------------------------------------------------------------
+
+TEST(MergePropertyTest, PreservesTotalMassAndVariance) {
+  Rng rng(5);
+  for (int rep = 0; rep < 30; ++rep) {
+    int k = 2 + static_cast<int>(rng.NextBounded(5));
+    std::vector<double> pi(static_cast<std::size_t>(k));
+    std::vector<double> lambda(static_cast<std::size_t>(k));
+    for (int i = 0; i < k; ++i) {
+      pi[static_cast<std::size_t>(i)] = rng.NextUniform(0.02, 1.0);
+      lambda[static_cast<std::size_t>(i)] =
+          std::pow(10.0, rng.NextUniform(-1.0, 3.0));
+    }
+    GaussianMixture gm(pi, lambda);
+    GaussianMixture merged = MergeSimilarComponents(gm, 2.0, 0.01);
+    double mass = 0.0, var = 0.0, var_orig = 0.0;
+    for (std::size_t i = 0; i < merged.pi().size(); ++i) {
+      mass += merged.pi()[i];
+      var += merged.pi()[i] / merged.lambda()[i];
+    }
+    for (std::size_t i = 0; i < gm.pi().size(); ++i) {
+      var_orig += gm.pi()[i] / gm.lambda()[i];
+    }
+    EXPECT_NEAR(mass, 1.0, 1e-9);
+    EXPECT_NEAR(var, var_orig, 1e-6 + 1e-6 * var_orig) << "rep " << rep;
+    EXPECT_LE(merged.num_components(), gm.num_components());
+  }
+}
+
+TEST(MergePropertyTest, Idempotent) {
+  Rng rng(9);
+  for (int rep = 0; rep < 30; ++rep) {
+    std::vector<double> pi, lambda;
+    int k = 2 + static_cast<int>(rng.NextBounded(5));
+    for (int i = 0; i < k; ++i) {
+      pi.push_back(rng.NextUniform(0.02, 1.0));
+      lambda.push_back(std::pow(10.0, rng.NextUniform(-1.0, 3.0)));
+    }
+    GaussianMixture once = MergeSimilarComponents(
+        GaussianMixture(pi, lambda), 2.0, 0.01);
+    GaussianMixture twice = MergeSimilarComponents(once, 2.0, 0.01);
+    ASSERT_EQ(once.num_components(), twice.num_components()) << "rep " << rep;
+    for (int i = 0; i < once.num_components(); ++i) {
+      EXPECT_NEAR(once.pi()[static_cast<std::size_t>(i)],
+                  twice.pi()[static_cast<std::size_t>(i)], 1e-9);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// EStep overload agreement and schedule invariants.
+// ---------------------------------------------------------------------------
+
+TEST(EStepPropertyTest, FloatAndDoubleOverloadsAgree) {
+  Rng rng(13);
+  GaussianMixture gm({0.3, 0.7}, {1.0, 300.0});
+  std::vector<float> wf(500);
+  std::vector<double> wd(500);
+  for (std::size_t i = 0; i < wf.size(); ++i) {
+    wf[i] = static_cast<float>(rng.NextGaussian(0.0, 0.3));
+    wd[i] = wf[i];
+  }
+  std::vector<float> gf(wf.size());
+  std::vector<double> gd(wd.size());
+  GmSuffStats sf, sd;
+  sf.Reset(2);
+  sd.Reset(2);
+  EStep(gm, wf.data(), 500, gf.data(), &sf);
+  EStep(gm, wd.data(), 500, gd.data(), &sd);
+  for (std::size_t i = 0; i < wf.size(); ++i) {
+    EXPECT_NEAR(gf[i], gd[i], 1e-3 + 1e-4 * std::fabs(gd[i]));
+  }
+  EXPECT_NEAR(sf.resp_sum[0], sd.resp_sum[0], 1e-6);
+  EXPECT_NEAR(sf.resp_w2_sum[1], sd.resp_w2_sum[1], 1e-6);
+}
+
+class SchedulePropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(SchedulePropertyTest, GmNeverUpdatesMoreOftenThanGreg) {
+  // With Ig >= Im (the paper's recommended regime, Sec. V-F2) the M-step
+  // fires at most as often as the E-step outside warmup.
+  auto [warmup, im, factor] = GetParam();
+  LazySchedule lazy;
+  lazy.warmup_epochs = warmup;
+  lazy.greg_interval = im;
+  lazy.gm_interval = static_cast<std::int64_t>(im) * factor;
+  int greg = 0, gm = 0;
+  for (std::int64_t it = 0; it < 500; ++it) {
+    std::int64_t epoch = it / 50;
+    greg += lazy.ShouldUpdateGreg(it, epoch);
+    gm += lazy.ShouldUpdateGm(it, epoch);
+    if (lazy.ShouldUpdateGm(it, epoch) && epoch >= warmup) {
+      EXPECT_TRUE(lazy.ShouldUpdateGreg(it, epoch))
+          << "M-step without E-step at it=" << it;
+    }
+  }
+  EXPECT_LE(gm, greg);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SchedulePropertyTest,
+    ::testing::Combine(::testing::Values(0, 1, 3),
+                       ::testing::Values(1, 5, 20),
+                       ::testing::Values(1, 2, 10)));
+
+TEST(GmInitPropertyTest, IdenticalInitCanNeverSplit) {
+  // With exactly identical components the responsibilities are 1/K for
+  // every observation, so the M-step maps identical components to
+  // identical components: the mixture is trapped in a single effective
+  // Gaussian forever. This is the mechanism behind the paper's Sec. V-E
+  // finding that identical initialization performs worst — linear and
+  // proportional initializations pre-break the symmetry.
+  Rng rng(21);
+  std::vector<double> data;
+  for (int i = 0; i < 5000; ++i) {
+    data.push_back(rng.NextBernoulli(0.7) ? rng.NextGaussian(0.0, 0.05)
+                                          : rng.NextGaussian(0.0, 1.0));
+  }
+  GmHyperParams hyper = GmHyperParams::FromRules(5000, 4, 0.001, 0.01, 0.5);
+  GaussianMixture identical =
+      GaussianMixture::Initialize(4, GmInitMethod::kIdentical, 10.0);
+  GaussianMixture fit =
+      FitZeroMeanGm(data, identical, hyper, GmBounds{}, 50);
+  for (int k = 1; k < 4; ++k) {
+    auto ks = static_cast<std::size_t>(k);
+    EXPECT_DOUBLE_EQ(fit.lambda()[ks], fit.lambda()[0]);
+    EXPECT_DOUBLE_EQ(fit.pi()[ks], fit.pi()[0]);
+  }
+  // The same data under linear initialization DOES split.
+  GaussianMixture linear =
+      GaussianMixture::Initialize(4, GmInitMethod::kLinear, 10.0);
+  GaussianMixture fit_linear =
+      FitZeroMeanGm(data, linear, hyper, GmBounds{}, 50);
+  double lo = *std::min_element(fit_linear.lambda().begin(),
+                                fit_linear.lambda().end());
+  double hi = *std::max_element(fit_linear.lambda().begin(),
+                                fit_linear.lambda().end());
+  EXPECT_GT(hi / lo, 5.0) << fit_linear.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// GmRegularizer: penalty decreases as the mixture adapts to the data.
+// ---------------------------------------------------------------------------
+
+TEST(GmRegularizerPropertyTest, AdaptationImprovesPriorFit) {
+  Rng rng(17);
+  Tensor w({3000});
+  for (std::int64_t i = 0; i < w.size(); ++i) {
+    w[i] = static_cast<float>(rng.NextBernoulli(0.8)
+                                  ? rng.NextGaussian(0.0, 0.03)
+                                  : rng.NextGaussian(0.0, 0.5));
+  }
+  GmOptions opts;
+  opts.gamma = 0.0005;
+  GmRegularizer reg("w", w.size(), opts);
+  double before = reg.Penalty(w);  // -log p(w) under the initial mixture
+  Tensor grad({3000});
+  for (int it = 0; it < 50; ++it) {
+    grad.SetZero();
+    reg.AccumulateGradient(w, it, 0, 1.0, &grad);
+  }
+  double after = reg.Penalty(w);
+  EXPECT_LT(after, before)
+      << "EM should increase the prior's fit to the observed parameters";
+}
+
+}  // namespace
+}  // namespace gmreg

@@ -1,0 +1,239 @@
+#include <algorithm>
+#include <cmath>
+
+#include "core/gm_regularizer.h"
+#include "gtest/gtest.h"
+#include "tensor/random.h"
+#include "util/rng.h"
+
+namespace gmreg {
+namespace {
+
+Tensor MixtureWeights(std::int64_t n, Rng* rng) {
+  Tensor w({n});
+  for (std::int64_t i = 0; i < n; ++i) {
+    w[i] = static_cast<float>(rng->NextBernoulli(0.7)
+                                  ? rng->NextGaussian(0.0, 0.05)
+                                  : rng->NextGaussian(0.0, 0.8));
+  }
+  return w;
+}
+
+TEST(MinPrecisionTest, RuleOfSectionVE) {
+  // Init precision 100 (stddev 0.1) -> min = 10.
+  EXPECT_NEAR(MinPrecisionFromInitStdDev(0.1), 10.0, 1e-9);
+  // He init with fan_in 32: precision 16 -> min 1.6.
+  EXPECT_NEAR(MinPrecisionFromInitStdDev(std::sqrt(2.0 / 32.0)), 1.6, 1e-9);
+}
+
+TEST(LazyScheduleTest, WarmupAlwaysUpdates) {
+  LazySchedule lazy;
+  lazy.warmup_epochs = 2;
+  lazy.greg_interval = 50;
+  lazy.gm_interval = 100;
+  EXPECT_TRUE(lazy.ShouldUpdateGreg(37, 0));
+  EXPECT_TRUE(lazy.ShouldUpdateGreg(999, 1));
+  EXPECT_TRUE(lazy.ShouldUpdateGm(41, 1));
+}
+
+TEST(LazyScheduleTest, IntervalsAfterWarmup) {
+  LazySchedule lazy;
+  lazy.warmup_epochs = 2;
+  lazy.greg_interval = 50;
+  lazy.gm_interval = 100;
+  EXPECT_TRUE(lazy.ShouldUpdateGreg(100, 2));
+  EXPECT_FALSE(lazy.ShouldUpdateGreg(101, 2));
+  EXPECT_TRUE(lazy.ShouldUpdateGm(200, 5));
+  EXPECT_FALSE(lazy.ShouldUpdateGm(250, 5));
+}
+
+TEST(GmRegularizerTest, GradientMatchesPenaltyDerivativeWhenFrozen) {
+  Rng rng(1);
+  GmOptions opts;
+  opts.lazy.warmup_epochs = 0;
+  opts.lazy.greg_interval = 1;
+  // Freeze the GM by a huge gm_interval so Penalty and greg use the same
+  // mixture (iteration 0 still updates both; compare on iteration 1).
+  opts.lazy.gm_interval = 1000000;
+  GmRegularizer reg("w", 32, opts);
+  Tensor w = MixtureWeights(32, &rng);
+  Tensor grad({32});
+  grad.SetZero();
+  // Skip iteration 0 M-step by starting at iteration 1.
+  reg.AccumulateGradient(w, 1, 5, 1.0, &grad);
+  double eps = 1e-4;
+  Tensor w_pert = w;
+  for (std::int64_t i = 0; i < w.size(); i += 3) {
+    float saved = w_pert[i];
+    w_pert[i] = static_cast<float>(saved + eps);
+    double lp = reg.Penalty(w_pert);
+    w_pert[i] = static_cast<float>(saved - eps);
+    double lm = reg.Penalty(w_pert);
+    w_pert[i] = saved;
+    double numeric = (lp - lm) / (2 * eps);
+    EXPECT_NEAR(numeric, grad[i], 1e-2 * std::fabs(numeric) + 1e-3)
+        << "i=" << i;
+  }
+}
+
+TEST(GmRegularizerTest, ScaleMultipliesGradient) {
+  Rng rng(2);
+  GmOptions opts;
+  GmRegularizer reg_a("w", 16, opts);
+  GmRegularizer reg_b("w", 16, opts);
+  Tensor w = MixtureWeights(16, &rng);
+  Tensor ga({16}), gb({16});
+  ga.SetZero();
+  gb.SetZero();
+  reg_a.AccumulateGradient(w, 0, 0, 1.0, &ga);
+  reg_b.AccumulateGradient(w, 0, 0, 0.5, &gb);
+  for (std::int64_t i = 0; i < 16; ++i) {
+    EXPECT_NEAR(gb[i], 0.5f * ga[i], 1e-6);
+  }
+}
+
+TEST(GmRegularizerTest, LazyCachesGregBetweenUpdates) {
+  Rng rng(3);
+  GmOptions opts;
+  opts.lazy.warmup_epochs = 0;
+  opts.lazy.greg_interval = 10;
+  opts.lazy.gm_interval = 10;
+  GmRegularizer reg("w", 16, opts);
+  Tensor w = MixtureWeights(16, &rng);
+  Tensor g0({16}), g1({16});
+  g0.SetZero();
+  g1.SetZero();
+  reg.AccumulateGradient(w, 0, 0, 1.0, &g0);  // it 0: E-step runs
+  // Change w drastically; iteration 1 is off-grid so greg must be cached.
+  Tensor w2 = w;
+  for (std::int64_t i = 0; i < 16; ++i) w2[i] += 1.0f;
+  reg.AccumulateGradient(w2, 1, 0, 1.0, &g1);
+  for (std::int64_t i = 0; i < 16; ++i) {
+    EXPECT_FLOAT_EQ(g1[i], g0[i]);
+  }
+  EXPECT_EQ(reg.estep_count(), 1);
+}
+
+TEST(GmRegularizerTest, EagerAndLazyWithIntervalOneAgree) {
+  Rng rng(4);
+  GmOptions eager_opts;
+  eager_opts.lazy.warmup_epochs = 1000;  // always eager
+  GmOptions lazy_opts;
+  lazy_opts.lazy.warmup_epochs = 0;
+  lazy_opts.lazy.greg_interval = 1;
+  lazy_opts.lazy.gm_interval = 1;
+  GmRegularizer eager("w", 24, eager_opts);
+  GmRegularizer lazy("w", 24, lazy_opts);
+  for (int it = 0; it < 20; ++it) {
+    Tensor w = MixtureWeights(24, &rng);
+    Tensor ge({24}), gl({24});
+    ge.SetZero();
+    gl.SetZero();
+    eager.AccumulateGradient(w, it, it / 5, 1.0, &ge);
+    lazy.AccumulateGradient(w, it, it / 5, 1.0, &gl);
+    for (std::int64_t i = 0; i < 24; ++i) {
+      ASSERT_FLOAT_EQ(gl[i], ge[i]) << "it=" << it << " i=" << i;
+    }
+  }
+  EXPECT_EQ(eager.estep_count(), lazy.estep_count());
+  EXPECT_EQ(eager.mstep_count(), lazy.mstep_count());
+}
+
+TEST(GmRegularizerTest, StepCountsFollowSchedule) {
+  Rng rng(5);
+  GmOptions opts;
+  opts.lazy.warmup_epochs = 1;
+  opts.lazy.greg_interval = 5;
+  opts.lazy.gm_interval = 10;
+  GmRegularizer reg("w", 8, opts);
+  Tensor w = MixtureWeights(8, &rng);
+  Tensor g({8});
+  // Epoch 0 (warmup): iterations 0..9 -> 10 E-steps, 10 M-steps.
+  for (int it = 0; it < 10; ++it) {
+    g.SetZero();
+    reg.AccumulateGradient(w, it, 0, 1.0, &g);
+  }
+  EXPECT_EQ(reg.estep_count(), 10);
+  EXPECT_EQ(reg.mstep_count(), 10);
+  // Epoch 1: iterations 10..29 -> E at 10,15,20,25; M at 10,20.
+  for (int it = 10; it < 30; ++it) {
+    g.SetZero();
+    reg.AccumulateGradient(w, it, 1, 1.0, &g);
+  }
+  EXPECT_EQ(reg.estep_count(), 14);
+  EXPECT_EQ(reg.mstep_count(), 12);
+}
+
+TEST(GmRegularizerTest, AdaptsToWeightDistribution) {
+  // Feed a fixed two-scale weight vector repeatedly: the learned mixture
+  // should develop a small-variance and a large-variance component
+  // (Sec. V-D's behaviour).
+  Rng rng(6);
+  GmOptions opts;
+  opts.min_precision = 1.0;
+  // Small gamma: b = gamma*M bounds the learnable precision at ~1/(2*gamma)
+  // (Eq. 13 denominator), so resolving the 0.05-stddev component needs a
+  // gamma from the low end of the paper's grid.
+  opts.gamma = 0.0005;
+  GmRegularizer reg("w", 4000, opts);
+  Tensor w = MixtureWeights(4000, &rng);
+  Tensor g({4000});
+  for (int it = 0; it < 60; ++it) {
+    g.SetZero();
+    reg.AccumulateGradient(w, it, 0, 1.0, &g);
+  }
+  const auto& lambda = reg.mixture().lambda();
+  double lo = *std::min_element(lambda.begin(), lambda.end());
+  double hi = *std::max_element(lambda.begin(), lambda.end());
+  // Small component variance 0.05^2 -> precision ~400; large 0.8^2 -> ~1.6.
+  EXPECT_GT(hi, 100.0);
+  EXPECT_LT(lo, 10.0);
+}
+
+TEST(GmRegularizerTest, RegularizesSmallWeightsHarder) {
+  Rng rng(7);
+  GmOptions opts;
+  opts.min_precision = 1.0;
+  GmRegularizer reg("w", 2000, opts);
+  Tensor w = MixtureWeights(2000, &rng);
+  Tensor g({2000});
+  for (int it = 0; it < 40; ++it) {
+    g.SetZero();
+    reg.AccumulateGradient(w, it, 0, 1.0, &g);
+  }
+  // Effective shrinkage greg/w for small vs large weights.
+  double small_shrink = 0.0, large_shrink = 0.0;
+  int small_n = 0, large_n = 0;
+  for (std::int64_t i = 0; i < w.size(); ++i) {
+    double x = w[i];
+    if (std::fabs(x) < 1e-3) continue;
+    double shrink = g[i] / x;
+    if (std::fabs(x) < 0.05) {
+      small_shrink += shrink;
+      ++small_n;
+    } else if (std::fabs(x) > 0.5) {
+      large_shrink += shrink;
+      ++large_n;
+    }
+  }
+  ASSERT_GT(small_n, 0);
+  ASSERT_GT(large_n, 0);
+  EXPECT_GT(small_shrink / small_n, 5.0 * (large_shrink / large_n));
+}
+
+TEST(GmRegularizerTest, HyperParamsDerivedFromM) {
+  GmOptions opts;
+  opts.gamma = 0.01;
+  opts.a_factor = 0.1;
+  opts.alpha_exponent = 0.5;
+  GmRegularizer reg("w", 400, opts);
+  EXPECT_DOUBLE_EQ(reg.hyper().b, 4.0);
+  EXPECT_DOUBLE_EQ(reg.hyper().a, 1.4);
+  EXPECT_DOUBLE_EQ(reg.hyper().alpha[0], 20.0);
+  EXPECT_EQ(reg.num_dims(), 400);
+  EXPECT_EQ(reg.Name(), "GM Reg");
+  EXPECT_EQ(reg.param_name(), "w");
+}
+
+}  // namespace
+}  // namespace gmreg

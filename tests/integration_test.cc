@@ -1,0 +1,188 @@
+#include <algorithm>
+#include <cmath>
+
+#include "core/gm_regularizer.h"
+#include "core/merge.h"
+#include "data/preprocess.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/deep_experiment.h"
+#include "eval/method_grid.h"
+#include "eval/small_data_experiment.h"
+#include "gtest/gtest.h"
+#include "models/logistic_regression.h"
+#include "reg/norms.h"
+
+namespace gmreg {
+namespace {
+
+// Shared fixture data: one small UCI-like dataset split 80/20.
+struct SplitData {
+  Dataset train;
+  Dataset test;
+};
+
+SplitData MakeSplit(const TabularData& raw, std::uint64_t seed) {
+  Rng rng(seed);
+  TrainTestIndices split = StratifiedSplit(raw.labels, 0.2, &rng);
+  Preprocessor prep;
+  Status st = prep.Fit(raw, split.train);
+  GMREG_CHECK(st.ok());
+  return {prep.Transform(raw, split.train), prep.Transform(raw, split.test)};
+}
+
+TEST(IntegrationTest, GmWithCvSelectedGammaMatchesOrBeatsUnregularized) {
+  // conn-sonar stand-in: 60 features, 208 samples, high noise — the regime
+  // where regularization matters most. gamma is selected by CV on the
+  // training split, exactly as the paper's protocol prescribes.
+  TabularData raw = MakeUciLike("conn-sonar", 21);
+  SplitData data = MakeSplit(raw, 3);
+  LogisticRegression::Options opts;
+  opts.epochs = 60;
+  Rng rng_a(5);
+  LogisticRegression plain(data.train.num_features(), opts, &rng_a);
+  plain.Train(data.train, nullptr, &rng_a);
+  double plain_acc = plain.EvaluateAccuracy(data.test);
+
+  const RegCandidate* best = nullptr;
+  double best_cv = -1.0;
+  RegMethod gm_method = GmMethod();
+  for (std::size_t i : {4u, 6u, 7u}) {  // gamma in {5e-3, 2e-2, 5e-2}
+    const RegCandidate& cand = gm_method.grid[i];
+    double cv = CrossValidateCandidate(data.train, cand, 3, opts, 99);
+    if (cv > best_cv) {
+      best_cv = cv;
+      best = &cand;
+    }
+  }
+  ASSERT_NE(best, nullptr);
+  double gm_acc = TrainEvalCandidate(data.train, data.test, *best, opts, 5);
+  EXPECT_GE(gm_acc, plain_acc - 0.01)
+      << "chosen " << best->label << " cv=" << best_cv;
+}
+
+TEST(IntegrationTest, LearnedGmHasTwoScalesOnHospFaLikeData) {
+  // Sec. V-A(2): Hosp-FA has predictive features (large weight variance)
+  // and noisy features (small variance); the learned GM should reflect it.
+  TabularData raw = MakeHospFaLike(2);
+  SplitData data = MakeSplit(raw, 7);
+  LogisticRegression::Options opts;
+  opts.epochs = 60;
+  Rng rng(9);
+  LogisticRegression model(data.train.num_features(), opts, &rng);
+  GmOptions gm_opts;
+  GmRegularizer gm("w", data.train.num_features(), gm_opts);
+  model.Train(data.train, &gm, &rng);
+  GaussianMixture merged = MergeSimilarComponents(gm.mixture(), 3.0);
+  EXPECT_GE(merged.num_components(), 2) << gm.mixture().ToString();
+  const auto& lambda = merged.lambda();
+  double lo = *std::min_element(lambda.begin(), lambda.end());
+  double hi = *std::max_element(lambda.begin(), lambda.end());
+  EXPECT_GT(hi / lo, 5.0) << merged.ToString();
+  EXPECT_GT(model.EvaluateAccuracy(data.test), 0.7);
+}
+
+TEST(IntegrationTest, LazyUpdateKeepsAccuracy) {
+  TabularData raw = MakeUciLike("ionosphere", 4);
+  SplitData data = MakeSplit(raw, 11);
+  LogisticRegression::Options opts;
+  opts.epochs = 60;
+  auto run = [&](LazySchedule lazy) {
+    Rng rng(13);
+    LogisticRegression model(data.train.num_features(), opts, &rng);
+    GmOptions gm_opts;
+    gm_opts.lazy = lazy;
+    GmRegularizer gm("w", data.train.num_features(), gm_opts);
+    model.Train(data.train, &gm, &rng);
+    return model.EvaluateAccuracy(data.test);
+  };
+  LazySchedule eager;  // defaults: intervals 1
+  LazySchedule lazy;
+  lazy.warmup_epochs = 2;
+  lazy.greg_interval = 20;
+  lazy.gm_interval = 20;
+  EXPECT_NEAR(run(lazy), run(eager), 0.05);
+}
+
+TEST(IntegrationTest, LazyUpdateReducesEStepCount) {
+  TabularData raw = MakeUciLike("horse-colic", 6);
+  SplitData data = MakeSplit(raw, 15);
+  LogisticRegression::Options opts;
+  opts.epochs = 20;
+  Rng rng(17);
+  LogisticRegression model(data.train.num_features(), opts, &rng);
+  GmOptions gm_opts;
+  gm_opts.lazy.warmup_epochs = 2;
+  gm_opts.lazy.greg_interval = 10;
+  gm_opts.lazy.gm_interval = 20;
+  GmRegularizer gm("w", data.train.num_features(), gm_opts);
+  model.Train(data.train, &gm, &rng);
+  // 20 epochs x ~10 batches: warmup ~20 iterations eager, remaining ~180
+  // at 1/10 and 1/20 rates.
+  EXPECT_LT(gm.estep_count(), 60);
+  EXPECT_LT(gm.mstep_count(), gm.estep_count() + 1);
+  EXPECT_GT(gm.estep_count(), 20);
+}
+
+TEST(IntegrationTest, DeepExperimentTrainsAboveChance) {
+  CifarLikeSpec spec;
+  spec.num_train = 300;
+  spec.num_test = 150;
+  spec.height = 12;
+  spec.width = 12;
+  spec.pixel_noise = 0.25;
+  CifarLikePair data = MakeCifarLike(spec, 31);
+  DeepExperimentOptions opts;
+  opts.model = DeepModel::kAlexCifar10;
+  opts.input_hw = 12;
+  opts.epochs = 6;
+  opts.batch_size = 25;
+  opts.learning_rate = 0.002;
+  auto result = RunDeepExperiment(data, opts, DeepRegKind::kNone);
+  EXPECT_GT(result.test_accuracy, 0.3);  // chance = 0.1
+  EXPECT_EQ(result.epoch_stats.size(), 6u);
+  EXPECT_GT(result.num_weight_dims, 0);
+}
+
+TEST(IntegrationTest, DeepExperimentWithGmReportsLayerMixtures) {
+  CifarLikeSpec spec;
+  spec.num_train = 200;
+  spec.num_test = 100;
+  spec.height = 12;
+  spec.width = 12;
+  CifarLikePair data = MakeCifarLike(spec, 33);
+  DeepExperimentOptions opts;
+  opts.model = DeepModel::kAlexCifar10;
+  opts.input_hw = 12;
+  opts.epochs = 3;
+  opts.batch_size = 25;
+  opts.learning_rate = 0.002;
+  auto result = RunDeepExperiment(data, opts, DeepRegKind::kGm);
+  ASSERT_EQ(result.learned.size(), 4u);  // conv1-3 + dense
+  EXPECT_EQ(result.learned[0].layer, "conv1/weight");
+  for (const auto& lg : result.learned) {
+    EXPECT_GE(lg.effective_components, 1) << lg.layer;
+    EXPECT_EQ(lg.pi.size(), lg.lambda.size());
+  }
+}
+
+TEST(IntegrationTest, ResNetDeepExperimentRuns) {
+  CifarLikeSpec spec;
+  spec.num_train = 120;
+  spec.num_test = 60;
+  spec.height = 12;
+  spec.width = 12;
+  CifarLikePair data = MakeCifarLike(spec, 35);
+  DeepExperimentOptions opts;
+  opts.model = DeepModel::kResNet;
+  opts.input_hw = 12;
+  opts.epochs = 2;
+  opts.batch_size = 30;
+  opts.learning_rate = 0.05;
+  auto result = RunDeepExperiment(data, opts, DeepRegKind::kL2);
+  EXPECT_GE(result.test_accuracy, 0.0);
+  EXPECT_TRUE(std::isfinite(result.epoch_stats.back().mean_loss));
+}
+
+}  // namespace
+}  // namespace gmreg

@@ -1,0 +1,112 @@
+// Reference-value tests: forward outputs checked against hand-computed
+// numbers (complementing the derivative checks in nn_layers_test.cc).
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv.h"
+#include "nn/pool.h"
+#include "util/rng.h"
+
+namespace gmreg {
+namespace {
+
+TEST(ConvReferenceTest, SingleChannel3x3ValidKnownValues) {
+  Rng rng(1);
+  Conv2d conv("c", 1, 1, 3, 1, 0, InitSpec::Gaussian(0.1), &rng);
+  // Kernel = all ones, bias = 1: output = window sum + 1.
+  conv.weight().Fill(1.0f);
+  std::vector<ParamRef> params;
+  conv.CollectParams(&params);
+  params[1].value->Fill(1.0f);
+  Tensor in = Tensor::FromVector({1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13,
+                                  14, 15, 16});
+  in.Reshape({1, 1, 4, 4});
+  Tensor out;
+  conv.Forward(in, &out, false);
+  ASSERT_EQ(out.dim(2), 2);
+  ASSERT_EQ(out.dim(3), 2);
+  // Top-left 3x3 window sum = 1+2+3+5+6+7+9+10+11 = 54; +bias = 55.
+  EXPECT_FLOAT_EQ(out.At(0, 0, 0, 0), 55.0f);
+  // Bottom-right window sum = 6+7+8+10+11+12+14+15+16 = 99; +1 = 100.
+  EXPECT_FLOAT_EQ(out.At(0, 0, 1, 1), 100.0f);
+}
+
+TEST(ConvReferenceTest, StridedPaddedGeometry) {
+  Rng rng(2);
+  Conv2d conv("c", 1, 1, 3, 2, 1, InitSpec::Gaussian(0.1), &rng);
+  conv.weight().SetZero();
+  conv.weight().At(0, 4) = 1.0f;  // identity at the center tap
+  Tensor in = Tensor::FromVector({1, 2, 3, 4, 5, 6, 7, 8, 9});
+  in.Reshape({1, 1, 3, 3});
+  Tensor out;
+  conv.Forward(in, &out, false);
+  // Stride 2 with pad 1 on 3x3: output 2x2 samples centers (0,0), (0,2),
+  // (2,0), (2,2).
+  ASSERT_EQ(out.dim(2), 2);
+  EXPECT_FLOAT_EQ(out.At(0, 0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(out.At(0, 0, 0, 1), 3.0f);
+  EXPECT_FLOAT_EQ(out.At(0, 0, 1, 0), 7.0f);
+  EXPECT_FLOAT_EQ(out.At(0, 0, 1, 1), 9.0f);
+}
+
+TEST(AvgPoolReferenceTest, InteriorWindowExactMean) {
+  AvgPool2d pool("p", 2, 2);
+  Tensor in = Tensor::FromVector({1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13,
+                                  14, 15, 16});
+  in.Reshape({1, 1, 4, 4});
+  Tensor out;
+  pool.Forward(in, &out, false);
+  EXPECT_FLOAT_EQ(out.At(0, 0, 0, 0), (1 + 2 + 5 + 6) / 4.0f);
+  EXPECT_FLOAT_EQ(out.At(0, 0, 1, 1), (11 + 12 + 15 + 16) / 4.0f);
+}
+
+TEST(LrnReferenceTest, MatchesClosedForm) {
+  // local_size 3, alpha 3, beta 0.5, k 2 on a 3-channel pixel (1, 2, 3):
+  // channel 1 window = {1,2,3}: denom = 2 + (3/3)*(1+4+9) = 16,
+  // out = 2 / 16^0.5 = 0.5.
+  Lrn lrn("l", 3, 3.0, 0.5, 2.0);
+  Tensor in = Tensor::FromVector({1.0f, 2.0f, 3.0f});
+  in.Reshape({1, 3, 1, 1});
+  Tensor out;
+  lrn.Forward(in, &out, false);
+  EXPECT_NEAR(out[1], 0.5f, 1e-6);
+  // channel 0 window = {1,2}: denom = 2 + 1*(1+4) = 7; out = 1/sqrt(7).
+  EXPECT_NEAR(out[0], 1.0 / std::sqrt(7.0), 1e-6);
+  // channel 2 window = {2,3}: denom = 2 + (13) = 15; out = 3/sqrt(15).
+  EXPECT_NEAR(out[2], 3.0 / std::sqrt(15.0), 1e-6);
+}
+
+TEST(BatchNormReferenceTest, AffineParamsApplied) {
+  BatchNorm2d bn("bn", 1, /*momentum=*/0.0, /*eps=*/0.0);
+  std::vector<ParamRef> params;
+  bn.CollectParams(&params);
+  params[0].value->Fill(3.0f);   // gamma
+  params[1].value->Fill(-1.0f);  // beta
+  Tensor in = Tensor::FromVector({1.0f, 3.0f});  // mean 2, var 1
+  in.Reshape({2, 1, 1, 1});
+  Tensor out;
+  bn.Forward(in, &out, true);
+  // normalized = {-1, +1}; out = 3*norm - 1 = {-4, 2}.
+  EXPECT_NEAR(out[0], -4.0f, 1e-4);
+  EXPECT_NEAR(out[1], 2.0f, 1e-4);
+}
+
+TEST(BatchNormReferenceTest, MomentumZeroAdoptsBatchStats) {
+  BatchNorm2d bn("bn", 1, /*momentum=*/0.0, /*eps=*/0.0);
+  Tensor in = Tensor::FromVector({2.0f, 6.0f});  // mean 4, var 4
+  in.Reshape({2, 1, 1, 1});
+  Tensor out;
+  bn.Forward(in, &out, true);
+  // With momentum 0 the running stats equal the batch stats, so eval mode
+  // reproduces train mode exactly.
+  Tensor eval_out;
+  bn.Forward(in, &eval_out, false);
+  EXPECT_NEAR(eval_out[0], out[0], 1e-5);
+  EXPECT_NEAR(eval_out[1], out[1], 1e-5);
+}
+
+}  // namespace
+}  // namespace gmreg

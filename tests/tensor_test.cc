@@ -1,0 +1,195 @@
+#include <cmath>
+#include <tuple>
+
+#include "gtest/gtest.h"
+#include "tensor/random.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+#include "util/rng.h"
+
+namespace gmreg {
+namespace {
+
+TEST(TensorTest, ZeroInitializedWithShape) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.rank(), 2);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(1), 3);
+  EXPECT_EQ(t.size(), 6);
+  for (std::int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, FromVectorAndAt) {
+  Tensor t = Tensor::FromVector({1.0f, 2.0f, 3.0f});
+  EXPECT_EQ(t.rank(), 1);
+  EXPECT_EQ(t.At(1), 2.0f);
+  t.At(2) = 7.0f;
+  EXPECT_EQ(t[2], 7.0f);
+}
+
+TEST(TensorTest, RankedAccessors) {
+  Tensor t2({2, 3});
+  t2.At(1, 2) = 5.0f;
+  EXPECT_EQ(t2[1 * 3 + 2], 5.0f);
+  Tensor t4({2, 3, 4, 5});
+  t4.At(1, 2, 3, 4) = 9.0f;
+  EXPECT_EQ(t4[((1 * 3 + 2) * 4 + 3) * 5 + 4], 9.0f);
+}
+
+TEST(TensorTest, FullAndFill) {
+  Tensor t = Tensor::Full({4}, 2.5f);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 2.5f);
+  t.SetZero();
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, ReshapeKeepsData) {
+  Tensor t = Tensor::FromVector({1, 2, 3, 4, 5, 6});
+  t.Reshape({2, 3});
+  EXPECT_EQ(t.At(1, 0), 4.0f);
+  EXPECT_EQ(t.ShapeString(), "[2, 3]");
+}
+
+TEST(TensorTest, CopyIsDeep) {
+  Tensor a = Tensor::FromVector({1, 2});
+  Tensor b = a;
+  b[0] = 9.0f;
+  EXPECT_EQ(a[0], 1.0f);
+}
+
+TEST(TensorTest, ShapeSizeEmptyIsOne) {
+  EXPECT_EQ(ShapeSize({}), 1);
+  EXPECT_EQ(ShapeSize({2, 5}), 10);
+}
+
+// Reference GEMM used to validate the optimized kernels.
+void NaiveGemm(bool ta, bool tb, std::int64_t m, std::int64_t n,
+               std::int64_t k, const float* a, std::int64_t lda,
+               const float* b, std::int64_t ldb, float* c, std::int64_t ldc,
+               float alpha, float beta) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        float av = ta ? a[p * lda + i] : a[i * lda + p];
+        float bv = tb ? b[j * ldb + p] : b[p * ldb + j];
+        acc += static_cast<double>(av) * bv;
+      }
+      c[i * ldc + j] =
+          static_cast<float>(alpha * acc + beta * c[i * ldc + j]);
+    }
+  }
+}
+
+class GemmTest
+    : public ::testing::TestWithParam<std::tuple<bool, bool, int, int, int>> {
+};
+
+TEST_P(GemmTest, MatchesNaiveReference) {
+  auto [ta, tb, m, n, k] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 31 + n * 7 + k + ta * 2 + tb));
+  std::int64_t a_rows = ta ? k : m, a_cols = ta ? m : k;
+  std::int64_t b_rows = tb ? n : k, b_cols = tb ? k : n;
+  Tensor a({a_rows, a_cols});
+  Tensor b({b_rows, b_cols});
+  FillUniform(&rng, -1.0, 1.0, &a);
+  FillUniform(&rng, -1.0, 1.0, &b);
+  Tensor c({m, n});
+  Tensor c_ref({m, n});
+  FillUniform(&rng, -1.0, 1.0, &c);
+  c_ref = c;
+  Gemm(ta, tb, m, n, k, 0.5f, a.data(), a_cols, b.data(), b_cols, 0.25f,
+       c.data(), n);
+  NaiveGemm(ta, tb, m, n, k, a.data(), a_cols, b.data(), b_cols, c_ref.data(),
+            n, 0.5f, 0.25f);
+  for (std::int64_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], c_ref[i], 1e-4) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTransposesAndShapes, GemmTest,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool(),
+                       ::testing::Values(1, 3, 17), ::testing::Values(1, 5, 16),
+                       ::testing::Values(1, 4, 23)));
+
+TEST(TensorOpsTest, MatMulSmallKnownValues) {
+  Tensor a = Tensor::FromVector({1, 2, 3, 4});
+  a.Reshape({2, 2});
+  Tensor b = Tensor::FromVector({5, 6, 7, 8});
+  b.Reshape({2, 2});
+  Tensor c({2, 2});
+  MatMul(a, b, &c);
+  EXPECT_FLOAT_EQ(c.At(0, 0), 19.0f);
+  EXPECT_FLOAT_EQ(c.At(0, 1), 22.0f);
+  EXPECT_FLOAT_EQ(c.At(1, 0), 43.0f);
+  EXPECT_FLOAT_EQ(c.At(1, 1), 50.0f);
+}
+
+TEST(TensorOpsTest, AxpyAndScale) {
+  Tensor x = Tensor::FromVector({1, 2, 3});
+  Tensor y = Tensor::FromVector({10, 20, 30});
+  Axpy(2.0f, x, &y);
+  EXPECT_FLOAT_EQ(y[0], 12.0f);
+  EXPECT_FLOAT_EQ(y[2], 36.0f);
+  Scale(0.5f, &y);
+  EXPECT_FLOAT_EQ(y[0], 6.0f);
+}
+
+TEST(TensorOpsTest, ElementwiseAddSubMul) {
+  Tensor a = Tensor::FromVector({1, 2, 3});
+  Tensor b = Tensor::FromVector({4, 5, 6});
+  Tensor out({3});
+  Add(a, b, &out);
+  EXPECT_FLOAT_EQ(out[1], 7.0f);
+  Sub(b, a, &out);
+  EXPECT_FLOAT_EQ(out[2], 3.0f);
+  Mul(a, b, &out);
+  EXPECT_FLOAT_EQ(out[0], 4.0f);
+}
+
+TEST(TensorOpsTest, Reductions) {
+  Tensor x = Tensor::FromVector({-1, 2, -3});
+  EXPECT_DOUBLE_EQ(Sum(x), -2.0);
+  EXPECT_DOUBLE_EQ(SumSquares(x), 14.0);
+  EXPECT_DOUBLE_EQ(SumAbs(x), 6.0);
+  EXPECT_FLOAT_EQ(MaxAbs(x), 3.0f);
+  Tensor y = Tensor::FromVector({2, 2, 2});
+  EXPECT_DOUBLE_EQ(Dot(x, y), -4.0);
+}
+
+TEST(TensorOpsTest, ArgMaxRow) {
+  Tensor x = Tensor::FromVector({0.1f, 0.9f, 0.5f, 0.7f, 0.2f, 0.1f});
+  x.Reshape({2, 3});
+  EXPECT_EQ(ArgMaxRow(x, 0), 1);
+  EXPECT_EQ(ArgMaxRow(x, 1), 0);
+}
+
+TEST(RandomFillTest, GaussianStats) {
+  Rng rng(99);
+  Tensor t({100000});
+  FillGaussian(&rng, 0.0, 0.1, &t);
+  EXPECT_NEAR(Sum(t) / t.size(), 0.0, 0.005);
+  EXPECT_NEAR(SumSquares(t) / t.size(), 0.01, 0.001);
+}
+
+TEST(RandomFillTest, UniformRange) {
+  Rng rng(101);
+  Tensor t({10000});
+  FillUniform(&rng, -2.0, 3.0, &t);
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    EXPECT_GE(t[i], -2.0f);
+    EXPECT_LT(t[i], 3.0f);
+  }
+}
+
+TEST(RandomFillTest, HeNormalMatchesFanIn) {
+  EXPECT_NEAR(HeStdDev(50), std::sqrt(2.0 / 50.0), 1e-12);
+  Rng rng(103);
+  Tensor t({50000});
+  FillHeNormal(&rng, 8, &t);
+  EXPECT_NEAR(SumSquares(t) / t.size(), 0.25, 0.01);
+}
+
+}  // namespace
+}  // namespace gmreg

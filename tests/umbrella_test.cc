@@ -1,0 +1,37 @@
+// Verifies the umbrella header is self-contained and that a user who only
+// includes gmreg.h can drive the headline workflow end to end.
+
+#include "gmreg.h"
+
+#include "gtest/gtest.h"
+
+namespace gmreg {
+namespace {
+
+TEST(UmbrellaTest, HeadlineWorkflowCompilesAndRuns) {
+  TabularData raw = MakeUciLike("climate-model", 1);
+  Rng rng(2);
+  TrainTestIndices split = StratifiedSplit(raw.labels, 0.2, &rng);
+  Preprocessor prep;
+  ASSERT_TRUE(prep.Fit(raw, split.train).ok());
+  Dataset train = prep.Transform(raw, split.train);
+  Dataset test = prep.Transform(raw, split.test);
+
+  std::unique_ptr<Regularizer> reg;
+  ASSERT_TRUE(
+      MakeRegularizerFromConfig("gm:gamma=0.02", train.num_features(), &reg)
+          .ok());
+  LogisticRegression::Options opts;
+  opts.epochs = 30;
+  LogisticRegression model(train.num_features(), opts, &rng);
+  model.Train(train, reg.get(), &rng);
+  EXPECT_GT(model.EvaluateAccuracy(test), 0.6);
+
+  auto* gm = static_cast<GmRegularizer*>(reg.get());
+  GaussianMixture merged = MergeSimilarComponents(gm->mixture());
+  EXPECT_GE(merged.num_components(), 1);
+  EXPECT_FALSE(SerializeMixture(merged).empty());
+}
+
+}  // namespace
+}  // namespace gmreg

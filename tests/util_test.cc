@@ -1,0 +1,212 @@
+#include <cmath>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "util/csv.h"
+#include "util/env.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace gmreg {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("K must be >= 1");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "K must be >= 1");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: K must be >= 1");
+}
+
+TEST(StatusTest, FactoryCodes) {
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+Status FailsThenPropagates(bool fail) {
+  auto inner = [&]() -> Status {
+    if (fail) return Status::NotFound("inner");
+    return Status::Ok();
+  };
+  GMREG_RETURN_IF_ERROR(inner());
+  return Status::Internal("reached end");
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_EQ(FailsThenPropagates(true).code(), StatusCode::kNotFound);
+  EXPECT_EQ(FailsThenPropagates(false).code(), StatusCode::kInternal);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint32(), b.NextUint32());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint32() == b.NextUint32()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, BoundedCoversAllValues) {
+  Rng rng(5);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextBounded(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMomentsApproximatelyStandard) {
+  Rng rng(13);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    double v = rng.NextGaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  double mean = sum / kN;
+  double var = sum_sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(var, 1.0, 0.02);
+}
+
+TEST(RngTest, GaussianScaleAndShift) {
+  Rng rng(17);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    double v = rng.NextGaussian(3.0, 0.5);
+    sum += v;
+    sum_sq += v * v;
+  }
+  double mean = sum / kN;
+  double var = sum_sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.02);
+  EXPECT_NEAR(var, 0.25, 0.02);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(19);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.NextBernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(23);
+  std::vector<int> v = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  rng.Shuffle(v);
+  std::set<int> s(v.begin(), v.end());
+  EXPECT_EQ(s.size(), 10u);
+  EXPECT_EQ(*s.begin(), 0);
+  EXPECT_EQ(*s.rbegin(), 9);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(31);
+  Rng child = a.Split();
+  // The child stream should differ from the parent's continuation.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint32() == child.NextUint32()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.2345), "1.23");
+}
+
+TEST(StringUtilTest, FormatHelpers) {
+  EXPECT_EQ(FormatDouble(0.8295, 3), "0.830");
+  EXPECT_EQ(FormatMeanErr(0.848, 0.0211), "0.848 +/- 0.021");
+  EXPECT_EQ(FormatVector({0.216, 0.784}, 3), "[0.216, 0.784]");
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+}
+
+TEST(TableTest, AlignsColumns) {
+  TablePrinter t({"Layer", "pi"});
+  t.AddRow({"conv1/weight", "[0.2, 0.8]"});
+  t.AddRow({"d", "[1.0]"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("| Layer        | pi         |"), std::string::npos);
+  EXPECT_NE(s.find("| conv1/weight | [0.2, 0.8] |"), std::string::npos);
+  EXPECT_NE(s.find("| d            | [1.0]      |"), std::string::npos);
+}
+
+TEST(CsvTest, WritesEscapedRows) {
+  std::string path = ::testing::TempDir() + "/gmreg_csv_test.csv";
+  {
+    CsvWriter w(path, {"a", "b"});
+    ASSERT_TRUE(w.Ok());
+    w.WriteRow({"plain", "has,comma"});
+    w.WriteRow({"has\"quote", "x"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "plain,\"has,comma\"");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"has\"\"quote\",x");
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch sw;
+  double t0 = sw.ElapsedSeconds();
+  EXPECT_GE(t0, 0.0);
+  volatile double sink = 0.0;
+  for (int i = 0; i < 1000000; ++i) sink = sink + i;
+  EXPECT_GE(sw.ElapsedSeconds(), t0);
+  EXPECT_NEAR(sw.ElapsedMillis(), sw.ElapsedSeconds() * 1e3,
+              sw.ElapsedSeconds() * 1e3 * 0.5 + 1.0);
+}
+
+TEST(EnvTest, DefaultScalePick) {
+  // GMREG_BENCH_SCALE is unset in the test environment.
+  if (std::getenv("GMREG_BENCH_SCALE") == nullptr) {
+    EXPECT_EQ(ScalePick(1, 2, 3), 2);
+  }
+}
+
+}  // namespace
+}  // namespace gmreg
