@@ -10,7 +10,9 @@
 #include "reg/norms.h"
 #include "tensor/random.h"
 #include "tensor/tensor_ops.h"
+#include "util/parallel.h"
 #include "util/rng.h"
+#include "util/string_util.h"
 
 namespace gmreg {
 namespace {
@@ -44,6 +46,81 @@ BENCHMARK(BM_EStepGreg)
     ->Args({270896, 4})   // ResNet-20's M
     ->Args({89440, 2})
     ->Args({89440, 8});
+
+// Thread scaling of the sharded E-step (the pass the lazy update
+// amortizes): same kernel, explicit thread budgets. The 1-thread row is the
+// exact serial path, so speedup = row(1) / row(T) at equal M.
+void BM_EStepGregThreads(benchmark::State& state) {
+  std::int64_t n = state.range(0);
+  int threads = static_cast<int>(state.range(1));
+  Tensor w = MakeWeights(n);
+  Tensor greg({n});
+  GaussianMixture gm =
+      GaussianMixture::Initialize(4, GmInitMethod::kLinear, 10.0);
+  for (auto _ : state) {
+    EStep(gm, w.data(), n, greg.data(), nullptr, threads);
+    benchmark::DoNotOptimize(greg.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel(StrFormat("threads=%d shards=%d", threads,
+                           ComputeNumShards(n, kEStepGrain, threads)));
+}
+BENCHMARK(BM_EStepGregThreads)
+    ->Args({1 << 17, 1})
+    ->Args({1 << 17, 2})
+    ->Args({1 << 17, 4})
+    ->Args({1 << 17, 8})
+    ->Args({1 << 20, 1})
+    ->Args({1 << 20, 4});
+
+// Thread scaling of the full M-step pass (E-step with sufficient statistics
+// + closed-form update), the second full pass of the paper's cost model.
+void BM_MStepPassThreads(benchmark::State& state) {
+  std::int64_t n = state.range(0);
+  int threads = static_cast<int>(state.range(1));
+  Tensor w = MakeWeights(n);
+  GaussianMixture gm =
+      GaussianMixture::Initialize(4, GmInitMethod::kLinear, 10.0);
+  GmHyperParams hyper = GmHyperParams::FromRules(n, 4, 0.001, 0.01, 0.5);
+  GmSuffStats stats;
+  for (auto _ : state) {
+    stats.Reset(4);
+    EStep(gm, w.data(), n, nullptr, &stats, threads);
+    MStep(stats, hyper, GmBounds{}, &gm);
+    benchmark::DoNotOptimize(gm.lambda().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel(StrFormat("threads=%d", threads));
+}
+BENCHMARK(BM_MStepPassThreads)
+    ->Args({1 << 17, 1})
+    ->Args({1 << 17, 4})
+    ->Args({1 << 20, 1})
+    ->Args({1 << 20, 4});
+
+// Thread scaling of the row-sharded GEMM (uses the process-wide default
+// budget, which is what the NN substrate sees).
+void BM_GemmThreads(benchmark::State& state) {
+  std::int64_t n = state.range(0);
+  int threads = static_cast<int>(state.range(1));
+  Rng rng(3);
+  Tensor a({n, n}), b({n, n}), c({n, n});
+  FillUniform(&rng, -1.0, 1.0, &a);
+  FillUniform(&rng, -1.0, 1.0, &b);
+  SetDefaultNumThreads(threads);
+  for (auto _ : state) {
+    Gemm(false, false, n, n, n, 1.0f, a.data(), n, b.data(), n, 0.0f,
+         c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  SetDefaultNumThreads(0);
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  state.SetLabel(StrFormat("threads=%d", threads));
+}
+BENCHMARK(BM_GemmThreads)
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4});
 
 void BM_MStepPass(benchmark::State& state) {
   std::int64_t n = state.range(0);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace gmreg {
 
@@ -11,6 +12,15 @@ void GmSuffStats::Reset(int num_components) {
   resp_sum.assign(static_cast<std::size_t>(num_components), 0.0);
   resp_w2_sum.assign(static_cast<std::size_t>(num_components), 0.0);
   count = 0;
+}
+
+void GmSuffStats::Merge(const GmSuffStats& other) {
+  GMREG_CHECK_EQ(resp_sum.size(), other.resp_sum.size());
+  for (std::size_t k = 0; k < resp_sum.size(); ++k) {
+    resp_sum[k] += other.resp_sum[k];
+    resp_w2_sum[k] += other.resp_w2_sum[k];
+  }
+  count += other.count;
 }
 
 namespace {
@@ -46,16 +56,46 @@ void EStepImpl(const GaussianMixture& gm, const T* w, std::int64_t n,
   }
 }
 
+// Shards the fused pass over the thread budget. greg_out slices are
+// disjoint, so that output is bitwise identical to serial no matter the
+// budget; the per-shard statistics are merged in fixed shard order, making
+// the reduction bitwise-reproducible for a given shard count.
+template <typename T>
+void EStepDispatch(const GaussianMixture& gm, const T* w, std::int64_t n,
+                   T* greg_out, GmSuffStats* stats, int num_threads) {
+  int shards = ComputeNumShards(n, kEStepGrain, ResolveNumThreads(num_threads));
+  if (shards <= 1) {
+    EStepImpl(gm, w, n, greg_out, stats);
+    return;
+  }
+  std::vector<GmSuffStats> shard_stats;
+  if (stats != nullptr) {
+    GMREG_CHECK_EQ(static_cast<int>(stats->resp_sum.size()),
+                   gm.num_components());
+    shard_stats.resize(static_cast<std::size_t>(shards));
+    for (GmSuffStats& s : shard_stats) s.Reset(gm.num_components());
+  }
+  RunShards(shards, 0, n, [&](int s, std::int64_t b, std::int64_t e) {
+    EStepImpl(gm, w + b, e - b,
+              greg_out == nullptr ? nullptr : greg_out + b,
+              stats == nullptr ? nullptr
+                               : &shard_stats[static_cast<std::size_t>(s)]);
+  });
+  if (stats != nullptr) {
+    for (const GmSuffStats& s : shard_stats) stats->Merge(s);
+  }
+}
+
 }  // namespace
 
 void EStep(const GaussianMixture& gm, const float* w, std::int64_t n,
-           float* greg_out, GmSuffStats* stats) {
-  EStepImpl(gm, w, n, greg_out, stats);
+           float* greg_out, GmSuffStats* stats, int num_threads) {
+  EStepDispatch(gm, w, n, greg_out, stats, num_threads);
 }
 
 void EStep(const GaussianMixture& gm, const double* w, std::int64_t n,
-           double* greg_out, GmSuffStats* stats) {
-  EStepImpl(gm, w, n, greg_out, stats);
+           double* greg_out, GmSuffStats* stats, int num_threads) {
+  EStepDispatch(gm, w, n, greg_out, stats, num_threads);
 }
 
 void MStep(const GmSuffStats& stats, const GmHyperParams& hyper,

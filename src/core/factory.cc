@@ -119,7 +119,7 @@ Status MakeRegularizerFromConfig(const std::string& config,
   if (kind == "gm") {
     GMREG_RETURN_IF_ERROR(CheckKnownKeys(
         kv, {"k", "gamma", "a_factor", "alpha_exp", "min_precision", "init",
-             "warmup", "im", "ig"}));
+             "warmup", "im", "ig", "threads"}));
     if (num_dims <= 0) {
       return Status::FailedPrecondition(
           "gm regularizer requires num_dims > 0 (the parameter count M)");
@@ -161,6 +161,13 @@ Status MakeRegularizerFromConfig(const std::string& config,
       GMREG_RETURN_IF_ERROR(ParseDouble(kv, "ig", true, &v));
       if (v < 1.0) return Status::OutOfRange("ig must be >= 1");
       opts.lazy.gm_interval = static_cast<std::int64_t>(v);
+    }
+    if (kv.count("threads") != 0u) {
+      GMREG_RETURN_IF_ERROR(ParseDouble(kv, "threads", true, &v));
+      if (v < 0.0 || v > 64.0) {
+        return Status::OutOfRange("threads must be in [0, 64]");
+      }
+      opts.num_threads = static_cast<int>(v);
     }
     if (opts.gamma <= 0.0) return Status::OutOfRange("gamma must be > 0");
     if (opts.min_precision <= 0.0) {

@@ -2,6 +2,8 @@
 
 #include "tensor/tensor_ops.h"
 #include "util/logging.h"
+#include "util/parallel.h"
+#include "util/stopwatch.h"
 
 namespace gmreg {
 
@@ -23,6 +25,7 @@ GmRegularizer::GmRegularizer(std::string param_name, std::int64_t num_dims,
                                       options.min_precision)),
       greg_({num_dims}) {
   GMREG_CHECK_GT(num_dims, 0);
+  options_.lazy.Validate();
 }
 
 void GmRegularizer::SetMixture(GaussianMixture gm) {
@@ -33,17 +36,27 @@ void GmRegularizer::SetMixture(GaussianMixture gm) {
   gm_ = std::move(gm);
 }
 
+int GmRegularizer::num_threads_resolved() const {
+  return ResolveNumThreads(options_.num_threads);
+}
+
 void GmRegularizer::CalcRegGrad(const Tensor& w) {
   GMREG_CHECK_EQ(w.size(), num_dims_);
-  EStep(gm_, w.data(), num_dims_, greg_.data(), /*stats=*/nullptr);
+  Stopwatch watch;
+  EStep(gm_, w.data(), num_dims_, greg_.data(), /*stats=*/nullptr,
+        options_.num_threads);
+  estep_seconds_ += watch.ElapsedSeconds();
   ++estep_count_;
 }
 
 void GmRegularizer::UptGmParam(const Tensor& w) {
   GMREG_CHECK_EQ(w.size(), num_dims_);
+  Stopwatch watch;
   stats_.Reset(gm_.num_components());
-  EStep(gm_, w.data(), num_dims_, /*greg_out=*/nullptr, &stats_);
+  EStep(gm_, w.data(), num_dims_, /*greg_out=*/nullptr, &stats_,
+        options_.num_threads);
   MStep(stats_, hyper_, options_.bounds, &gm_);
+  mstep_seconds_ += watch.ElapsedSeconds();
   ++mstep_count_;
 }
 
@@ -67,12 +80,17 @@ void GmRegularizer::AccumulateGradient(const Tensor& w,
 
 double GmRegularizer::Penalty(const Tensor& w) const {
   GMREG_CHECK_EQ(w.size(), num_dims_);
-  double acc = 0.0;
   const float* wp = w.data();
-  for (std::int64_t m = 0; m < num_dims_; ++m) {
-    acc -= gm_.LogDensity(wp[m]);
-  }
-  return acc;
+  // Shard-order reduction: bitwise-reproducible for a given thread budget.
+  return ParallelReduce(
+      std::int64_t{0}, num_dims_, kEStepGrain, 0.0,
+      [&](std::int64_t b, std::int64_t e) {
+        double acc = 0.0;
+        for (std::int64_t m = b; m < e; ++m) acc -= gm_.LogDensity(wp[m]);
+        return acc;
+      },
+      [](double acc, double partial) { return acc + partial; },
+      options_.num_threads);
 }
 
 }  // namespace gmreg

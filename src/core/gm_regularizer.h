@@ -7,6 +7,7 @@
 #include "core/gaussian_mixture.h"
 #include "core/hyper.h"
 #include "reg/regularizer.h"
+#include "util/logging.h"
 
 namespace gmreg {
 
@@ -19,6 +20,16 @@ struct LazySchedule {
   int warmup_epochs = 2;            ///< E
   std::int64_t greg_interval = 1;   ///< Im
   std::int64_t gm_interval = 1;     ///< Ig
+
+  /// Aborts on intervals < 1 (an interval of 0 would divide by zero in the
+  /// Should* predicates) or a negative warmup. Called by GmRegularizer at
+  /// construction; the factory additionally rejects such configs with a
+  /// Status at parse time.
+  void Validate() const {
+    GMREG_CHECK_GE(warmup_epochs, 0);
+    GMREG_CHECK_GE(greg_interval, 1);
+    GMREG_CHECK_GE(gm_interval, 1);
+  }
 
   bool ShouldUpdateGreg(std::int64_t iteration, std::int64_t epoch) const {
     return epoch < warmup_epochs || iteration % greg_interval == 0;
@@ -39,6 +50,10 @@ struct GmOptions {
   /// tenth of the initialized model-parameter precision; callers usually
   /// derive it via MinPrecisionFromInitStdDev.
   double min_precision = 10.0;
+  /// Thread budget for the E-step / M-step / Penalty passes: <= 0 uses the
+  /// GMREG_NUM_THREADS / hardware default (util/parallel.h), 1 forces the
+  /// serial path, > 1 shards the passes deterministically.
+  int num_threads = 0;
   LazySchedule lazy;
   GmBounds bounds;
 };
@@ -100,6 +115,16 @@ class GmRegularizer : public Regularizer {
   std::int64_t estep_count() const { return estep_count_; }
   /// Count of M-steps actually executed.
   std::int64_t mstep_count() const { return mstep_count_; }
+  /// Cumulative wall-clock spent in CalcRegGrad (E-step) passes; with
+  /// estep_count() this gives benches per-call cost and thread scaling.
+  double estep_seconds() const { return estep_seconds_; }
+  /// Cumulative wall-clock spent in UptGmParam (M-step) passes.
+  double mstep_seconds() const { return mstep_seconds_; }
+  /// The thread budget the passes actually run with (options().num_threads
+  /// resolved against the GMREG_NUM_THREADS / hardware default).
+  int num_threads_resolved() const;
+  /// The cached regularization gradient written by the last CalcRegGrad.
+  const Tensor& greg() const { return greg_; }
 
  private:
   std::string param_name_;
@@ -111,6 +136,8 @@ class GmRegularizer : public Regularizer {
   GmSuffStats stats_;  ///< scratch for the M-step pass
   std::int64_t estep_count_ = 0;
   std::int64_t mstep_count_ = 0;
+  double estep_seconds_ = 0.0;
+  double mstep_seconds_ = 0.0;
 };
 
 }  // namespace gmreg

@@ -4,6 +4,7 @@
 
 #include "tensor/random.h"
 #include "tensor/tensor_ops.h"
+#include "util/parallel.h"
 
 namespace gmreg {
 
@@ -93,20 +94,34 @@ void Conv2d::Forward(const Tensor& in, Tensor* out, bool train) {
   EnsureShape({b, out_channels_, out_h, out_w}, out);
   std::int64_t patch = in_channels_ * kernel_ * kernel_;
   std::int64_t cols = out_h * out_w;
-  EnsureShape({patch, cols}, &col_);
   std::int64_t in_chw = in_channels_ * h * w;
   std::int64_t out_chw = out_channels_ * cols;
-  for (std::int64_t i = 0; i < b; ++i) {
-    Im2Col(in.data() + i * in_chw, h, w, out_h, out_w, col_.data());
+  auto forward_one = [&](std::int64_t i, Tensor* col) {
+    Im2Col(in.data() + i * in_chw, h, w, out_h, out_w, col->data());
     // out_i [Cout, cols] = W [Cout, patch] * col [patch, cols]
     Gemm(false, false, out_channels_, cols, patch, 1.0f, weight_.data(),
-         patch, col_.data(), cols, 0.0f, out->data() + i * out_chw, cols);
+         patch, col->data(), cols, 0.0f, out->data() + i * out_chw, cols);
     // bias broadcast over spatial positions
     float* op = out->data() + i * out_chw;
     for (std::int64_t co = 0; co < out_channels_; ++co) {
       float bval = bias_[co];
       for (std::int64_t p = 0; p < cols; ++p) op[co * cols + p] += bval;
     }
+  };
+  // Samples are independent and write disjoint output slices, so the batch
+  // loop shards over the thread budget with one im2col buffer per shard;
+  // the inner Gemm then runs serially (nested regions don't re-shard).
+  int shards = ComputeNumShards(b, /*grain=*/1, ResolveNumThreads(0));
+  if (shards <= 1 || InParallelRegion()) {
+    EnsureShape({patch, cols}, &col_);
+    for (std::int64_t i = 0; i < b; ++i) forward_one(i, &col_);
+  } else {
+    shard_cols_.resize(static_cast<std::size_t>(shards));
+    RunShards(shards, 0, b, [&](int s, std::int64_t b0, std::int64_t b1) {
+      Tensor* col = &shard_cols_[static_cast<std::size_t>(s)];
+      EnsureShape({patch, cols}, col);
+      for (std::int64_t i = b0; i < b1; ++i) forward_one(i, col);
+    });
   }
   if (train) cached_in_ = in;
 }
@@ -123,6 +138,8 @@ void Conv2d::Backward(const Tensor& grad_out, Tensor* grad_in) {
   std::int64_t out_chw = out_channels_ * cols;
   EnsureShape(cached_in_.shape(), grad_in);
   grad_in->SetZero();
+  // The parallel forward uses per-shard buffers, so col_ may be unsized.
+  EnsureShape({patch, cols}, &col_);
   Tensor gcol({patch, cols});
   for (std::int64_t i = 0; i < b; ++i) {
     const float* gout = grad_out.data() + i * out_chw;

@@ -2,6 +2,7 @@
 #define GMREG_NN_CONV_H_
 
 #include <string>
+#include <vector>
 
 #include "nn/layer.h"
 #include "util/rng.h"
@@ -44,7 +45,10 @@ class Conv2d : public Layer {
   Tensor weight_grad_;
   Tensor bias_grad_;
   Tensor cached_in_;    // [B, Cin, H, W]
-  Tensor col_;          // scratch [Cin*K*K, Hout*Wout]
+  Tensor col_;          // scratch [Cin*K*K, Hout*Wout] (serial path)
+  // Per-shard im2col scratch of the batch-parallel forward; one buffer per
+  // shard so workers never share, sized lazily like col_.
+  std::vector<Tensor> shard_cols_;
 };
 
 }  // namespace gmreg

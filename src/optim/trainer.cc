@@ -5,6 +5,7 @@
 #include "nn/loss.h"
 #include "tensor/tensor_ops.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/stopwatch.h"
 
 namespace gmreg {
@@ -27,6 +28,7 @@ Trainer::Trainer(Layer* net, const TrainOptions& opts)
   GMREG_CHECK(net != nullptr);
   GMREG_CHECK_GT(opts.num_train_samples, 0)
       << "TrainOptions::num_train_samples must be set (prior scale 1/N)";
+  if (opts.num_threads > 0) SetDefaultNumThreads(opts.num_threads);
 }
 
 void Trainer::AttachRegularizer(const std::string& param_name,

@@ -26,6 +26,11 @@ struct TrainOptions {
   /// Regularizer). Must be set.
   std::int64_t num_train_samples = 0;
   int log_every_epochs = 0;  ///< 0 = silent
+  /// Thread budget for the parallel kernels (GEMM, conv im2col, E/M-steps).
+  /// 0 keeps the process default (GMREG_NUM_THREADS or hardware); > 0
+  /// installs that budget process-wide via SetDefaultNumThreads, 1 forcing
+  /// the serial paths. See docs/PARALLELISM.md.
+  int num_threads = 0;
 };
 
 /// Per-epoch bookkeeping; `elapsed_seconds` is cumulative wall-clock since

@@ -5,6 +5,18 @@
 
 namespace gmreg {
 
+int GetNumThreadsEnv() {
+  static int threads = [] {
+    const char* env = std::getenv("GMREG_NUM_THREADS");
+    if (env == nullptr || *env == '\0') return -1;
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || v < 0) return -1;
+    return static_cast<int>(v);
+  }();
+  return threads;
+}
+
 BenchScale GetBenchScale() {
   static BenchScale scale = [] {
     const char* env = std::getenv("GMREG_BENCH_SCALE");

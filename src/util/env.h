@@ -15,6 +15,11 @@ enum class BenchScale {
 /// Reads GMREG_BENCH_SCALE once per process.
 BenchScale GetBenchScale();
 
+/// Reads GMREG_NUM_THREADS once per process: the default thread budget of
+/// the parallel execution layer (util/parallel.h). Returns -1 when unset or
+/// unparseable; 0 and 1 both select the serial fallback.
+int GetNumThreadsEnv();
+
 /// Linear interpolation helper: picks the value for the current scale.
 template <typename T>
 T ScalePick(T smoke, T deflt, T full) {

@@ -1,0 +1,182 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+
+#include "util/env.h"
+#include "util/logging.h"
+
+namespace gmreg {
+namespace {
+
+// Hard cap on any thread budget: beyond this the shard bookkeeping itself
+// would start to show up in the profile.
+constexpr int kMaxThreads = 64;
+
+// The global pool is sized for correctness testing as well as throughput: a
+// floor of 8 lets explicitly-requested multi-way shards (determinism and
+// TSan tests use 4) run genuinely concurrently even on small machines.
+int PoolWorkerCount() {
+  int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return std::clamp(std::max(hw, 8), 1, kMaxThreads) - 1;
+}
+
+std::atomic<int> g_default_threads_override{0};
+
+thread_local bool tls_in_parallel_region = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_workers) {
+  GMREG_CHECK_GE(num_workers, 0);
+  workers_.reserve(static_cast<std::size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Run(int num_tasks, const std::function<void(int)>& fn) {
+  if (num_tasks <= 0) return;
+  if (workers_.empty() || tls_in_parallel_region || num_tasks == 1) {
+    // Serial fallback; still mark the region so task code behaves the same
+    // as under a worker (no nested pools).
+    bool saved = tls_in_parallel_region;
+    tls_in_parallel_region = true;
+    for (int t = 0; t < num_tasks; ++t) fn(t);
+    tls_in_parallel_region = saved;
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    total_tasks_ = num_tasks;
+    next_task_.store(0, std::memory_order_relaxed);
+    remaining_tasks_ = num_tasks;
+    ++generation_;
+  }
+  wake_cv_.notify_all();
+  // The caller claims tasks alongside the workers.
+  tls_in_parallel_region = true;
+  int t;
+  while ((t = next_task_.fetch_add(1, std::memory_order_relaxed)) <
+         num_tasks) {
+    fn(t);
+    std::lock_guard<std::mutex> lock(mu_);
+    --remaining_tasks_;
+  }
+  tls_in_parallel_region = false;
+  // Wait until every task has run AND every worker has left the claim loop;
+  // the latter makes it safe for the next Run to reset the ticket counter.
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock,
+                [this] { return remaining_tasks_ == 0 && active_workers_ == 0; });
+  fn_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop() {
+  tls_in_parallel_region = true;  // pool workers never nest parallelism
+  std::uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    wake_cv_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+    if (stop_) return;
+    seen_generation = generation_;
+    const std::function<void(int)>* fn = fn_;
+    int total = total_tasks_;
+    ++active_workers_;
+    lock.unlock();
+    int t;
+    while ((t = next_task_.fetch_add(1, std::memory_order_relaxed)) < total) {
+      (*fn)(t);
+      std::lock_guard<std::mutex> task_lock(mu_);
+      --remaining_tasks_;
+    }
+    lock.lock();
+    --active_workers_;
+    if (remaining_tasks_ == 0 && active_workers_ == 0) done_cv_.notify_all();
+  }
+}
+
+ThreadPool* GlobalThreadPool() {
+  // Leaked on purpose: worker threads must outlive static destruction.
+  static ThreadPool* pool = new ThreadPool(PoolWorkerCount());
+  return pool;
+}
+
+bool InParallelRegion() { return tls_in_parallel_region; }
+
+int DefaultNumThreads() {
+  int override_threads = g_default_threads_override.load(std::memory_order_relaxed);
+  if (override_threads > 0) return std::min(override_threads, kMaxThreads);
+  int env = GetNumThreadsEnv();
+  if (env == 0) return 1;  // 0 and 1 both mean "serial"
+  if (env > 0) return std::min(env, kMaxThreads);
+  int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return std::clamp(hw, 1, kMaxThreads);
+}
+
+void SetDefaultNumThreads(int n) {
+  g_default_threads_override.store(n > 0 ? n : 0, std::memory_order_relaxed);
+}
+
+int ResolveNumThreads(int requested) {
+  if (requested > 0) return std::min(requested, kMaxThreads);
+  return DefaultNumThreads();
+}
+
+int ComputeNumShards(std::int64_t n, std::int64_t grain, int num_threads) {
+  if (n <= 0) return 0;
+  grain = std::max<std::int64_t>(grain, 1);
+  std::int64_t by_grain = (n + grain - 1) / grain;
+  std::int64_t threads = std::max(num_threads, 1);
+  return static_cast<int>(std::min(by_grain, threads));
+}
+
+void RunShards(
+    int num_shards, std::int64_t begin, std::int64_t end,
+    const std::function<void(int, std::int64_t, std::int64_t)>& fn) {
+  std::int64_t n = end - begin;
+  if (n <= 0 || num_shards <= 0) return;
+  if (num_shards == 1) {
+    fn(0, begin, end);
+    return;
+  }
+  // Fixed boundaries: shard s gets chunk (+1 for the first n % shards), so
+  // the split depends only on (begin, end, num_shards).
+  std::int64_t chunk = n / num_shards;
+  std::int64_t rem = n % num_shards;
+  GlobalThreadPool()->Run(num_shards, [&](int s) {
+    std::int64_t b =
+        begin + s * chunk + std::min<std::int64_t>(s, rem);
+    std::int64_t e = b + chunk + (s < rem ? 1 : 0);
+    fn(s, b, e);
+  });
+}
+
+void ParallelForShards(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(int, std::int64_t, std::int64_t)>& fn,
+    int num_threads) {
+  int shards =
+      ComputeNumShards(end - begin, grain, ResolveNumThreads(num_threads));
+  RunShards(shards, begin, end, fn);
+}
+
+void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                 const std::function<void(std::int64_t, std::int64_t)>& fn,
+                 int num_threads) {
+  ParallelForShards(
+      begin, end, grain,
+      [&fn](int /*shard*/, std::int64_t b, std::int64_t e) { fn(b, e); },
+      num_threads);
+}
+
+}  // namespace gmreg

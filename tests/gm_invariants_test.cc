@@ -1,0 +1,258 @@
+// Property-style invariant tests of the GM/EM core over randomized inputs:
+// the structural facts that must hold for ANY data the training loop feeds
+// the regularizer, not just hand-picked fixtures. Run under both serial and
+// sharded execution (see gm_parallel_test.cc for the determinism side).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/em.h"
+#include "core/gm_regularizer.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace gmreg {
+namespace {
+
+// Flat prior (a=1, b=0, alpha=1): EM maximizes the pure likelihood, which
+// makes the monotone-improvement property of EM exact.
+GmHyperParams FlatHyper(int k) {
+  GmHyperParams h;
+  h.a = 1.0;
+  h.b = 0.0;
+  h.alpha.assign(static_cast<std::size_t>(k), 1.0);
+  return h;
+}
+
+std::vector<double> RandomValues(std::int64_t n, Rng* rng, double spread) {
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (double& x : v) {
+    x = rng->NextBernoulli(0.7) ? rng->NextGaussian(0.0, 0.02 * spread)
+                                : rng->NextGaussian(0.0, spread);
+  }
+  return v;
+}
+
+double NegLogLikelihood(const std::vector<double>& values,
+                        const GaussianMixture& gm) {
+  double nll = 0.0;
+  for (double x : values) nll -= gm.LogDensity(x);
+  return nll;
+}
+
+// ---------------------------------------------------------------------------
+// Responsibilities are a probability distribution over components for every
+// input, including x = 0 and values far out in the tails.
+
+TEST(ResponsibilityInvariantsTest, SumToOneAndNonNegative) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    int k = 1 + static_cast<int>(rng.NextUniform(0.0, 6.0));
+    std::vector<double> pi(static_cast<std::size_t>(k));
+    std::vector<double> lambda(static_cast<std::size_t>(k));
+    double pi_sum = 0.0;
+    for (int j = 0; j < k; ++j) {
+      auto js = static_cast<std::size_t>(j);
+      pi[js] = rng.NextUniform(0.05, 1.0);
+      pi_sum += pi[js];
+      lambda[js] = std::exp(rng.NextUniform(-3.0, 6.0));
+    }
+    for (double& p : pi) p /= pi_sum;
+    GaussianMixture gm(pi, lambda);
+    std::vector<double> probes = {0.0, 1e-30, -1e-30, 0.5, -0.5, 30.0, -30.0};
+    for (int i = 0; i < 50; ++i) probes.push_back(rng.NextGaussian(0.0, 2.0));
+    std::vector<double> r(static_cast<std::size_t>(k));
+    for (double x : probes) {
+      gm.Responsibilities(x, r.data());
+      double sum = 0.0;
+      for (int j = 0; j < k; ++j) {
+        auto js = static_cast<std::size_t>(j);
+        EXPECT_GE(r[js], 0.0) << "seed " << seed << " x=" << x;
+        EXPECT_LE(r[js], 1.0 + 1e-12) << "seed " << seed << " x=" << x;
+        sum += r[js];
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-12) << "seed " << seed << " x=" << x;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The M-step output stays a valid mixture: pi on the simplex, respecting the
+// pi floor, lambda inside the configured bounds — for adversarial data too.
+
+TEST(MStepInvariantsTest, PiSumsToOneAndRespectsFloor) {
+  GmBounds bounds;
+  bounds.pi_floor = 1e-4;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    GaussianMixture gm =
+        GaussianMixture::Initialize(4, GmInitMethod::kLinear, 10.0);
+    // Data concentrated at zero starves the wide components, pushing their
+    // pi toward the floor.
+    std::vector<double> values = RandomValues(4000, &rng, 0.001);
+    GmHyperParams hyper = GmHyperParams::FromRules(
+        static_cast<std::int64_t>(values.size()), 4, 0.001, 0.01, 0.5);
+    for (int it = 0; it < 10; ++it) {
+      gm = FitZeroMeanGm(values, gm, hyper, bounds, 1);
+      double sum = 0.0;
+      for (double p : gm.pi()) {
+        // The floor is applied before renormalization, so allow the
+        // normalizer's small shrink.
+        EXPECT_GE(p, bounds.pi_floor * 0.99) << "seed " << seed << " it " << it;
+        sum += p;
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-12) << "seed " << seed << " it " << it;
+    }
+  }
+}
+
+TEST(MStepInvariantsTest, LambdaStaysWithinBounds) {
+  GmBounds tight;
+  tight.lambda_min = 1e-2;
+  tight.lambda_max = 1e2;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    GaussianMixture gm =
+        GaussianMixture::Initialize(3, GmInitMethod::kLinear, 1.0);
+    // Adversarial extremes: near-constant-zero data drives lambda -> inf,
+    // huge-spread data drives lambda -> 0; the clamp must hold in both.
+    std::vector<double> values =
+        RandomValues(2000, &rng, seed % 2 == 0 ? 1e-6 : 1e4);
+    for (int it = 0; it < 8; ++it) {
+      gm = FitZeroMeanGm(values, gm, FlatHyper(3), tight, 1);
+      for (double l : gm.lambda()) {
+        EXPECT_GE(l, tight.lambda_min) << "seed " << seed << " it " << it;
+        EXPECT_LE(l, tight.lambda_max) << "seed " << seed << " it " << it;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// EM monotonicity: with a flat prior and inactive bounds, every
+// EStep+MStep alternation must not increase the negative log-likelihood.
+
+TEST(EmMonotonicityTest, NegLogLikelihoodNeverIncreases) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    std::vector<double> values = RandomValues(3000, &rng, 1.0);
+    GaussianMixture gm =
+        GaussianMixture::Initialize(4, GmInitMethod::kLinear, 5.0);
+    double prev = NegLogLikelihood(values, gm);
+    for (int it = 0; it < 15; ++it) {
+      gm = FitZeroMeanGm(values, gm, FlatHyper(4), GmBounds{}, 1);
+      double cur = NegLogLikelihood(values, gm);
+      // EM guarantees monotone improvement; the epsilon absorbs float
+      // round-off near convergence.
+      EXPECT_LE(cur, prev + 1e-9 * std::fabs(prev))
+          << "seed " << seed << " iteration " << it;
+      prev = cur;
+    }
+  }
+}
+
+// The same property through the training-facing API: repeated M-steps on a
+// fixed weight tensor must not increase the regularizer's Penalty.
+
+TEST(EmMonotonicityTest, PenaltyNonIncreasingUnderRepeatedUptGmParam) {
+  constexpr std::int64_t kN = 20000;
+  Rng rng(17);
+  Tensor w({kN});
+  for (std::int64_t i = 0; i < kN; ++i) {
+    w[i] = static_cast<float>(rng.NextBernoulli(0.8)
+                                  ? rng.NextGaussian(0.0, 0.05)
+                                  : rng.NextGaussian(0.0, 0.8));
+  }
+  GmOptions opts;
+  // Flat-ish hyper prior so the EM objective and Penalty (-sum log p) agree
+  // up to the weak prior terms; the trend must still be non-increasing to
+  // the tolerance below on stationary data.
+  opts.gamma = 1e-7;
+  opts.a_factor = 0.0;
+  opts.alpha_exponent = 0.0;
+  GmRegularizer reg("w", kN, opts);
+  double prev = reg.Penalty(w);
+  for (int it = 0; it < 12; ++it) {
+    reg.UptGmParam(w);
+    double cur = reg.Penalty(w);
+    EXPECT_LE(cur, prev + 1e-6 * std::fabs(prev)) << "iteration " << it;
+    prev = cur;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// greg consistency: the fused E-step's greg must equal the mixture's own
+// per-element RegGradient for every element (two independent code paths).
+
+TEST(GregConsistencyTest, EStepGregMatchesPointwiseRegGradient) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    constexpr std::int64_t kN = 3000;
+    std::vector<float> w(static_cast<std::size_t>(kN));
+    for (float& x : w) {
+      x = static_cast<float>(rng.NextGaussian(0.0, 0.5));
+    }
+    GaussianMixture gm =
+        GaussianMixture::Initialize(4, GmInitMethod::kProportional, 2.0);
+    std::vector<float> greg(static_cast<std::size_t>(kN));
+    EStep(gm, w.data(), kN, greg.data(), nullptr);
+    for (std::int64_t i = 0; i < kN; ++i) {
+      auto is = static_cast<std::size_t>(i);
+      double expect = gm.RegGradient(static_cast<double>(w[is]));
+      EXPECT_NEAR(greg[is], expect,
+                  1e-6 * std::max(1.0, std::fabs(expect)))
+          << "seed " << seed << " element " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LazySchedule validation (regression for the interval-zero divide): a
+// schedule with greg_interval or gm_interval of 0 used to reach the modulo
+// in ShouldUpdate* and crash there; now construction aborts with a check.
+
+using LazyScheduleDeathTest = ::testing::Test;
+
+TEST(LazyScheduleDeathTest, RejectsZeroGregInterval) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  GmOptions opts;
+  opts.lazy.greg_interval = 0;
+  EXPECT_DEATH(GmRegularizer("w", 16, opts), "greg_interval");
+}
+
+TEST(LazyScheduleDeathTest, RejectsZeroGmInterval) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  GmOptions opts;
+  opts.lazy.gm_interval = 0;
+  EXPECT_DEATH(GmRegularizer("w", 16, opts), "gm_interval");
+}
+
+TEST(LazyScheduleDeathTest, RejectsNegativeWarmup) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  GmOptions opts;
+  opts.lazy.warmup_epochs = -1;
+  EXPECT_DEATH(GmRegularizer("w", 16, opts), "warmup_epochs");
+}
+
+TEST(LazyScheduleTest, ValidScheduleStillWorksAtIntervalOne) {
+  GmOptions opts;
+  opts.lazy.warmup_epochs = 0;
+  opts.lazy.greg_interval = 1;
+  opts.lazy.gm_interval = 1;
+  GmRegularizer reg("w", 64, opts);
+  Tensor w({64}), grad({64});
+  Rng rng(3);
+  for (std::int64_t i = 0; i < 64; ++i) {
+    w[i] = static_cast<float>(rng.NextGaussian(0.0, 0.3));
+  }
+  for (std::int64_t it = 0; it < 4; ++it) {
+    reg.AccumulateGradient(w, it, /*epoch=*/5, 1.0, &grad);
+  }
+  EXPECT_EQ(reg.estep_count(), 4);
+  EXPECT_EQ(reg.mstep_count(), 4);
+}
+
+}  // namespace
+}  // namespace gmreg

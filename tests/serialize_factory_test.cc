@@ -116,6 +116,32 @@ TEST(FactoryTest, ParsesGmOptions) {
   EXPECT_EQ(gm->num_dims(), 500);
 }
 
+TEST(FactoryTest, ParsesGmThreads) {
+  std::unique_ptr<Regularizer> reg;
+  Status st = MakeRegularizerFromConfig("gm:threads=4", 500, &reg);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(static_cast<GmRegularizer*>(reg.get())->options().num_threads, 4);
+  // threads=0 keeps the process default.
+  ASSERT_TRUE(MakeRegularizerFromConfig("gm:threads=0", 500, &reg).ok());
+  EXPECT_EQ(static_cast<GmRegularizer*>(reg.get())->options().num_threads, 0);
+}
+
+TEST(FactoryTest, RejectsBadGmThreadsAndIntervals) {
+  std::unique_ptr<Regularizer> reg;
+  EXPECT_EQ(MakeRegularizerFromConfig("gm:threads=-1", 10, &reg).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(MakeRegularizerFromConfig("gm:threads=65", 10, &reg).code(),
+            StatusCode::kOutOfRange);
+  // Regression: interval 0 must be rejected at parse time (a zero interval
+  // would divide by zero inside LazySchedule::ShouldUpdate*).
+  EXPECT_EQ(MakeRegularizerFromConfig("gm:im=0", 10, &reg).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(MakeRegularizerFromConfig("gm:ig=0", 10, &reg).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(MakeRegularizerFromConfig("gm:warmup=-1", 10, &reg).code(),
+            StatusCode::kOutOfRange);
+}
+
 TEST(FactoryTest, RejectsBadConfigs) {
   std::unique_ptr<Regularizer> reg;
   EXPECT_EQ(MakeRegularizerFromConfig("ridge:beta=1", 0, &reg).code(),
