@@ -124,6 +124,7 @@ int main() {
 
   CsvWriter csv(bench::CsvPath("fig3_learned_density"),
                 {"dataset", "w", "density"});
+  bench::JsonSummary summary("fig3_learned_density", "synthetic-uci");
   for (const char* name : {"horse-colic", "conn-sonar"}) {
     GaussianMixture gm = LearnMixture(name, &csv);
     double b = CrossoverPoint(gm);
@@ -132,7 +133,12 @@ int main() {
     Sketch(gm, 4.0 / std::sqrt(*std::min_element(gm.lambda().begin(),
                                                  gm.lambda().end())));
     std::printf("\n");
+    std::string prefix = name;
+    summary.AddList(prefix + ".lambda", gm.lambda());
+    summary.AddList(prefix + ".pi", gm.pi());
+    summary.Add(prefix + ".crossover_b", b);
   }
+  summary.Write();
   std::printf(
       "Paper reference (Fig. 3): horse-colic pi=[0.326,0.674],\n"
       "lambda=[1.270,31.295]; conn-sonar pi=[0.345,0.655],\n"

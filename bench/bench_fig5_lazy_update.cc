@@ -32,6 +32,7 @@ int main() {
   CsvWriter csv(bench::CsvPath("fig5_lazy_update"),
                 {"model", "setting", "epoch", "cumulative_seconds",
                  "accuracy"});
+  bench::JsonSummary summary("fig5_lazy_update", "cifar-like-sweep");
   for (int m = 0; m < 2; ++m) {
     DeepModel model = m == 0 ? DeepModel::kAlexCifar10 : DeepModel::kResNet;
     DeepExperimentOptions opts = bench::DeepOptions(model, data);
@@ -71,7 +72,13 @@ int main() {
     table.Print(std::cout);
     std::printf("speedup Im=1 -> Im=50: %.2fx (baseline/Im=50: %.2fx)\n\n",
                 totals[0] / totals[5], totals[6] / totals[5]);
+    std::string prefix = DeepModelName(model);
+    summary.Add(prefix + ".total_seconds_im1", totals[0]);
+    summary.Add(prefix + ".total_seconds_im50", totals[5]);
+    summary.Add(prefix + ".total_seconds_l2", totals[6]);
+    summary.Add(prefix + ".speedup_im1_to_im50", totals[0] / totals[5]);
   }
+  summary.Write();
   std::printf(
       "Paper reference (Fig. 5): linear growth per setting; Im=1 slowest,\n"
       "Im=50 fastest at ~1/4 the Im=1 time, accuracy unchanged; baseline\n"

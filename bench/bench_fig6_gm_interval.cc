@@ -28,6 +28,7 @@ int main() {
   CsvWriter csv(bench::CsvPath("fig6_gm_interval"),
                 {"model", "ig", "im", "total_seconds", "msteps", "esteps",
                  "accuracy"});
+  bench::JsonSummary summary("fig6_gm_interval", "cifar-like-sweep");
   for (int m = 0; m < 2; ++m) {
     DeepModel model = m == 0 ? DeepModel::kAlexCifar10 : DeepModel::kResNet;
     DeepExperimentOptions opts = bench::DeepOptions(model, data);
@@ -37,6 +38,8 @@ int main() {
     opts.gm.lazy.greg_interval = 50;
     TablePrinter table({"Ig & Im", "total time (s)", "M-step passes",
                         "test accuracy"});
+    std::vector<double> msteps_per_ig;
+    std::vector<double> seconds_per_ig;
     for (std::int64_t ig : igs) {
       opts.gm.lazy.gm_interval = ig;
       DeepExperimentResult r = RunDeepExperiment(data, opts, DeepRegKind::kGm);
@@ -50,11 +53,17 @@ int main() {
                     StrFormat("%lld", static_cast<long long>(r.total_msteps)),
                     StrFormat("%lld", static_cast<long long>(r.total_esteps)),
                     StrFormat("%.4f", r.test_accuracy)});
+      msteps_per_ig.push_back(static_cast<double>(r.total_msteps));
+      seconds_per_ig.push_back(r.total_seconds);
     }
     std::printf("-- %s --\n", DeepModelName(model));
     table.Print(std::cout);
     std::printf("\n");
+    std::string prefix = DeepModelName(model);
+    summary.AddList(prefix + ".msteps_per_ig", msteps_per_ig);
+    summary.AddList(prefix + ".total_seconds_per_ig", seconds_per_ig);
   }
+  summary.Write();
   std::printf(
       "Paper reference (Fig. 6): convergence time shrinks as Ig grows\n"
       "(Alex ~990 -> ~950 s, ResNet ~5850 -> ~5600 s at their scale, ~4%%).\n"

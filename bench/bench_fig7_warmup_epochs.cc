@@ -23,6 +23,7 @@ int main() {
   CifarLikePair data = bench::DeepSweepData();
   CsvWriter csv(bench::CsvPath("fig7_warmup_epochs"),
                 {"model", "E", "epoch", "cumulative_seconds", "accuracy"});
+  bench::JsonSummary summary("fig7_warmup_epochs", "cifar-like-sweep");
   for (int m = 0; m < 2; ++m) {
     DeepModel model = m == 0 ? DeepModel::kAlexCifar10 : DeepModel::kResNet;
     DeepExperimentOptions opts = bench::DeepOptions(model, data);
@@ -61,7 +62,13 @@ int main() {
     table.Print(std::cout);
     std::printf("time(E=1) / time(E=max) = %.2f\n\n",
                 last_total / first_total);
+    std::string prefix = DeepModelName(model);
+    summary.Add(prefix + ".total_seconds_emax", first_total);
+    summary.Add(prefix + ".total_seconds_e1", last_total);
+    summary.Add(prefix + ".time_ratio_e1_over_emax",
+                last_total / first_total);
   }
+  summary.Write();
   std::printf(
       "Paper reference (Fig. 7): larger E -> more eager epochs -> more\n"
       "total time; E=1 takes ~70%% of E=50's time with no accuracy drop.\n");

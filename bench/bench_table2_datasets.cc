@@ -21,7 +21,12 @@ int main() {
                       "# Class-1 / # Class-0"});
   CsvWriter csv(bench::CsvPath("table2_datasets"),
                 {"dataset", "samples", "features", "type", "pos", "neg"});
+  bench::JsonSummary summary("table2_datasets", "synthetic-uci+hosp-fa");
+  int num_datasets = 0;
+  std::int64_t total_samples = 0;
   auto add = [&](const TabularData& data) {
+    ++num_datasets;
+    total_samples += data.num_samples();
     int pos = 0;
     for (int y : data.labels) pos += y;
     int neg = static_cast<int>(data.labels.size()) - pos;
@@ -38,6 +43,9 @@ int main() {
     add(MakeUciLike(name, /*seed=*/1));
   }
   add(MakeHospFaLike(/*seed=*/1));
+  summary.AddInt("datasets", num_datasets);
+  summary.AddInt("total_samples", total_samples);
+  summary.Write();
   table.Print(std::cout);
   std::printf(
       "\nPaper reference (Table II): breast-canc 699x81 categorical,\n"

@@ -37,6 +37,14 @@ int main() {
   table.Print(std::cout);
   std::printf("\ntest accuracy with the learned regularization: %.3f\n",
               result.test_accuracy);
+  bench::JsonSummary summary("table4_learned_gm_alexnet", "cifar-like");
+  summary.Add("test_accuracy", result.test_accuracy);
+  summary.Add("total_train_seconds", result.total_seconds);
+  summary.AddInt("weight_dims", result.num_weight_dims);
+  summary.AddInt("esteps", result.total_esteps);
+  summary.AddInt("msteps", result.total_msteps);
+  summary.AddInt("layers", static_cast<std::int64_t>(result.learned.size()));
+  summary.Write();
   std::printf(
       "\nExpert-tuned L2 baseline used for comparison in Table VI:\n"
       "  conv layers  pi=[1.000] lambda=[%.1f]\n"

@@ -54,6 +54,14 @@ int main() {
   table.Print(std::cout);
   std::printf("\ntest accuracy with the learned regularization: %.3f\n",
               result.test_accuracy);
+  bench::JsonSummary summary("table5_learned_gm_resnet", "cifar-like");
+  summary.Add("test_accuracy", result.test_accuracy);
+  summary.Add("total_train_seconds", result.total_seconds);
+  summary.AddInt("weight_dims", result.num_weight_dims);
+  summary.AddInt("esteps", result.total_esteps);
+  summary.AddInt("msteps", result.total_msteps);
+  summary.AddInt("layers", static_cast<std::int64_t>(result.learned.size()));
+  summary.Write();
   std::printf(
       "\nPaper reference (Table V): e.g. conv1 [0.377,0.623]/[0.3,8.1];\n"
       "2a-br1-conv1 [0.066,0.934]/[0.15,22.6]; ip5 [0.230,0.770]/[0.9,7.0];\n"

@@ -45,6 +45,16 @@ int main() {
                   StrFormat("%.3f", acc[k][1])});
   }
   table.Print(std::cout);
+  bench::JsonSummary summary("table6_deep_accuracy", "cifar-like");
+  for (int m = 0; m < 2; ++m) {
+    std::string prefix =
+        DeepModelName(m == 0 ? DeepModel::kAlexCifar10 : DeepModel::kResNet);
+    for (int k = 0; k < 3; ++k) {
+      summary.Add(prefix + ".accuracy_" + DeepRegKindName(kinds[k]),
+                  acc[k][m]);
+    }
+  }
+  summary.Write();
   std::printf(
       "\nPaper reference (Table VI): Alex-CIFAR-10 0.777 / 0.822 / 0.830;\n"
       "ResNet 0.901 / 0.909 / 0.921. Expected shape: none < L2 <= GM per\n"

@@ -95,6 +95,12 @@ int main() {
   }
   std::printf("\n");
   table.Print(std::cout);
+  bench::JsonSummary summary("table7_small_datasets",
+                             "synthetic-uci+hosp-fa");
+  summary.AddInt("datasets", static_cast<std::int64_t>(dataset_names.size()));
+  summary.AddInt("methods", static_cast<std::int64_t>(methods.size()));
+  summary.AddInt("gm_wins_or_ties", gm_wins_or_ties);
+  summary.Write();
   std::printf(
       "\n'*' marks the best method(s) per dataset. GM Reg best or tied on "
       "%d/%zu datasets.\n"

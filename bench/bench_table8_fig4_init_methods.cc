@@ -76,6 +76,14 @@ int main() {
                   StrFormat("%.3f", mean_acc[i][1])});
   }
   table.Print(std::cout);
+  bench::JsonSummary summary("table8_fig4_init_methods", "cifar-like-small");
+  for (int m = 0; m < 2; ++m) {
+    std::string prefix = m == 0 ? "alex" : "resnet";
+    for (int i : {0, 1, 2}) {
+      summary.Add(prefix + ".mean_accuracy_" + labels[i], mean_acc[i][m]);
+    }
+  }
+  summary.Write();
   std::printf(
       "\nPaper reference (Table VIII): Alex 0.819/0.802/0.817,\n"
       "ResNet 0.918/0.912/0.916. Expected shape: identical worst on both\n"

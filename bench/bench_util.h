@@ -2,33 +2,42 @@
 #define GMREG_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "util/env.h"
+#include "util/metrics.h"
+#include "util/parallel.h"
+#include "util/stopwatch.h"
 
 namespace gmreg {
 namespace bench {
+
+/// The scale the suite is running at, as the string the JSON summaries and
+/// banners print.
+inline const char* ScaleName() {
+  switch (GetBenchScale()) {
+    case BenchScale::kSmoke:
+      return "smoke";
+    case BenchScale::kFull:
+      return "full";
+    case BenchScale::kDefault:
+      break;
+  }
+  return "default";
+}
 
 /// Prints the standard banner every bench harness starts with: which paper
 /// artifact is being regenerated and at what scale.
 inline void PrintHeader(const std::string& artifact,
                         const std::string& description) {
-  const char* scale = "default";
-  switch (GetBenchScale()) {
-    case BenchScale::kSmoke:
-      scale = "smoke";
-      break;
-    case BenchScale::kFull:
-      scale = "full";
-      break;
-    case BenchScale::kDefault:
-      break;
-  }
   std::printf("==============================================================\n");
   std::printf("Reproducing %s\n", artifact.c_str());
   std::printf("%s\n", description.c_str());
   std::printf("scale: %s (set GMREG_BENCH_SCALE=smoke|full to change)\n",
-              scale);
+              ScaleName());
   std::printf("==============================================================\n\n");
 }
 
@@ -36,6 +45,62 @@ inline void PrintHeader(const std::string& artifact,
 inline std::string CsvPath(const std::string& name) {
   return name + ".csv";
 }
+
+/// Machine-readable bench summary: collects headline metrics during a run
+/// and writes them as one JSON object to `BENCH_<name>.json` next to the
+/// CSV — the perf-trajectory record every driver emits. The wall time
+/// covers construction to Write() (the whole driver, data generation
+/// included); the thread budget and scale are stamped automatically so a
+/// historical series of these files is self-describing.
+///
+/// Usage:
+///   bench::JsonSummary summary("fig5_lazy_update", "cifar-like-sweep");
+///   ... run, summary.Add("alex.speedup", 1.7) ...
+///   summary.Write();  // prints the path it wrote
+class JsonSummary {
+ public:
+  JsonSummary(std::string name, std::string dataset)
+      : name_(std::move(name)), record_("bench_summary") {
+    record_.AddString("bench", name_);
+    record_.AddString("scale", ScaleName());
+    record_.AddInt("threads", DefaultNumThreads());
+    record_.AddString("dataset", std::move(dataset));
+  }
+
+  void Add(const std::string& key, double value) {
+    record_.AddDouble(key, value);
+  }
+  void AddInt(const std::string& key, std::int64_t value) {
+    record_.AddInt(key, value);
+  }
+  void AddText(const std::string& key, std::string value) {
+    record_.AddString(key, std::move(value));
+  }
+  void AddList(const std::string& key, std::vector<double> values) {
+    record_.AddDoubleList(key, std::move(values));
+  }
+
+  /// Writes BENCH_<name>.json (overwriting), mirrors the record to any
+  /// process-wide sinks (GMREG_METRICS_FILE), and returns the path.
+  std::string Write() {
+    record_.AddDouble("wall_time_seconds", watch_.ElapsedSeconds());
+    std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path, std::ios::trunc);
+    if (out.is_open()) {
+      out << RecordToJson(record_) << '\n';
+      std::printf("wrote %s\n", path.c_str());
+    } else {
+      std::printf("warning: could not write %s\n", path.c_str());
+    }
+    MetricsRegistry::Global().Emit(record_);
+    return path;
+  }
+
+ private:
+  std::string name_;
+  Stopwatch watch_;
+  MetricsRecord record_;
+};
 
 }  // namespace bench
 }  // namespace gmreg

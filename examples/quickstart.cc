@@ -8,6 +8,7 @@
 // hyper-parameters — is automatic.
 
 #include <cstdio>
+#include <memory>
 
 #include "core/gm_regularizer.h"
 #include "core/merge.h"
@@ -15,6 +16,7 @@
 #include "data/split.h"
 #include "data/synthetic.h"
 #include "models/logistic_regression.h"
+#include "util/metrics.h"
 
 int main() {
   using namespace gmreg;
@@ -55,8 +57,18 @@ int main() {
   //    one wide component for predictive ones (paper Fig. 3).
   GaussianMixture learned = MergeSimilarComponents(gm_reg.mixture());
   std::printf("learned mixture: %s\n", learned.ToString().c_str());
-  std::printf("E-steps run: %lld, M-steps run: %lld\n",
-              static_cast<long long>(gm_reg.estep_count()),
-              static_cast<long long>(gm_reg.mstep_count()));
+
+  // 6. Emit the run's telemetry through the metrics registry: the LogSink
+  //    prints it, and when GMREG_METRICS_FILE is set the same record also
+  //    lands in that JSONL file (docs/OBSERVABILITY.md) — this example
+  //    doubles as the telemetry smoke test.
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  metrics.AddSink(std::make_unique<LogSink>());
+  MetricsRecord record("quickstart_summary");
+  record.AddString("dataset", raw.name);
+  record.AddDouble("test_accuracy", model.EvaluateAccuracy(test));
+  gm_reg.AppendMetrics("reg.w", &record);
+  metrics.Emit(record);
+  metrics.EmitSnapshot("quickstart_counters");
   return 0;
 }

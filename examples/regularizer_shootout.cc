@@ -8,11 +8,13 @@
 
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "data/synthetic.h"
 #include "eval/method_grid.h"
 #include "eval/small_data_experiment.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
 #include "util/table.h"
 
@@ -35,12 +37,24 @@ int main(int argc, char** argv) {
       RunSmallDataComparison(raw, AllMethods(), opts);
 
   TablePrinter table({"Method", "Accuracy", "Chosen setting"});
+  // Route the final metrics through the registry: printed via the LogSink
+  // and mirrored to GMREG_METRICS_FILE when set, so this example doubles as
+  // a telemetry smoke test (docs/OBSERVABILITY.md).
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  metrics.AddSink(std::make_unique<LogSink>());
+  MetricsRecord record("shootout_summary");
+  record.AddString("dataset", raw.name);
   for (const MethodResult& r : results) {
     table.AddRow({r.method,
                   FormatMeanErr(r.mean_accuracy, r.stderr_accuracy),
                   r.representative_setting});
+    record.AddDouble(r.method + ".mean_accuracy", r.mean_accuracy);
+    record.AddDouble(r.method + ".stderr_accuracy", r.stderr_accuracy);
+    record.AddString(r.method + ".setting", r.representative_setting);
   }
   table.Print(std::cout);
+  metrics.Emit(record);
+  metrics.EmitSnapshot("shootout_counters");
   std::printf(
       "\nEach row: mean +/- standard error over %d stratified 80-20\n"
       "subsamples; settings chosen per subsample by %d-fold CV.\n",

@@ -60,7 +60,9 @@ void EStep(const GaussianMixture& gm, const double* w, std::int64_t n,
 /// M-step (the paper's uptGMParam): closed-form maximizers
 ///   lambda_k = (2(a-1) + sum_m r_k) / (2b + sum_m r_k w_m^2)   (Eq. 13)
 ///   pi_k     = (sum_m r_k + alpha_k - 1) / (M + sum_j(alpha_j - 1)) (Eq. 17)
-/// applied to `gm` in place, clamped to `bounds`.
+/// applied to `gm` in place, clamped to `bounds`. O(K) arithmetic on the
+/// already-reduced statistics — always serial and exactly reproducible
+/// given the same `stats`.
 void MStep(const GmSuffStats& stats, const GmHyperParams& hyper,
            const GmBounds& bounds, GaussianMixture* gm);
 

@@ -20,13 +20,19 @@ namespace gmreg {
 ///   huber:beta=<v>,mu=<v>
 ///   gm[:key=<v>,...]   keys: k, gamma, a_factor, alpha_exp, min_precision,
 ///                            init (identical|linear|proportional),
-///                            warmup, im, ig
+///                            warmup, im, ig,
+///                            threads (0 = process default, 1 = serial)
 ///
 /// For "gm", `num_dims` (the parameter count M) is required to instantiate
 /// the hyper-parameter rules; other kinds ignore it.
 ///
 /// Examples: "l2:beta=3", "elastic:beta=1,l1_ratio=0.5",
 ///           "gm:gamma=0.0005,init=linear,warmup=2,im=10,ig=10".
+///
+/// Parsing is pure (thread-safe); the same config string always yields an
+/// identically-configured regularizer. Malformed configs return
+/// InvalidArgument/OutOfRange rather than aborting, so pipeline front-ends
+/// can surface them to users.
 Status MakeRegularizerFromConfig(const std::string& config,
                                  std::int64_t num_dims,
                                  std::unique_ptr<Regularizer>* out);

@@ -1,11 +1,35 @@
 #include "core/gm_regularizer.h"
 
+#include <cmath>
+
 #include "tensor/tensor_ops.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
 #include "util/stopwatch.h"
 
 namespace gmreg {
+namespace {
+
+// Process-wide lazy-update accounting, shared by every GmRegularizer and
+// surfaced through MetricsRegistry snapshots (docs/OBSERVABILITY.md).
+struct GmCounters {
+  Counter* esteps;
+  Counter* msteps;
+  Counter* greg_cache_hits;
+};
+
+GmCounters& GlobalGmCounters() {
+  static GmCounters counters = [] {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    return GmCounters{registry.counter("gm.esteps"),
+                      registry.counter("gm.msteps"),
+                      registry.counter("gm.greg_cache_hits")};
+  }();
+  return counters;
+}
+
+}  // namespace
 
 double MinPrecisionFromInitStdDev(double init_stddev) {
   GMREG_CHECK_GT(init_stddev, 0.0);
@@ -47,6 +71,7 @@ void GmRegularizer::CalcRegGrad(const Tensor& w) {
         options_.num_threads);
   estep_seconds_ += watch.ElapsedSeconds();
   ++estep_count_;
+  GlobalGmCounters().esteps->Add(1);
 }
 
 void GmRegularizer::UptGmParam(const Tensor& w) {
@@ -58,6 +83,7 @@ void GmRegularizer::UptGmParam(const Tensor& w) {
   MStep(stats_, hyper_, options_.bounds, &gm_);
   mstep_seconds_ += watch.ElapsedSeconds();
   ++mstep_count_;
+  GlobalGmCounters().msteps->Add(1);
 }
 
 void GmRegularizer::AccumulateGradient(const Tensor& w,
@@ -69,6 +95,9 @@ void GmRegularizer::AccumulateGradient(const Tensor& w,
   // Algorithm 2, lines 4-7: E-step when inside warmup or on the Im grid.
   if (options_.lazy.ShouldUpdateGreg(iteration, epoch)) {
     CalcRegGrad(w);
+  } else {
+    ++greg_cache_hits_;
+    GlobalGmCounters().greg_cache_hits->Add(1);
   }
   // Line 8: use the (possibly cached) greg.
   Axpy(static_cast<float>(scale), greg_, grad);
@@ -91,6 +120,23 @@ double GmRegularizer::Penalty(const Tensor& w) const {
       },
       [](double acc, double partial) { return acc + partial; },
       options_.num_threads);
+}
+
+void GmRegularizer::AppendMetrics(const std::string& prefix,
+                                  MetricsRecord* record) const {
+  record->AddDoubleList(prefix + ".lambda", gm_.lambda());
+  record->AddDoubleList(prefix + ".pi", gm_.pi());
+  record->AddInt(prefix + ".esteps", estep_count_);
+  record->AddInt(prefix + ".msteps", mstep_count_);
+  record->AddInt(prefix + ".greg_cache_hits", greg_cache_hits_);
+  record->AddDouble(prefix + ".estep_seconds", estep_seconds_);
+  record->AddDouble(prefix + ".mstep_seconds", mstep_seconds_);
+  double sq = 0.0;
+  const float* g = greg_.data();
+  for (std::int64_t m = 0; m < num_dims_; ++m) {
+    sq += static_cast<double>(g[m]) * static_cast<double>(g[m]);
+  }
+  record->AddDouble(prefix + ".greg_l2", std::sqrt(sq));
 }
 
 }  // namespace gmreg

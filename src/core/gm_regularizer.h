@@ -85,6 +85,13 @@ class GmRegularizer : public Regularizer {
   double Penalty(const Tensor& w) const override;
   std::string Name() const override { return "GM Reg"; }
 
+  /// Appends `<prefix>.lambda` / `<prefix>.pi` (the learned mixture, K
+  /// entries each), the estep/mstep/cache-hit counters, their cumulative
+  /// seconds, and `<prefix>.greg_l2` (L2 norm of the cached regularization
+  /// gradient) — the per-regularizer slice of a training trace.
+  void AppendMetrics(const std::string& prefix,
+                     MetricsRecord* record) const override;
+
   // The tool's key functions (paper Sec. IV) ------------------------------
 
   /// calResponsibility + calcRegGrad: one E-step pass over w that refreshes
@@ -115,6 +122,10 @@ class GmRegularizer : public Regularizer {
   std::int64_t estep_count() const { return estep_count_; }
   /// Count of M-steps actually executed.
   std::int64_t mstep_count() const { return mstep_count_; }
+  /// AccumulateGradient calls that reused the cached greg instead of
+  /// running an E-step — the work Algorithm 2's Im interval saves. Together
+  /// with estep_count() this is the lazy-update cache hit/recompute split.
+  std::int64_t greg_cache_hits() const { return greg_cache_hits_; }
   /// Cumulative wall-clock spent in CalcRegGrad (E-step) passes; with
   /// estep_count() this gives benches per-call cost and thread scaling.
   double estep_seconds() const { return estep_seconds_; }
@@ -136,6 +147,7 @@ class GmRegularizer : public Regularizer {
   GmSuffStats stats_;  ///< scratch for the M-step pass
   std::int64_t estep_count_ = 0;
   std::int64_t mstep_count_ = 0;
+  std::int64_t greg_cache_hits_ = 0;
   double estep_seconds_ = 0.0;
   double mstep_seconds_ = 0.0;
 };

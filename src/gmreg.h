@@ -57,6 +57,9 @@
 #include "tensor/random.h"
 #include "tensor/tensor.h"
 #include "tensor/tensor_ops.h"
+#include "util/json_writer.h" // JSON emit/parse for telemetry traces
+#include "util/metrics.h"     // telemetry registry, sinks, spans
+#include "util/parallel.h"    // thread budget / sharded loops
 #include "util/rng.h"
 #include "util/status.h"
 

@@ -1,10 +1,12 @@
 #include "optim/trainer.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "nn/loss.h"
 #include "tensor/tensor_ops.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
 #include "util/stopwatch.h"
 
@@ -60,6 +62,14 @@ std::vector<EpochStats> Trainer::Train(const BatchFn& next_batch,
   double scale = 1.0 / static_cast<double>(opts_.num_train_samples);
   std::vector<EpochStats> stats;
   stats.reserve(static_cast<std::size_t>(opts_.epochs));
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter* iterations_counter = registry.counter("trainer.iterations");
+  Counter* epochs_counter = registry.counter("trainer.epochs");
+  std::unique_ptr<JsonlFileSink> trace;
+  if (!opts_.metrics_path.empty()) {
+    trace = std::make_unique<JsonlFileSink>(opts_.metrics_path,
+                                            /*append=*/false);
+  }
   Tensor input;
   Tensor logits;
   Tensor grad_logits;
@@ -68,6 +78,7 @@ std::vector<EpochStats> Trainer::Train(const BatchFn& next_batch,
   std::int64_t iteration = 0;
   Stopwatch watch;
   for (int epoch = 0; epoch < opts_.epochs; ++epoch) {
+    ScopedSpan epoch_span("trainer.epoch_seconds");
     for (const auto& [at_epoch, factor] : opts_.lr_schedule) {
       if (at_epoch == epoch) {
         sgd_.set_learning_rate(sgd_.learning_rate() * factor);
@@ -89,19 +100,41 @@ std::vector<EpochStats> Trainer::Train(const BatchFn& next_batch,
       sgd_.Step();
       ++iteration;
     }
+    iterations_counter->Add(batches_per_epoch);
+    epochs_counter->Add(1);
     EpochStats es;
     es.epoch = epoch;
     es.mean_loss = loss_sum / static_cast<double>(batches_per_epoch);
+    es.penalty = RegularizationPenalty();
     es.elapsed_seconds = watch.ElapsedSeconds();
     stats.push_back(es);
+    EmitEpochRecord(es, trace.get());
     if (opts_.log_every_epochs > 0 &&
         (epoch + 1) % opts_.log_every_epochs == 0) {
       GMREG_LOG(Info) << "epoch " << epoch + 1 << "/" << opts_.epochs
                       << " loss=" << es.mean_loss
+                      << " penalty=" << es.penalty
                       << " t=" << es.elapsed_seconds << "s";
     }
   }
   return stats;
+}
+
+void Trainer::EmitEpochRecord(const EpochStats& es, MetricsSink* trace) {
+  MetricsRecord record("epoch");
+  record.AddString("run", opts_.run_label);
+  record.AddInt("epoch", es.epoch);
+  record.AddInt("epochs_total", opts_.epochs);
+  record.AddDouble("mean_loss", es.mean_loss);
+  record.AddDouble("penalty", es.penalty);
+  record.AddDouble("elapsed_seconds", es.elapsed_seconds);
+  record.AddDouble("learning_rate", sgd_.learning_rate());
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    if (regs_[k] == nullptr) continue;
+    regs_[k]->AppendMetrics("reg." + params_[k].name, &record);
+  }
+  MetricsRegistry::Global().Emit(record);
+  if (trace != nullptr) trace->Write(record);
 }
 
 double Trainer::EvaluateAccuracy(const Tensor& inputs,

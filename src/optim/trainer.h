@@ -31,6 +31,14 @@ struct TrainOptions {
   /// installs that budget process-wide via SetDefaultNumThreads, 1 forcing
   /// the serial paths. See docs/PARALLELISM.md.
   int num_threads = 0;
+  /// When non-empty, Train() writes one "epoch" JSONL record per epoch to
+  /// this file (truncated at the start of the run) — the per-run training
+  /// trace of docs/OBSERVABILITY.md. Independent of (and in addition to)
+  /// any process-wide GMREG_METRICS_FILE sink.
+  std::string metrics_path;
+  /// Tag stamped into every emitted record as the "run" field, so traces
+  /// from several runs sharing one sink stay separable.
+  std::string run_label = "train";
 };
 
 /// Per-epoch bookkeeping; `elapsed_seconds` is cumulative wall-clock since
@@ -38,6 +46,9 @@ struct TrainOptions {
 struct EpochStats {
   int epoch = 0;
   double mean_loss = 0.0;
+  /// Total -log prior over all regularized parameters (scaled by 1/N) at
+  /// the end of the epoch; 0 when nothing is attached.
+  double penalty = 0.0;
   double elapsed_seconds = 0.0;
 };
 
@@ -79,6 +90,11 @@ class Trainer {
   double RegularizationPenalty() const;
 
  private:
+  /// Builds the per-epoch telemetry record (loss, penalty, per-regularizer
+  /// learned state via Regularizer::AppendMetrics) and emits it to the
+  /// global registry sinks plus the optional per-run `trace` sink.
+  void EmitEpochRecord(const EpochStats& es, MetricsSink* trace);
+
   Layer* net_;
   TrainOptions opts_;
   std::vector<ParamRef> params_;

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "tensor/tensor.h"
+#include "util/metrics.h"
 
 namespace gmreg {
 
@@ -34,6 +35,18 @@ class Regularizer {
 
   /// Display name, e.g. "L2 Reg".
   virtual std::string Name() const = 0;
+
+  /// Appends this regularizer's telemetry as `<prefix>.<field>` entries to
+  /// `record` — the hook the Trainer's per-epoch JSONL records call into
+  /// (docs/OBSERVABILITY.md). Adaptive implementations report their learned
+  /// state (lambda/pi, E/M-step and cache-hit counts); the default appends
+  /// nothing. Must be cheap (at most one O(M) pass) and must not mutate the
+  /// regularizer.
+  virtual void AppendMetrics(const std::string& prefix,
+                             MetricsRecord* record) const {
+    (void)prefix;
+    (void)record;
+  }
 };
 
 }  // namespace gmreg

@@ -1,0 +1,341 @@
+#include "util/json_writer.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace gmreg {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[32];
+  // Shortest representation that round-trips to the same double.
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  if (ec != std::errc()) return "null";
+  return std::string(buf, ptr);
+}
+
+void JsonWriter::MaybeComma() {
+  if (need_comma_) out_ += ',';
+  need_comma_ = false;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  MaybeComma();
+  out_ += '{';
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  out_ += '}';
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  MaybeComma();
+  out_ += '[';
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  out_ += ']';
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(const std::string& key) {
+  MaybeComma();
+  out_ += '"';
+  out_ += JsonEscape(key);
+  out_ += "\":";
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(const std::string& value) {
+  MaybeComma();
+  out_ += '"';
+  out_ += JsonEscape(value);
+  out_ += '"';
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(std::int64_t value) {
+  MaybeComma();
+  out_ += StrFormat("%lld", static_cast<long long>(value));
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double value) {
+  MaybeComma();
+  out_ += JsonNumber(value);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  MaybeComma();
+  out_ += value ? "true" : "false";
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  MaybeComma();
+  out_ += "null";
+  need_comma_ = true;
+  return *this;
+}
+
+namespace {
+
+// Recursive-descent parser over [p, end). On failure leaves an error offset
+// in *err_at (first error wins).
+class Parser {
+ public:
+  Parser(const char* begin, const char* end) : p_(begin), begin_(begin), end_(end) {}
+
+  bool ParseValue(JsonValue* out);
+  void SkipWs() {
+    while (p_ < end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) {
+      ++p_;
+    }
+  }
+  std::size_t offset() const { return static_cast<std::size_t>(p_ - begin_); }
+  bool AtEnd() {
+    SkipWs();
+    return p_ == end_;
+  }
+
+ private:
+  bool ParseString(std::string* out);
+  bool ParseNumber(JsonValue* out);
+  bool Literal(const char* lit) {
+    std::size_t n = std::strlen(lit);
+    if (static_cast<std::size_t>(end_ - p_) < n || std::strncmp(p_, lit, n) != 0) {
+      return false;
+    }
+    p_ += n;
+    return true;
+  }
+
+  const char* p_;
+  const char* begin_;
+  const char* end_;
+};
+
+bool Parser::ParseString(std::string* out) {
+  if (p_ == end_ || *p_ != '"') return false;
+  ++p_;
+  out->clear();
+  while (p_ < end_ && *p_ != '"') {
+    char c = *p_++;
+    if (c != '\\') {
+      *out += c;
+      continue;
+    }
+    if (p_ == end_) return false;
+    char esc = *p_++;
+    switch (esc) {
+      case '"': *out += '"'; break;
+      case '\\': *out += '\\'; break;
+      case '/': *out += '/'; break;
+      case 'b': *out += '\b'; break;
+      case 'f': *out += '\f'; break;
+      case 'n': *out += '\n'; break;
+      case 'r': *out += '\r'; break;
+      case 't': *out += '\t'; break;
+      case 'u': {
+        if (end_ - p_ < 4) return false;
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+          char h = *p_++;
+          code <<= 4;
+          if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+          else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+          else return false;
+        }
+        // UTF-8 encode (surrogate pairs are passed through individually;
+        // the telemetry layer never emits them).
+        if (code < 0x80) {
+          *out += static_cast<char>(code);
+        } else if (code < 0x800) {
+          *out += static_cast<char>(0xC0 | (code >> 6));
+          *out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+          *out += static_cast<char>(0xE0 | (code >> 12));
+          *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+          *out += static_cast<char>(0x80 | (code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return false;
+    }
+  }
+  if (p_ == end_) return false;
+  ++p_;  // closing quote
+  return true;
+}
+
+bool Parser::ParseNumber(JsonValue* out) {
+  const char* start = p_;
+  if (p_ < end_ && (*p_ == '-' || *p_ == '+')) ++p_;
+  while (p_ < end_ && ((*p_ >= '0' && *p_ <= '9') || *p_ == '.' || *p_ == 'e' ||
+                       *p_ == 'E' || *p_ == '-' || *p_ == '+')) {
+    ++p_;
+  }
+  if (p_ == start) return false;
+  double value = 0.0;
+  auto [ptr, ec] = std::from_chars(start, p_, value);
+  if (ec != std::errc() || ptr != p_) return false;
+  out->kind = JsonValue::Kind::kNumber;
+  out->number = value;
+  return true;
+}
+
+bool Parser::ParseValue(JsonValue* out) {
+  SkipWs();
+  if (p_ == end_) return false;
+  switch (*p_) {
+    case '{': {
+      ++p_;
+      out->kind = JsonValue::Kind::kObject;
+      SkipWs();
+      if (p_ < end_ && *p_ == '}') {
+        ++p_;
+        return true;
+      }
+      for (;;) {
+        SkipWs();
+        std::string key;
+        if (!ParseString(&key)) return false;
+        SkipWs();
+        if (p_ == end_ || *p_ != ':') return false;
+        ++p_;
+        JsonValue value;
+        if (!ParseValue(&value)) return false;
+        out->members.emplace_back(std::move(key), std::move(value));
+        SkipWs();
+        if (p_ == end_) return false;
+        if (*p_ == ',') {
+          ++p_;
+          continue;
+        }
+        if (*p_ == '}') {
+          ++p_;
+          return true;
+        }
+        return false;
+      }
+    }
+    case '[': {
+      ++p_;
+      out->kind = JsonValue::Kind::kArray;
+      SkipWs();
+      if (p_ < end_ && *p_ == ']') {
+        ++p_;
+        return true;
+      }
+      for (;;) {
+        JsonValue item;
+        if (!ParseValue(&item)) return false;
+        out->items.push_back(std::move(item));
+        SkipWs();
+        if (p_ == end_) return false;
+        if (*p_ == ',') {
+          ++p_;
+          continue;
+        }
+        if (*p_ == ']') {
+          ++p_;
+          return true;
+        }
+        return false;
+      }
+    }
+    case '"':
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->string_value);
+    case 't':
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = true;
+      return Literal("true");
+    case 'f':
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = false;
+      return Literal("false");
+    case 'n':
+      out->kind = JsonValue::Kind::kNull;
+      return Literal("null");
+    default:
+      return ParseNumber(out);
+  }
+}
+
+}  // namespace
+
+Status JsonValue::Parse(const std::string& text, JsonValue* out) {
+  *out = JsonValue();
+  Parser parser(text.data(), text.data() + text.size());
+  if (!parser.ParseValue(out) || !parser.AtEnd()) {
+    return Status::InvalidArgument(
+        StrFormat("malformed JSON near byte %zu", parser.offset()));
+  }
+  return Status::Ok();
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+}  // namespace gmreg

@@ -1,0 +1,84 @@
+#ifndef GMREG_UTIL_JSON_WRITER_H_
+#define GMREG_UTIL_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gmreg {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included). Control characters become \uXXXX escapes.
+std::string JsonEscape(const std::string& s);
+
+/// Renders a double the way the telemetry layer does everywhere: shortest
+/// round-trippable decimal form; NaN and +/-Inf (not representable in JSON)
+/// become null. Thread-compatible (pure function).
+std::string JsonNumber(double value);
+
+/// Streaming writer producing compact (single-line) JSON — the format of
+/// the JSONL metrics sinks and the BENCH_*.json summaries. Call sequence is
+/// checked only lightly; the caller is responsible for well-formedness
+/// (Begin/End pairing, Key before every object value). Not thread-safe;
+/// build one per record.
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits the member key for the next value (objects only).
+  JsonWriter& Key(const std::string& key);
+
+  JsonWriter& String(const std::string& value);
+  JsonWriter& Int(std::int64_t value);
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// The JSON text produced so far.
+  const std::string& str() const { return out_; }
+
+ private:
+  void MaybeComma();
+
+  std::string out_;
+  bool need_comma_ = false;
+};
+
+/// A parsed JSON document — the read side of the JSONL telemetry format,
+/// used by tests (emit -> parse -> compare round-trips) and by consumers of
+/// training traces. Numbers are held as double (JSON has one number type).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> items;                              ///< kArray
+  std::vector<std::pair<std::string, JsonValue>> members;    ///< kObject
+
+  /// Parses one complete JSON document from `text` (trailing whitespace
+  /// allowed, trailing garbage is an error). Returns InvalidArgument with a
+  /// byte offset on malformed input.
+  static Status Parse(const std::string& text, JsonValue* out);
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+};
+
+}  // namespace gmreg
+
+#endif  // GMREG_UTIL_JSON_WRITER_H_

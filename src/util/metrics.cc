@@ -1,0 +1,260 @@
+#include "util/metrics.h"
+
+#include <cstdlib>
+
+#include "util/json_writer.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace gmreg {
+
+// ---------------------------------------------------------------------------
+// MetricValue / MetricsRecord
+// ---------------------------------------------------------------------------
+
+MetricValue MetricValue::Int(std::int64_t v) {
+  MetricValue m;
+  m.kind = Kind::kInt;
+  m.int_value = v;
+  return m;
+}
+
+MetricValue MetricValue::Double(double v) {
+  MetricValue m;
+  m.kind = Kind::kDouble;
+  m.double_value = v;
+  return m;
+}
+
+MetricValue MetricValue::Str(std::string v) {
+  MetricValue m;
+  m.kind = Kind::kString;
+  m.string_value = std::move(v);
+  return m;
+}
+
+MetricValue MetricValue::DoubleList(std::vector<double> v) {
+  MetricValue m;
+  m.kind = Kind::kDoubleList;
+  m.list_value = std::move(v);
+  return m;
+}
+
+void MetricsRecord::AddInt(const std::string& key, std::int64_t v) {
+  fields.emplace_back(key, MetricValue::Int(v));
+}
+
+void MetricsRecord::AddDouble(const std::string& key, double v) {
+  fields.emplace_back(key, MetricValue::Double(v));
+}
+
+void MetricsRecord::AddString(const std::string& key, std::string v) {
+  fields.emplace_back(key, MetricValue::Str(std::move(v)));
+}
+
+void MetricsRecord::AddDoubleList(const std::string& key, std::vector<double> v) {
+  fields.emplace_back(key, MetricValue::DoubleList(std::move(v)));
+}
+
+const MetricValue* MetricsRecord::Find(const std::string& key) const {
+  for (const auto& [k, v] : fields) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string RecordToJson(const MetricsRecord& record) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("event").String(record.event);
+  for (const auto& [key, value] : record.fields) {
+    w.Key(key);
+    switch (value.kind) {
+      case MetricValue::Kind::kInt:
+        w.Int(value.int_value);
+        break;
+      case MetricValue::Kind::kDouble:
+        w.Double(value.double_value);
+        break;
+      case MetricValue::Kind::kString:
+        w.String(value.string_value);
+        break;
+      case MetricValue::Kind::kDoubleList:
+        w.BeginArray();
+        for (double d : value.list_value) w.Double(d);
+        w.EndArray();
+        break;
+    }
+  }
+  w.EndObject();
+  return w.str();
+}
+
+// ---------------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------------
+
+void LogSink::Write(const MetricsRecord& record) {
+  std::string line = "metrics " + record.event;
+  for (const auto& [key, value] : record.fields) {
+    line += ' ';
+    line += key;
+    line += '=';
+    switch (value.kind) {
+      case MetricValue::Kind::kInt:
+        line += StrFormat("%lld", static_cast<long long>(value.int_value));
+        break;
+      case MetricValue::Kind::kDouble:
+        line += JsonNumber(value.double_value);
+        break;
+      case MetricValue::Kind::kString:
+        line += value.string_value;
+        break;
+      case MetricValue::Kind::kDoubleList: {
+        line += '[';
+        for (std::size_t i = 0; i < value.list_value.size(); ++i) {
+          if (i > 0) line += ',';
+          line += JsonNumber(value.list_value[i]);
+        }
+        line += ']';
+        break;
+      }
+    }
+  }
+  internal_logging::LogMessage(LogLevel::kInfo, __FILE__, __LINE__).stream()
+      << line;
+}
+
+JsonlFileSink::JsonlFileSink(const std::string& path, bool append)
+    : out_(path, append ? std::ios::app : std::ios::trunc) {
+  if (!out_.is_open()) {
+    GMREG_LOG(Warning) << "metrics: cannot open JSONL sink '" << path
+                       << "'; telemetry for this sink is dropped";
+  }
+}
+
+void JsonlFileSink::Write(const MetricsRecord& record) {
+  if (!out_.is_open()) return;
+  out_ << RecordToJson(record) << '\n';
+  out_.flush();
+}
+
+void JsonlFileSink::Flush() {
+  if (out_.is_open()) out_.flush();
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+void Histogram::Observe(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++state_.count;
+  state_.sum += v;
+  if (v < state_.min) state_.min = v;
+  if (v > state_.max) state_.max = v;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked on purpose: instrument pointers cached by hot paths (and pool
+  // worker threads) must outlive static destruction.
+  static MetricsRegistry* global = [] {
+    auto* registry = new MetricsRegistry();
+    if (const char* path = std::getenv("GMREG_METRICS_FILE");
+        path != nullptr && path[0] != '\0') {
+      registry->AddSink(std::make_unique<JsonlFileSink>(path, /*append=*/true));
+    }
+    return registry;
+  }();
+  return *global;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  GMREG_CHECK(gauges_.find(name) == gauges_.end() &&
+              histograms_.find(name) == histograms_.end())
+      << "metric '" << name << "' already registered with a different kind";
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  GMREG_CHECK(counters_.find(name) == counters_.end() &&
+              histograms_.find(name) == histograms_.end())
+      << "metric '" << name << "' already registered with a different kind";
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  GMREG_CHECK(counters_.find(name) == counters_.end() &&
+              gauges_.find(name) == gauges_.end())
+      << "metric '" << name << "' already registered with a different kind";
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+void MetricsRegistry::AddSink(std::unique_ptr<MetricsSink> sink) {
+  GMREG_CHECK(sink != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  sinks_.push_back(std::move(sink));
+}
+
+void MetricsRegistry::ClearSinks() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sinks_.clear();
+}
+
+int MetricsRegistry::num_sinks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(sinks_.size());
+}
+
+void MetricsRegistry::Emit(const MetricsRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& sink : sinks_) sink->Write(record);
+}
+
+MetricsRecord MetricsRegistry::Snapshot(const std::string& event) const {
+  MetricsRecord record(event);
+  std::lock_guard<std::mutex> lock(mu_);
+  // std::map iteration is name-sorted, so snapshots are deterministic.
+  for (const auto& [name, c] : counters_) record.AddInt(name, c->value());
+  for (const auto& [name, g] : gauges_) record.AddDouble(name, g->value());
+  for (const auto& [name, h] : histograms_) {
+    Histogram::Snapshot s = h->snapshot();
+    record.AddInt(name + ".count", s.count);
+    record.AddDouble(name + ".sum", s.sum);
+    if (s.count > 0) {
+      record.AddDouble(name + ".min", s.min);
+      record.AddDouble(name + ".max", s.max);
+    }
+  }
+  return record;
+}
+
+void MetricsRegistry::EmitSnapshot(const std::string& event) {
+  Emit(Snapshot(event));
+}
+
+ScopedSpan::ScopedSpan(const std::string& name, MetricsRegistry* registry)
+    : hist_((registry != nullptr ? registry : &MetricsRegistry::Global())
+                ->histogram(name)) {}
+
+ScopedSpan::~ScopedSpan() { hist_->Observe(watch_.ElapsedSeconds()); }
+
+}  // namespace gmreg

@@ -1,0 +1,224 @@
+#ifndef GMREG_UTIL_METRICS_H_
+#define GMREG_UTIL_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/stopwatch.h"
+
+namespace gmreg {
+
+// ---------------------------------------------------------------------------
+// Records: one structured telemetry event (one JSONL line).
+// ---------------------------------------------------------------------------
+
+/// One field value of a MetricsRecord. A small tagged union covering what
+/// the telemetry layer emits: numbers, strings, and flat lists of numbers
+/// (the per-epoch lambda/pi arrays). Copyable value type.
+struct MetricValue {
+  enum class Kind { kInt, kDouble, kString, kDoubleList };
+
+  Kind kind = Kind::kInt;
+  std::int64_t int_value = 0;
+  double double_value = 0.0;
+  std::string string_value;
+  std::vector<double> list_value;
+
+  static MetricValue Int(std::int64_t v);
+  static MetricValue Double(double v);
+  static MetricValue Str(std::string v);
+  static MetricValue DoubleList(std::vector<double> v);
+};
+
+/// One telemetry event: an event name plus ordered key -> value fields.
+/// Field order is preserved into the JSON rendering, so a record built the
+/// same way always serializes byte-identically (deterministic traces).
+struct MetricsRecord {
+  MetricsRecord() = default;
+  explicit MetricsRecord(std::string event_name) : event(std::move(event_name)) {}
+
+  std::string event;  ///< e.g. "epoch", "bench_summary", "snapshot"
+  std::vector<std::pair<std::string, MetricValue>> fields;
+
+  void AddInt(const std::string& key, std::int64_t v);
+  void AddDouble(const std::string& key, double v);
+  void AddString(const std::string& key, std::string v);
+  void AddDoubleList(const std::string& key, std::vector<double> v);
+
+  /// First field with `key`, or nullptr.
+  const MetricValue* Find(const std::string& key) const;
+};
+
+/// Renders a record as one compact JSON object: {"event":...,<fields...>}.
+/// NaN/Inf render as null (JSON has no encoding for them).
+std::string RecordToJson(const MetricsRecord& record);
+
+// ---------------------------------------------------------------------------
+// Sinks: pluggable consumers of records.
+// ---------------------------------------------------------------------------
+
+/// Consumer interface for telemetry records. Implementations must tolerate
+/// concurrent Write calls or be registered with a registry (which serializes
+/// Emit under its mutex — the built-in sinks rely on that).
+class MetricsSink {
+ public:
+  virtual ~MetricsSink() = default;
+  virtual void Write(const MetricsRecord& record) = 0;
+  virtual void Flush() {}
+};
+
+/// Human-readable sink: renders each record as a single "key=value ..." line
+/// via util/logging at Info level. Plug into a registry when a run should
+/// narrate its telemetry (the examples do this).
+class LogSink : public MetricsSink {
+ public:
+  void Write(const MetricsRecord& record) override;
+};
+
+/// JSONL file sink: one RecordToJson line per record, flushed per line so a
+/// killed run keeps its trace. `append` false truncates (fresh per-run
+/// trace, e.g. TrainOptions::metrics_path); true appends (shared
+/// process-wide file, e.g. GMREG_METRICS_FILE).
+class JsonlFileSink : public MetricsSink {
+ public:
+  explicit JsonlFileSink(const std::string& path, bool append = false);
+
+  /// False when the file could not be opened; Write is then a no-op
+  /// (telemetry must never take down training).
+  bool ok() const { return out_.is_open(); }
+
+  void Write(const MetricsRecord& record) override;
+  void Flush() override;
+
+ private:
+  std::ofstream out_;
+};
+
+// ---------------------------------------------------------------------------
+// Instruments: counters, gauges, histograms, spans.
+// ---------------------------------------------------------------------------
+
+/// Monotone event counter. Add/value are lock-free and thread-safe; hot
+/// paths cache the Counter* once and Add on it (registry lookup is mutexed).
+class Counter {
+ public:
+  void Add(std::int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-written-value instrument. Set/value are thread-safe (atomic double);
+/// concurrent writers race benignly (last write wins).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Streaming summary of a distribution: count / sum / min / max (and mean).
+/// Observe is thread-safe (internal mutex); intended for epoch- or
+/// pass-level observations, not per-element inner loops.
+class Histogram {
+ public:
+  struct Snapshot {
+    std::int64_t count = 0;
+    double sum = 0.0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+
+    double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+  };
+
+  void Observe(double v);
+  Snapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  Snapshot state_;
+};
+
+// ---------------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------------
+
+/// Process-wide registry of named instruments plus the sink fan-out. All
+/// methods are thread-safe. Instrument pointers returned by
+/// counter()/gauge()/histogram() are stable for the registry's lifetime
+/// (the global registry never dies), so hot paths look up once and keep the
+/// pointer.
+///
+/// Tests construct private registries; production code uses Global(), which
+/// on first use auto-installs a JsonlFileSink when the GMREG_METRICS_FILE
+/// environment variable is set (append mode — one file can collect a whole
+/// bench suite).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry (created on first use, never destroyed).
+  static MetricsRegistry& Global();
+
+  /// Returns the instrument named `name`, creating it on first use. Aborts
+  /// if `name` is already registered as a different instrument kind.
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  void AddSink(std::unique_ptr<MetricsSink> sink);
+  void ClearSinks();
+  int num_sinks() const;
+
+  /// Fans `record` out to every sink, serialized under the registry mutex.
+  /// Cheap no-op when no sinks are attached.
+  void Emit(const MetricsRecord& record);
+
+  /// Flattens every instrument into one record, sorted by name: counters as
+  /// ints, gauges as doubles, histograms as <name>.count/.sum/.min/.max.
+  MetricsRecord Snapshot(const std::string& event = "snapshot") const;
+
+  /// Emit(Snapshot(event)) — the usual end-of-run call.
+  void EmitSnapshot(const std::string& event = "snapshot");
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::vector<std::unique_ptr<MetricsSink>> sinks_;
+};
+
+/// RAII wall-time span: observes the elapsed seconds between construction
+/// and destruction into `registry->histogram(name)` (Global() by default).
+/// Layered on Stopwatch; name by convention ends in "_seconds".
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const std::string& name, MetricsRegistry* registry = nullptr);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Histogram* hist_;
+  Stopwatch watch_;
+};
+
+}  // namespace gmreg
+
+#endif  // GMREG_UTIL_METRICS_H_

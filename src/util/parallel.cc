@@ -4,6 +4,7 @@
 
 #include "util/env.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace gmreg {
 namespace {
@@ -23,6 +24,30 @@ int PoolWorkerCount() {
 std::atomic<int> g_default_threads_override{0};
 
 thread_local bool tls_in_parallel_region = false;
+
+// Pool utilization accounting, surfaced through MetricsRegistry snapshots
+// (docs/OBSERVABILITY.md). caller_tasks vs worker_tasks is the work-sharing
+// split of the ticket counter: tasks the submitting thread claimed itself
+// vs tasks the pool workers stole off it.
+struct PoolCounters {
+  Counter* runs;          ///< parallel jobs dispatched to the pool
+  Counter* serial_runs;   ///< jobs taken by the serial fallback
+  Counter* tasks;         ///< total tasks across both paths
+  Counter* caller_tasks;  ///< tasks executed by the submitting thread
+  Counter* worker_tasks;  ///< tasks executed by pool workers
+};
+
+PoolCounters& GlobalPoolCounters() {
+  static PoolCounters counters = [] {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    return PoolCounters{registry.counter("parallel.runs"),
+                        registry.counter("parallel.serial_runs"),
+                        registry.counter("parallel.tasks"),
+                        registry.counter("parallel.caller_tasks"),
+                        registry.counter("parallel.worker_tasks")};
+  }();
+  return counters;
+}
 
 }  // namespace
 
@@ -45,6 +70,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Run(int num_tasks, const std::function<void(int)>& fn) {
   if (num_tasks <= 0) return;
+  PoolCounters& counters = GlobalPoolCounters();
   if (workers_.empty() || tls_in_parallel_region || num_tasks == 1) {
     // Serial fallback; still mark the region so task code behaves the same
     // as under a worker (no nested pools).
@@ -52,6 +78,8 @@ void ThreadPool::Run(int num_tasks, const std::function<void(int)>& fn) {
     tls_in_parallel_region = true;
     for (int t = 0; t < num_tasks; ++t) fn(t);
     tls_in_parallel_region = saved;
+    counters.serial_runs->Add(1);
+    counters.tasks->Add(num_tasks);
     return;
   }
   {
@@ -65,14 +93,20 @@ void ThreadPool::Run(int num_tasks, const std::function<void(int)>& fn) {
   wake_cv_.notify_all();
   // The caller claims tasks alongside the workers.
   tls_in_parallel_region = true;
+  int caller_tasks = 0;
   int t;
   while ((t = next_task_.fetch_add(1, std::memory_order_relaxed)) <
          num_tasks) {
     fn(t);
+    ++caller_tasks;
     std::lock_guard<std::mutex> lock(mu_);
     --remaining_tasks_;
   }
   tls_in_parallel_region = false;
+  counters.runs->Add(1);
+  counters.tasks->Add(num_tasks);
+  counters.caller_tasks->Add(caller_tasks);
+  counters.worker_tasks->Add(num_tasks - caller_tasks);
   // Wait until every task has run AND every worker has left the claim loop;
   // the latter makes it safe for the next Run to reset the ticket counter.
   std::unique_lock<std::mutex> lock(mu_);

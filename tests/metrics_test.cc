@@ -1,0 +1,376 @@
+// Tests for the telemetry subsystem (util/metrics, util/json_writer): the
+// registry's counter/gauge/histogram semantics, the JSONL sink round-trip
+// (emit -> parse -> compare), and a Trainer integration run asserting the
+// per-epoch records carry the learned mixture state.
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/gm_regularizer.h"
+#include "gtest/gtest.h"
+#include "nn/dense.h"
+#include "nn/sequential.h"
+#include "optim/trainer.h"
+#include "util/json_writer.h"
+#include "util/metrics.h"
+#include "util/rng.h"
+
+namespace gmreg {
+namespace {
+
+// --------------------------------------------------------------------------
+// JSON writer / parser
+// --------------------------------------------------------------------------
+
+TEST(JsonWriterTest, CompactObjectWithAllValueKinds) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("s").String("a\"b\\c\n");
+  w.Key("i").Int(-42);
+  w.Key("d").Double(1.5);
+  w.Key("t").Bool(true);
+  w.Key("n").Null();
+  w.Key("arr").BeginArray().Double(0.25).Double(2).EndArray();
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"s\":\"a\\\"b\\\\c\\n\",\"i\":-42,\"d\":1.5,\"t\":true,"
+            "\"n\":null,\"arr\":[0.25,2]}");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Double(std::numeric_limits<double>::quiet_NaN());
+  w.Double(std::numeric_limits<double>::infinity());
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST(JsonParseTest, RoundTripsNestedDocument) {
+  const std::string text =
+      "{\"a\":[1,2.5,-3e2],\"b\":{\"c\":\"x\\u0041y\",\"d\":false},"
+      "\"e\":null}";
+  JsonValue v;
+  ASSERT_TRUE(JsonValue::Parse(text, &v).ok());
+  ASSERT_TRUE(v.is_object());
+  const JsonValue* a = v.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->items.size(), 3u);
+  EXPECT_DOUBLE_EQ(a->items[0].number, 1.0);
+  EXPECT_DOUBLE_EQ(a->items[1].number, 2.5);
+  EXPECT_DOUBLE_EQ(a->items[2].number, -300.0);
+  const JsonValue* c = v.Find("b")->Find("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->string_value, "xAy");
+  EXPECT_EQ(v.Find("b")->Find("d")->bool_value, false);
+  EXPECT_EQ(v.Find("e")->kind, JsonValue::Kind::kNull);
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  JsonValue v;
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":}", &v).ok());
+  EXPECT_FALSE(JsonValue::Parse("[1,2", &v).ok());
+  EXPECT_FALSE(JsonValue::Parse("{} trailing", &v).ok());
+  EXPECT_FALSE(JsonValue::Parse("", &v).ok());
+  EXPECT_FALSE(JsonValue::Parse("{'a':1}", &v).ok());
+}
+
+TEST(JsonParseTest, NumberRoundTripsThroughJsonNumber) {
+  for (double d : {0.0, 1.0, -1.0, 0.1, 1e300, 5e-324, 123456.789}) {
+    JsonValue v;
+    ASSERT_TRUE(JsonValue::Parse(JsonNumber(d), &v).ok());
+    EXPECT_EQ(v.number, d) << "for " << d;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Instruments & registry
+// --------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, CounterAddAndSameNameSamePointer) {
+  MetricsRegistry registry;
+  Counter* c = registry.counter("x");
+  EXPECT_EQ(c->value(), 0);
+  c->Add();
+  c->Add(4);
+  EXPECT_EQ(registry.counter("x"), c);
+  EXPECT_EQ(registry.counter("x")->value(), 5);
+}
+
+TEST(MetricsRegistryTest, CounterIsThreadSafe) {
+  MetricsRegistry registry;
+  Counter* c = registry.counter("hits");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([c] {
+      for (int i = 0; i < 10000; ++i) c->Add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->value(), 40000);
+}
+
+TEST(MetricsRegistryTest, GaugeKeepsLastValue) {
+  MetricsRegistry registry;
+  Gauge* g = registry.gauge("lr");
+  g->Set(0.1);
+  g->Set(0.01);
+  EXPECT_DOUBLE_EQ(g->value(), 0.01);
+}
+
+TEST(MetricsRegistryTest, HistogramTracksCountSumMinMax) {
+  MetricsRegistry registry;
+  Histogram* h = registry.histogram("t");
+  h->Observe(2.0);
+  h->Observe(-1.0);
+  h->Observe(5.0);
+  Histogram::Snapshot s = h->snapshot();
+  EXPECT_EQ(s.count, 3);
+  EXPECT_DOUBLE_EQ(s.sum, 6.0);
+  EXPECT_DOUBLE_EQ(s.min, -1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+}
+
+TEST(MetricsRegistryTest, SnapshotFlattensAllInstruments) {
+  MetricsRegistry registry;
+  registry.counter("a.count")->Add(3);
+  registry.gauge("b.gauge")->Set(1.5);
+  registry.histogram("c.hist")->Observe(2.0);
+  MetricsRecord snap = registry.Snapshot("snap");
+  EXPECT_EQ(snap.event, "snap");
+  ASSERT_NE(snap.Find("a.count"), nullptr);
+  EXPECT_EQ(snap.Find("a.count")->int_value, 3);
+  EXPECT_DOUBLE_EQ(snap.Find("b.gauge")->double_value, 1.5);
+  EXPECT_EQ(snap.Find("c.hist.count")->int_value, 1);
+  EXPECT_DOUBLE_EQ(snap.Find("c.hist.sum")->double_value, 2.0);
+}
+
+TEST(MetricsRegistryTest, ScopedSpanObservesIntoHistogram) {
+  MetricsRegistry registry;
+  { ScopedSpan span("work_seconds", &registry); }
+  { ScopedSpan span("work_seconds", &registry); }
+  Histogram::Snapshot s = registry.histogram("work_seconds")->snapshot();
+  EXPECT_EQ(s.count, 2);
+  EXPECT_GE(s.min, 0.0);
+}
+
+class VectorSink : public MetricsSink {
+ public:
+  void Write(const MetricsRecord& record) override {
+    records.push_back(record);
+  }
+  std::vector<MetricsRecord> records;
+};
+
+TEST(MetricsRegistryTest, EmitFansOutToEverySink) {
+  MetricsRegistry registry;
+  auto sink1 = std::make_unique<VectorSink>();
+  auto sink2 = std::make_unique<VectorSink>();
+  VectorSink* s1 = sink1.get();
+  VectorSink* s2 = sink2.get();
+  registry.AddSink(std::move(sink1));
+  registry.AddSink(std::move(sink2));
+  EXPECT_EQ(registry.num_sinks(), 2);
+  MetricsRecord record("evt");
+  record.AddInt("k", 7);
+  registry.Emit(record);
+  ASSERT_EQ(s1->records.size(), 1u);
+  ASSERT_EQ(s2->records.size(), 1u);
+  EXPECT_EQ(s1->records[0].Find("k")->int_value, 7);
+  registry.ClearSinks();
+  EXPECT_EQ(registry.num_sinks(), 0);
+}
+
+// --------------------------------------------------------------------------
+// JSONL sink round-trip
+// --------------------------------------------------------------------------
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(JsonlSinkTest, EmitParseCompareRoundTrip) {
+  std::string path = TempPath("roundtrip.jsonl");
+  MetricsRecord record("epoch");
+  record.AddString("run", "unit \"quoted\"");
+  record.AddInt("epoch", 3);
+  record.AddDouble("mean_loss", 0.125);
+  record.AddDoubleList("lambda", {1.0, 10.5, 100.0});
+  {
+    JsonlFileSink sink(path);
+    ASSERT_TRUE(sink.ok());
+    sink.Write(record);
+    sink.Write(record);
+  }
+  std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& line : lines) {
+    JsonValue v;
+    ASSERT_TRUE(JsonValue::Parse(line, &v).ok()) << line;
+    EXPECT_EQ(v.Find("event")->string_value, "epoch");
+    EXPECT_EQ(v.Find("run")->string_value, "unit \"quoted\"");
+    EXPECT_DOUBLE_EQ(v.Find("epoch")->number, 3.0);
+    EXPECT_DOUBLE_EQ(v.Find("mean_loss")->number, 0.125);
+    const JsonValue* lambda = v.Find("lambda");
+    ASSERT_NE(lambda, nullptr);
+    ASSERT_EQ(lambda->items.size(), 3u);
+    EXPECT_DOUBLE_EQ(lambda->items[1].number, 10.5);
+  }
+}
+
+TEST(JsonlSinkTest, TruncatesByDefaultAppendsWhenAsked) {
+  std::string path = TempPath("append.jsonl");
+  MetricsRecord record("e");
+  { JsonlFileSink sink(path); sink.Write(record); }
+  { JsonlFileSink sink(path, /*append=*/true); sink.Write(record); }
+  EXPECT_EQ(ReadLines(path).size(), 2u);
+  { JsonlFileSink sink(path); sink.Write(record); }
+  EXPECT_EQ(ReadLines(path).size(), 1u);
+}
+
+TEST(JsonlSinkTest, UnopenablePathIsDroppedNotFatal) {
+  JsonlFileSink sink("/nonexistent-dir-gmreg/metrics.jsonl");
+  EXPECT_FALSE(sink.ok());
+  MetricsRecord record("e");
+  sink.Write(record);  // must not crash
+}
+
+// --------------------------------------------------------------------------
+// Trainer integration: per-epoch JSONL trace
+// --------------------------------------------------------------------------
+
+TEST(TrainerMetricsTest, PerEpochRecordsCarryLearnedMixture) {
+  const int kEpochs = 4;
+  const int kComponents = 4;
+  std::string path = TempPath("trainer_trace.jsonl");
+  Rng rng(17);
+  Sequential net("net");
+  net.Emplace<Dense>("fc", 6, 2, InitSpec::Gaussian(0.1), &rng);
+  TrainOptions opts;
+  opts.epochs = kEpochs;
+  opts.batch_size = 8;
+  opts.learning_rate = 0.05;
+  opts.num_train_samples = 32;
+  opts.metrics_path = path;
+  opts.run_label = "metrics-test";
+  Trainer trainer(&net, opts);
+  GmOptions gm_opts;
+  gm_opts.num_components = kComponents;
+  GmRegularizer reg("fc/weight", 6 * 2, gm_opts);
+  trainer.AttachRegularizer("fc/weight", &reg);
+  Rng data_rng(18);
+  auto batch_fn = [&](Tensor* input, std::vector<int>* labels) {
+    if (input->shape() != std::vector<std::int64_t>{8, 6}) {
+      *input = Tensor({8, 6});
+    }
+    labels->clear();
+    for (int i = 0; i < 8; ++i) {
+      int y = i % 2;
+      labels->push_back(y);
+      for (int j = 0; j < 6; ++j) {
+        input->At(i, j) =
+            static_cast<float>(data_rng.NextGaussian() + (y ? 1.0 : -1.0));
+      }
+    }
+  };
+  std::vector<EpochStats> stats = trainer.Train(batch_fn, 4);
+  ASSERT_EQ(stats.size(), static_cast<std::size_t>(kEpochs));
+
+  std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(kEpochs));
+  for (int e = 0; e < kEpochs; ++e) {
+    JsonValue v;
+    ASSERT_TRUE(JsonValue::Parse(lines[static_cast<std::size_t>(e)], &v).ok())
+        << lines[static_cast<std::size_t>(e)];
+    EXPECT_EQ(v.Find("event")->string_value, "epoch");
+    EXPECT_EQ(v.Find("run")->string_value, "metrics-test");
+    // Records are monotone in epoch.
+    EXPECT_DOUBLE_EQ(v.Find("epoch")->number, e);
+    EXPECT_DOUBLE_EQ(v.Find("mean_loss")->number,
+                     stats[static_cast<std::size_t>(e)].mean_loss);
+    EXPECT_DOUBLE_EQ(v.Find("penalty")->number,
+                     stats[static_cast<std::size_t>(e)].penalty);
+    // Every record carries K lambda and K pi entries.
+    const JsonValue* lambda = v.Find("reg.fc/weight.lambda");
+    const JsonValue* pi = v.Find("reg.fc/weight.pi");
+    ASSERT_NE(lambda, nullptr);
+    ASSERT_NE(pi, nullptr);
+    EXPECT_EQ(lambda->items.size(), static_cast<std::size_t>(kComponents));
+    EXPECT_EQ(pi->items.size(), static_cast<std::size_t>(kComponents));
+  }
+  // The last record's lambda/pi match the regularizer's learned state.
+  JsonValue last;
+  ASSERT_TRUE(JsonValue::Parse(lines.back(), &last).ok());
+  const JsonValue* lambda = last.Find("reg.fc/weight.lambda");
+  const JsonValue* pi = last.Find("reg.fc/weight.pi");
+  for (int k = 0; k < kComponents; ++k) {
+    EXPECT_DOUBLE_EQ(lambda->items[static_cast<std::size_t>(k)].number,
+                     reg.mixture().lambda()[static_cast<std::size_t>(k)]);
+    EXPECT_DOUBLE_EQ(pi->items[static_cast<std::size_t>(k)].number,
+                     reg.mixture().pi()[static_cast<std::size_t>(k)]);
+  }
+  // Eager schedule (defaults): an E-step and M-step ran every iteration,
+  // no cache hits.
+  EXPECT_EQ(last.Find("reg.fc/weight.esteps")->number, 16.0);
+  EXPECT_EQ(last.Find("reg.fc/weight.msteps")->number, 16.0);
+  EXPECT_EQ(last.Find("reg.fc/weight.greg_cache_hits")->number, 0.0);
+  EXPECT_GE(last.Find("reg.fc/weight.greg_l2")->number, 0.0);
+}
+
+TEST(TrainerMetricsTest, LazyScheduleReportsCacheHits) {
+  Rng rng(19);
+  Sequential net("net");
+  net.Emplace<Dense>("fc", 4, 2, InitSpec::Gaussian(0.1), &rng);
+  TrainOptions opts;
+  opts.epochs = 2;
+  opts.num_train_samples = 16;
+  Trainer trainer(&net, opts);
+  GmOptions gm_opts;
+  gm_opts.lazy.warmup_epochs = 0;
+  gm_opts.lazy.greg_interval = 5;
+  gm_opts.lazy.gm_interval = 5;
+  GmRegularizer reg("fc/weight", 4 * 2, gm_opts);
+  trainer.AttachRegularizer("fc/weight", &reg);
+  auto batch_fn = [&](Tensor* input, std::vector<int>* labels) {
+    if (input->empty()) *input = Tensor({4, 4});
+    input->Fill(0.5f);
+    *labels = {0, 1, 0, 1};
+  };
+  trainer.Train(batch_fn, 10);
+  // 20 iterations, Im = 5: E-steps at iterations 0,5,10,15 -> 4 recomputes,
+  // 16 cache hits.
+  EXPECT_EQ(reg.estep_count(), 4);
+  EXPECT_EQ(reg.greg_cache_hits(), 16);
+  EXPECT_EQ(reg.estep_count() + reg.greg_cache_hits(), 20);
+}
+
+TEST(GlobalRegistryTest, GmCountersAccumulateIntoGlobalRegistry) {
+  Counter* esteps = MetricsRegistry::Global().counter("gm.esteps");
+  std::int64_t before = esteps->value();
+  GmOptions gm_opts;
+  GmRegularizer reg("w", 8, gm_opts);
+  Tensor w({8});
+  w.Fill(0.1f);
+  Tensor grad({8});
+  grad.SetZero();
+  reg.AccumulateGradient(w, 0, 0, 1.0, &grad);
+  EXPECT_GE(esteps->value(), before + 1);
+}
+
+}  // namespace
+}  // namespace gmreg

@@ -1,0 +1,109 @@
+# Docs reference checker — run as a script:
+#
+#   cmake -DGMREG_REPO_ROOT=<repo root> -P tools/docs_check.cmake
+#
+# Scans README.md and docs/*.md for (a) repo file paths and (b) GMREG_*
+# switch names, and fails (exit != 0) when a referenced path does not exist
+# or a switch is not defined anywhere in the sources. This keeps the docs
+# pass honest: renaming a file or an environment variable without updating
+# the prose breaks the `docs_check` ctest, not a future reader.
+#
+# What counts as a path reference:
+#   * src|docs|bench|examples|tests|tools/...   (checked against the root)
+#   * core|reg|nn|optim|data|models|eval|util|tensor/....{h,cc}
+#                                               (checked against src/)
+#   * TOP_LEVEL.md                              (checked against the root)
+# Tokens containing glob/placeholder characters (`*`, `<`, `{`) never match
+# the patterns, so `BENCH_<name>.json` or `bench_*` are not flagged; paths
+# under build/ are intentionally out of scope.
+
+if(NOT DEFINED GMREG_REPO_ROOT)
+  message(FATAL_ERROR "pass -DGMREG_REPO_ROOT=<repo root>")
+endif()
+
+file(GLOB doc_files "${GMREG_REPO_ROOT}/README.md" "${GMREG_REPO_ROOT}/docs/*.md")
+if(NOT doc_files)
+  message(FATAL_ERROR "docs_check: no docs found under ${GMREG_REPO_ROOT}")
+endif()
+
+set(errors "")
+set(path_refs 0)
+set(gmreg_tokens "")
+
+foreach(doc IN LISTS doc_files)
+  file(READ "${doc}" text)
+  file(RELATIVE_PATH doc_rel "${GMREG_REPO_ROOT}" "${doc}")
+
+  # --- file-path references -----------------------------------------------
+  # The leading delimiter keeps substrings of longer paths (e.g. the
+  # `examples/quickstart` inside `build/examples/quickstart`) from matching;
+  # it is stripped again below.
+  string(REGEX MATCHALL
+         "(^|[^A-Za-z0-9_./-])(src|docs|bench|examples|tests|tools|core|reg|nn|optim|data|models|eval|util|tensor)/[A-Za-z0-9_./-]+"
+         refs "${text}")
+  foreach(ref IN LISTS refs)
+    string(REGEX REPLACE "^[^A-Za-z0-9_./-]" "" ref "${ref}")
+    # Trim sentence punctuation glued to the reference.
+    string(REGEX REPLACE "[.,;:]+$" "" ref "${ref}")
+    set(candidate "")
+    if(ref MATCHES "^(src|docs|bench|examples|tests|tools)/")
+      set(candidate "${GMREG_REPO_ROOT}/${ref}")
+    elseif(ref MATCHES "^(core|reg|nn|optim|data|models|eval|util|tensor)/[A-Za-z0-9_/-]+\\.(h|cc)$")
+      # src-relative include-style reference, e.g. `util/parallel.h`.
+      set(candidate "${GMREG_REPO_ROOT}/src/${ref}")
+    endif()
+    if(candidate)
+      math(EXPR path_refs "${path_refs} + 1")
+      if(NOT EXISTS "${candidate}")
+        list(APPEND errors "${doc_rel}: dangling path reference '${ref}'")
+      endif()
+    endif()
+  endforeach()
+
+  # Top-level markdown references like DESIGN.md / EXPERIMENTS.md.
+  string(REGEX MATCHALL "[A-Z][A-Z_]+\\.md" md_refs "${text}")
+  foreach(ref IN LISTS md_refs)
+    math(EXPR path_refs "${path_refs} + 1")
+    if(NOT EXISTS "${GMREG_REPO_ROOT}/${ref}" AND
+       NOT EXISTS "${GMREG_REPO_ROOT}/docs/${ref}")
+      list(APPEND errors "${doc_rel}: dangling doc reference '${ref}'")
+    endif()
+  endforeach()
+
+  # --- GMREG_* switches ----------------------------------------------------
+  string(REGEX MATCHALL "GMREG_[A-Z_]+[A-Z]" tokens "${text}")
+  list(APPEND gmreg_tokens ${tokens})
+endforeach()
+
+# Every GMREG_* name the docs mention must be defined somewhere in the
+# sources or the build files.
+list(REMOVE_DUPLICATES gmreg_tokens)
+file(GLOB_RECURSE source_files
+     "${GMREG_REPO_ROOT}/src/*.h" "${GMREG_REPO_ROOT}/src/*.cc"
+     "${GMREG_REPO_ROOT}/bench/*.h" "${GMREG_REPO_ROOT}/bench/*.cc"
+     "${GMREG_REPO_ROOT}/tests/*.cc" "${GMREG_REPO_ROOT}/examples/*.cc")
+list(APPEND source_files "${GMREG_REPO_ROOT}/CMakeLists.txt")
+set(all_sources "")
+foreach(f IN LISTS source_files)
+  file(READ "${f}" contents)
+  string(APPEND all_sources "${contents}")
+endforeach()
+foreach(token IN LISTS gmreg_tokens)
+  string(FIND "${all_sources}" "${token}" pos)
+  if(pos EQUAL -1)
+    list(APPEND errors
+         "docs mention '${token}' but it appears nowhere in src/bench/tests/examples/CMakeLists.txt")
+  endif()
+endforeach()
+
+list(LENGTH doc_files num_docs)
+list(LENGTH gmreg_tokens num_tokens)
+if(errors)
+  foreach(e IN LISTS errors)
+    message(SEND_ERROR "docs_check: ${e}")
+  endforeach()
+  message(FATAL_ERROR "docs_check failed")
+endif()
+message(STATUS
+        "docs_check: ${num_docs} docs, ${path_refs} path references and "
+        "${num_tokens} GMREG_* switches all resolve")
