@@ -70,6 +70,25 @@ GaussianMixture GaussianMixture::Initialize(int num_components,
   return GaussianMixture(std::move(pi), std::move(lambda));
 }
 
+GaussianMixture GaussianMixture::FromSerialized(std::vector<double> pi,
+                                                std::vector<double> lambda) {
+  GMREG_CHECK_GE(pi.size(), 1u);
+  GMREG_CHECK_EQ(pi.size(), lambda.size());
+  double total = 0.0;
+  for (double p : pi) {
+    GMREG_CHECK_GE(p, 0.0);
+    total += p;
+  }
+  GMREG_CHECK_LE(std::abs(total - 1.0), 1e-6)
+      << "serialized pi must already be normalized";
+  for (double l : lambda) GMREG_CHECK_GT(l, 0.0);
+  GaussianMixture gm;
+  gm.pi_ = std::move(pi);
+  gm.lambda_ = std::move(lambda);
+  gm.RefreshLogCoefficients();
+  return gm;
+}
+
 void GaussianMixture::Set(std::vector<double> pi, std::vector<double> lambda) {
   pi_ = std::move(pi);
   lambda_ = std::move(lambda);

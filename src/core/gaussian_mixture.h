@@ -36,6 +36,15 @@ class GaussianMixture {
   static GaussianMixture Initialize(int num_components, GmInitMethod method,
                                     double min_precision);
 
+  /// Restores parameters bit-exactly as stored — unlike the constructor it
+  /// does NOT renormalize pi (a renormalizing division can perturb already-
+  /// normalized values by an ulp, which would make a resumed training run
+  /// diverge from the uninterrupted one). pi must already sum to 1 within
+  /// 1e-6 and satisfy the usual validity rules; aborts otherwise. Used by
+  /// the checkpoint path (io/checkpoint.h, GmRegularizer::LoadState).
+  static GaussianMixture FromSerialized(std::vector<double> pi,
+                                        std::vector<double> lambda);
+
   int num_components() const { return static_cast<int>(pi_.size()); }
   const std::vector<double>& pi() const { return pi_; }
   const std::vector<double>& lambda() const { return lambda_; }
@@ -64,6 +73,8 @@ class GaussianMixture {
   std::string ToString() const;
 
  private:
+  GaussianMixture() = default;  // only via FromSerialized
+
   void Validate();
   void RefreshLogCoefficients();
 

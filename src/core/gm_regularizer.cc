@@ -1,8 +1,10 @@
 #include "core/gm_regularizer.h"
 
 #include <cmath>
+#include <sstream>
 
 #include "tensor/tensor_ops.h"
+#include "util/string_util.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/parallel.h"
@@ -120,6 +122,110 @@ double GmRegularizer::Penalty(const Tensor& w) const {
       },
       [](double acc, double partial) { return acc + partial; },
       options_.num_threads);
+}
+
+bool GmRegularizer::SaveState(std::string* out) const {
+  std::ostringstream oss;
+  oss.precision(17);
+  int k = gm_.num_components();
+  oss << "gmreg-state v2 " << k;
+  for (double p : gm_.pi()) oss << " " << p;
+  for (double l : gm_.lambda()) oss << " " << l;
+  oss << " hyper " << hyper_.a << " " << hyper_.b;
+  for (double a : hyper_.alpha) oss << " " << a;
+  oss << " counters " << estep_count_ << " " << mstep_count_ << " "
+      << greg_cache_hits_ << " " << estep_seconds_ << " " << mstep_seconds_;
+  oss << " greg " << num_dims_;
+  const float* g = greg_.data();
+  for (std::int64_t m = 0; m < num_dims_; ++m) {
+    oss << " " << StrFormat("%.9g", static_cast<double>(g[m]));
+  }
+  *out = oss.str();
+  return true;
+}
+
+Status GmRegularizer::LoadState(const std::string& text) {
+  std::istringstream iss(text);
+  std::string magic, version, marker;
+  int k = 0;
+  if (!(iss >> magic >> version >> k) || magic != "gmreg-state") {
+    return Status::InvalidArgument("not a 'gmreg-state' record");
+  }
+  if (version != "v2") {
+    return Status::InvalidArgument("unsupported gmreg-state version '" +
+                                   version + "'");
+  }
+  if (k < 1 || k > 1024) {
+    return Status::OutOfRange(
+        StrFormat("component count %d outside [1, 1024]", k));
+  }
+  auto ks = static_cast<std::size_t>(k);
+  std::vector<double> pi(ks), lambda(ks), alpha(ks);
+  for (double& p : pi) {
+    if (!(iss >> p) || !std::isfinite(p) || p < 0.0) {
+      return Status::InvalidArgument("bad pi in gmreg-state");
+    }
+  }
+  for (double& l : lambda) {
+    if (!(iss >> l) || !std::isfinite(l) || l <= 0.0) {
+      return Status::InvalidArgument("bad lambda in gmreg-state");
+    }
+  }
+  double a = 0.0, b = 0.0;
+  if (!(iss >> marker >> a >> b) || marker != "hyper" || !std::isfinite(a) ||
+      !std::isfinite(b)) {
+    return Status::InvalidArgument("bad hyper section in gmreg-state");
+  }
+  for (double& al : alpha) {
+    if (!(iss >> al) || !std::isfinite(al)) {
+      return Status::InvalidArgument("bad alpha in gmreg-state");
+    }
+  }
+  std::int64_t esteps = 0, msteps = 0, hits = 0;
+  double estep_s = 0.0, mstep_s = 0.0;
+  if (!(iss >> marker >> esteps >> msteps >> hits >> estep_s >> mstep_s) ||
+      marker != "counters" || esteps < 0 || msteps < 0 || hits < 0) {
+    return Status::InvalidArgument("bad counters section in gmreg-state");
+  }
+  std::int64_t m_dims = 0;
+  if (!(iss >> marker >> m_dims) || marker != "greg") {
+    return Status::InvalidArgument("bad greg section in gmreg-state");
+  }
+  if (m_dims != num_dims_) {
+    return Status::FailedPrecondition(
+        StrFormat("gmreg-state has %lld dims, regularizer has %lld",
+                  static_cast<long long>(m_dims),
+                  static_cast<long long>(num_dims_)));
+  }
+  Tensor greg({num_dims_});
+  float* g = greg.data();
+  for (std::int64_t m = 0; m < num_dims_; ++m) {
+    if (!(iss >> g[m]) || !std::isfinite(g[m])) {
+      return Status::InvalidArgument("bad greg values in gmreg-state");
+    }
+  }
+  std::string extra;
+  if (iss >> extra) {
+    return Status::InvalidArgument("trailing garbage in gmreg-state: '" +
+                                   extra + "'");
+  }
+  double pi_total = 0.0;
+  for (double p : pi) pi_total += p;
+  if (std::abs(pi_total - 1.0) > 1e-6) {
+    return Status::OutOfRange("gmreg-state pi is not normalized");
+  }
+  options_.num_components = k;
+  gm_ = GaussianMixture::FromSerialized(std::move(pi), std::move(lambda));
+  hyper_.a = a;
+  hyper_.b = b;
+  hyper_.alpha = std::move(alpha);
+  estep_count_ = esteps;
+  mstep_count_ = msteps;
+  greg_cache_hits_ = hits;
+  estep_seconds_ = estep_s;
+  mstep_seconds_ = mstep_s;
+  greg_ = std::move(greg);
+  return Status::Ok();
 }
 
 void GmRegularizer::AppendMetrics(const std::string& prefix,

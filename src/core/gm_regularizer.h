@@ -92,6 +92,20 @@ class GmRegularizer : public Regularizer {
   void AppendMetrics(const std::string& prefix,
                      MetricsRecord* record) const override;
 
+  /// Serializes the full adaptive state as one `gmreg-state v2` line: the
+  /// mixture (π, λ), the Dirichlet/Gamma hypers (a, b, α — persisted
+  /// verbatim, not re-derived, unlike SetMixture), the lazy-update counters
+  /// and cumulative E/M wall-times, and the cached `greg` vector. With all
+  /// of these restored, a resumed run replays Algorithm 2 bit-exactly even
+  /// mid-interval (the cached greg keeps serving until the next Im tick).
+  bool SaveState(std::string* out) const override;
+
+  /// Parses a SaveState line. The instance must have the same num_dims as
+  /// the writer (FailedPrecondition otherwise); K may differ from the
+  /// configured one (the hypers come from the checkpoint). Rejects
+  /// malformed, non-finite, or trailing-garbage input.
+  Status LoadState(const std::string& text) override;
+
   // The tool's key functions (paper Sec. IV) ------------------------------
 
   /// calResponsibility + calcRegGrad: one E-step pass over w that refreshes

@@ -1,5 +1,6 @@
 #include "core/serialize.h"
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -31,6 +32,9 @@ Status DeserializeMixture(const std::string& text, GaussianMixture* out) {
   std::vector<double> lambda(static_cast<std::size_t>(k));
   for (double& p : pi) {
     if (!(iss >> p)) return Status::InvalidArgument("truncated pi values");
+    if (!std::isfinite(p)) {
+      return Status::OutOfRange("non-finite mixing coefficient");
+    }
     if (p < 0.0) return Status::OutOfRange("negative mixing coefficient");
   }
   double total = 0.0;
@@ -38,7 +42,17 @@ Status DeserializeMixture(const std::string& text, GaussianMixture* out) {
   if (total <= 0.0) return Status::OutOfRange("pi sums to zero");
   for (double& l : lambda) {
     if (!(iss >> l)) return Status::InvalidArgument("truncated lambda values");
+    if (!std::isfinite(l)) return Status::OutOfRange("non-finite precision");
     if (l <= 0.0) return Status::OutOfRange("non-positive precision");
+  }
+  // Exactly K of each and nothing more: a K that understates the value
+  // count (or any other trailing garbage) is a malformed record, not data
+  // to silently drop — checkpoint v2 (io/checkpoint.h) builds on this
+  // parser being strict.
+  std::string extra;
+  if (iss >> extra) {
+    return Status::InvalidArgument("trailing garbage after 'gm v1' record: '" +
+                                   extra + "'");
   }
   *out = GaussianMixture(std::move(pi), std::move(lambda));
   return Status::Ok();
@@ -59,7 +73,17 @@ Status LoadMixture(const std::string& path, GaussianMixture* out) {
   if (!in.is_open()) return Status::NotFound("cannot open: " + path);
   std::string line;
   std::getline(in, line);
-  return DeserializeMixture(line, out);
+  GMREG_RETURN_IF_ERROR(DeserializeMixture(line, out));
+  // The record is single-line by construction; extra lines mean the file
+  // is not what SaveMixture wrote.
+  std::string rest;
+  while (std::getline(in, rest)) {
+    if (rest.find_first_not_of(" \t\r") != std::string::npos) {
+      return Status::InvalidArgument("trailing garbage after mixture line in " +
+                                     path);
+    }
+  }
+  return Status::Ok();
 }
 
 }  // namespace gmreg

@@ -38,6 +38,11 @@
 #include "optim/sgd.h"
 #include "optim/trainer.h"
 
+// Persistence (crash-safe checkpoint/resume).
+#include "io/checkpoint.h"     // versioned, checksummed training snapshots
+#include "util/atomic_file.h"  // temp + fsync + rename file replacement
+#include "util/fault.h"        // GMREG_FAULT crash/corruption injection
+
 // Data layer.
 #include "data/batch.h"
 #include "data/cifar_like.h"

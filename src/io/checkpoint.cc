@@ -1,0 +1,316 @@
+#include "io/checkpoint.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <thread>
+
+#include "util/atomic_file.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/string_util.h"
+
+namespace gmreg {
+namespace {
+
+// Checkpoint-I/O accounting, surfaced through MetricsRegistry snapshots and
+// documented in docs/OBSERVABILITY.md.
+struct CkptCounters {
+  Counter* saves;
+  Counter* save_failures;
+  Counter* write_retries;
+  Counter* loads;
+  Counter* corrupt_skipped;
+  Counter* fallback_loads;
+};
+
+CkptCounters& GlobalCkptCounters() {
+  static CkptCounters counters = [] {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    return CkptCounters{registry.counter("gm.checkpoint_saves"),
+                        registry.counter("gm.checkpoint_save_failures"),
+                        registry.counter("gm.checkpoint_write_retries"),
+                        registry.counter("gm.checkpoint_loads"),
+                        registry.counter("gm.checkpoint_corrupt_skipped"),
+                        registry.counter("gm.checkpoint_fallback_loads")};
+  }();
+  return counters;
+}
+
+void AppendTensor(const char* tag, const std::string& name, const Tensor& t,
+                  std::ostringstream* oss) {
+  *oss << tag << " " << name << " " << t.rank();
+  for (std::int64_t d : t.shape()) *oss << " " << d;
+  const float* data = t.data();
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    // %.9g round-trips binary32 exactly and keeps files readable.
+    *oss << " " << StrFormat("%.9g", static_cast<double>(data[i]));
+  }
+  *oss << "\n";
+}
+
+Status ParseTensor(std::istringstream* iss, const char* tag,
+                   std::string* name, Tensor* out) {
+  std::string got_tag;
+  int rank = 0;
+  if (!(*iss >> got_tag >> *name >> rank) || got_tag != tag) {
+    return Status::InvalidArgument(StrFormat("expected '%s' line", tag));
+  }
+  if (rank < 0 || rank > 8) {
+    return Status::InvalidArgument(StrFormat("bad tensor rank %d", rank));
+  }
+  std::vector<std::int64_t> shape(static_cast<std::size_t>(rank));
+  for (std::int64_t& d : shape) {
+    if (!(*iss >> d) || d <= 0) {
+      return Status::InvalidArgument("bad tensor dimension");
+    }
+  }
+  Tensor t(shape);
+  float* data = t.data();
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    if (!(*iss >> data[i]) || !std::isfinite(data[i])) {
+      return Status::InvalidArgument("bad tensor value in '" + *name + "'");
+    }
+  }
+  std::string extra;
+  if (*iss >> extra) {
+    return Status::InvalidArgument("trailing garbage on '" + got_tag +
+                                   " " + *name + "' line");
+  }
+  *out = std::move(t);
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string SerializeCheckpoint(const TrainingCheckpoint& ckpt) {
+  std::ostringstream oss;
+  oss.precision(17);
+  oss << "gmckpt v" << TrainingCheckpoint::kVersion << "\n";
+  oss << "meta " << ckpt.epoch << " " << ckpt.iteration << " "
+      << ckpt.learning_rate << "\n";
+  if (ckpt.has_rng) {
+    oss << "rng " << ckpt.rng.state << " " << ckpt.rng.inc << " "
+        << (ckpt.rng.has_cached_gaussian ? 1 : 0) << " "
+        << ckpt.rng.cached_gaussian << "\n";
+  }
+  oss << "params " << ckpt.params.size() << "\n";
+  for (std::size_t i = 0; i < ckpt.params.size(); ++i) {
+    AppendTensor("param", ckpt.param_names[i], ckpt.params[i], &oss);
+    AppendTensor("vel", ckpt.param_names[i], ckpt.velocity[i], &oss);
+  }
+  oss << "regs " << ckpt.reg_states.size() << "\n";
+  for (const auto& [name, blob] : ckpt.reg_states) {
+    oss << "reg " << name << " " << blob << "\n";
+  }
+  oss << "end\n";
+  std::string payload = oss.str();
+  return payload +
+         StrFormat("checksum fnv1a64 %016llx\n",
+                   static_cast<unsigned long long>(Fnv1a64(payload)));
+}
+
+Status DeserializeCheckpoint(const std::string& text,
+                             TrainingCheckpoint* out) {
+  // Split off the checksum trailer and verify it before trusting anything.
+  std::size_t trailer = text.rfind("checksum fnv1a64 ");
+  if (trailer == std::string::npos ||
+      (trailer != 0 && text[trailer - 1] != '\n')) {
+    return Status::InvalidArgument("checkpoint missing checksum trailer");
+  }
+  std::string payload = text.substr(0, trailer);
+  std::istringstream trailer_stream(text.substr(trailer));
+  std::string word1, word2, hex;
+  trailer_stream >> word1 >> word2 >> hex;
+  std::string extra;
+  if (trailer_stream >> extra) {
+    return Status::InvalidArgument("trailing garbage after checksum");
+  }
+  unsigned long long stored = 0;
+  if (hex.size() != 16 ||
+      std::sscanf(hex.c_str(), "%16llx", &stored) != 1) {
+    return Status::InvalidArgument("malformed checksum trailer");
+  }
+  if (stored != static_cast<unsigned long long>(Fnv1a64(payload))) {
+    return Status::InvalidArgument(
+        "checkpoint checksum mismatch (torn or corrupted file)");
+  }
+
+  std::istringstream in(payload);
+  std::string line;
+  auto next_line = [&](std::istringstream* ls) {
+    if (!std::getline(in, line)) return false;
+    ls->clear();
+    ls->str(line);
+    return true;
+  };
+
+  std::istringstream ls;
+  if (!next_line(&ls)) return Status::InvalidArgument("empty checkpoint");
+  std::string magic, version;
+  ls >> magic >> version;
+  if (magic != "gmckpt") {
+    return Status::InvalidArgument("not a gmckpt file");
+  }
+  if (version != "v2") {
+    return Status::InvalidArgument("unsupported checkpoint version '" +
+                                   version + "'");
+  }
+
+  TrainingCheckpoint ckpt;
+  if (!next_line(&ls)) return Status::InvalidArgument("missing meta line");
+  std::string tag;
+  if (!(ls >> tag >> ckpt.epoch >> ckpt.iteration >> ckpt.learning_rate) ||
+      tag != "meta" || ckpt.epoch < 0 || ckpt.iteration < 0 ||
+      !std::isfinite(ckpt.learning_rate)) {
+    return Status::InvalidArgument("bad meta line");
+  }
+
+  if (!next_line(&ls)) return Status::InvalidArgument("truncated checkpoint");
+  ls >> tag;
+  if (tag == "rng") {
+    int cached_flag = 0;
+    ls.clear();
+    ls.str(line);
+    if (!(ls >> tag >> ckpt.rng.state >> ckpt.rng.inc >> cached_flag >>
+          ckpt.rng.cached_gaussian) ||
+        (cached_flag != 0 && cached_flag != 1) ||
+        !std::isfinite(ckpt.rng.cached_gaussian)) {
+      return Status::InvalidArgument("bad rng line");
+    }
+    ckpt.rng.has_cached_gaussian = cached_flag == 1;
+    ckpt.has_rng = true;
+    if (!next_line(&ls)) {
+      return Status::InvalidArgument("truncated checkpoint");
+    }
+    ls >> tag;
+  }
+
+  std::int64_t num_params = 0;
+  ls.clear();
+  ls.str(line);
+  if (!(ls >> tag >> num_params) || tag != "params" || num_params < 0 ||
+      num_params > 1000000) {
+    return Status::InvalidArgument("bad params line");
+  }
+  ckpt.param_names.reserve(static_cast<std::size_t>(num_params));
+  for (std::int64_t i = 0; i < num_params; ++i) {
+    std::string name, vel_name;
+    Tensor value, vel;
+    if (!next_line(&ls)) return Status::InvalidArgument("truncated params");
+    GMREG_RETURN_IF_ERROR(ParseTensor(&ls, "param", &name, &value));
+    if (!next_line(&ls)) return Status::InvalidArgument("truncated params");
+    GMREG_RETURN_IF_ERROR(ParseTensor(&ls, "vel", &vel_name, &vel));
+    if (vel_name != name || !vel.SameShape(value)) {
+      return Status::InvalidArgument("param/vel mismatch for '" + name + "'");
+    }
+    ckpt.param_names.push_back(std::move(name));
+    ckpt.params.push_back(std::move(value));
+    ckpt.velocity.push_back(std::move(vel));
+  }
+
+  std::int64_t num_regs = 0;
+  if (!next_line(&ls)) return Status::InvalidArgument("missing regs line");
+  if (!(ls >> tag >> num_regs) || tag != "regs" || num_regs < 0 ||
+      num_regs > num_params) {
+    return Status::InvalidArgument("bad regs line");
+  }
+  for (std::int64_t i = 0; i < num_regs; ++i) {
+    if (!next_line(&ls)) return Status::InvalidArgument("truncated regs");
+    std::string name;
+    if (!(ls >> tag >> name) || tag != "reg") {
+      return Status::InvalidArgument("bad reg line");
+    }
+    // The rest of the line (past "reg <name> ") is the opaque state blob.
+    std::string blob;
+    std::getline(ls >> std::ws, blob);
+    if (blob.empty()) {
+      return Status::InvalidArgument("empty reg state for '" + name + "'");
+    }
+    ckpt.reg_states.emplace_back(std::move(name), std::move(blob));
+  }
+
+  if (!next_line(&ls) || line != "end") {
+    return Status::InvalidArgument("missing end marker");
+  }
+  if (std::getline(in, line)) {
+    return Status::InvalidArgument("trailing garbage after end marker");
+  }
+  *out = std::move(ckpt);
+  return Status::Ok();
+}
+
+std::string PreviousCheckpointPath(const std::string& path) {
+  return path + ".prev";
+}
+
+Status SaveCheckpoint(const TrainingCheckpoint& ckpt, const std::string& path,
+                      const CheckpointIoOptions& io) {
+  GMREG_CHECK_GE(io.max_attempts, 1);
+  CkptCounters& counters = GlobalCkptCounters();
+  if (FileExists(path)) {
+    // Rotate the previous snapshot aside BEFORE the new write: if every
+    // write attempt below fails, recovery still has the .prev file.
+    std::string prev = PreviousCheckpointPath(path);
+    if (std::rename(path.c_str(), prev.c_str()) != 0) {
+      GMREG_LOG(Warning) << "checkpoint rotation " << path << " -> " << prev
+                         << " failed; continuing without a fallback copy";
+    }
+  }
+  std::string text = SerializeCheckpoint(ckpt);
+  Status last = Status::Ok();
+  int backoff_ms = io.initial_backoff_ms;
+  for (int attempt = 0; attempt < io.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      counters.write_retries->Add(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms *= io.backoff_multiplier;
+    }
+    last = AtomicWriteFile(path, text);
+    if (last.ok()) {
+      counters.saves->Add(1);
+      return last;
+    }
+    GMREG_LOG(Warning) << "checkpoint write attempt " << attempt + 1 << "/"
+                       << io.max_attempts << " failed: " << last.ToString();
+  }
+  counters.save_failures->Add(1);
+  return last;
+}
+
+Status LoadCheckpoint(const std::string& path, TrainingCheckpoint* out) {
+  std::string text;
+  GMREG_RETURN_IF_ERROR(ReadFileToString(path, &text));
+  GMREG_RETURN_IF_ERROR(DeserializeCheckpoint(text, out));
+  GlobalCkptCounters().loads->Add(1);
+  return Status::Ok();
+}
+
+Status LoadLatestValidCheckpoint(const std::string& path,
+                                 TrainingCheckpoint* out) {
+  CkptCounters& counters = GlobalCkptCounters();
+  Status primary = LoadCheckpoint(path, out);
+  if (primary.ok()) return primary;
+  if (primary.code() != StatusCode::kNotFound) {
+    counters.corrupt_skipped->Add(1);
+    GMREG_LOG(Warning) << "checkpoint " << path
+                       << " is unusable (" << primary.ToString()
+                       << "); falling back to the previous snapshot";
+  }
+  std::string prev = PreviousCheckpointPath(path);
+  Status fallback = LoadCheckpoint(prev, out);
+  if (fallback.ok()) {
+    counters.fallback_loads->Add(1);
+    GMREG_LOG(Warning) << "resumed from fallback checkpoint " << prev
+                       << " (epoch " << out->epoch << ")";
+    return fallback;
+  }
+  if (primary.code() == StatusCode::kNotFound &&
+      fallback.code() == StatusCode::kNotFound) {
+    return Status::NotFound("no checkpoint at " + path + " or " + prev);
+  }
+  return primary.code() == StatusCode::kNotFound ? fallback : primary;
+}
+
+}  // namespace gmreg

@@ -1,0 +1,93 @@
+#ifndef GMREG_IO_CHECKPOINT_H_
+#define GMREG_IO_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace gmreg {
+
+/// Full training state at an epoch boundary — everything a crashed run
+/// needs to continue with a bit-identical loss trajectory (the GEMINI
+/// deployment scenario of paper Sec. IV, where gmreg lives inside a long-
+/// running pipeline and a restart must not forfeit hours of training):
+/// model weights, SGD momentum, the lr after all schedule steps so far,
+/// the data-stream RNG, and one opaque state line per stateful regularizer
+/// (for GmRegularizer: mixture, Dirichlet/Gamma hypers, lazy-update
+/// counters and the cached greg — see Regularizer::SaveState).
+///
+/// See docs/CHECKPOINTING.md for the file format ("gmckpt v2") and the
+/// recovery semantics.
+struct TrainingCheckpoint {
+  static constexpr int kVersion = 2;
+
+  int epoch = 0;  ///< completed epochs; resume starts at this epoch index
+  std::int64_t iteration = 0;  ///< completed SGD steps
+  double learning_rate = 0.0;  ///< post-schedule lr at the snapshot
+
+  bool has_rng = false;  ///< whether `rng` below is meaningful
+  Rng::State rng;        ///< data-stream generator (Trainer::SetCheckpointRng)
+
+  /// Parameter tensors and the matching SGD momentum buffers, in the
+  /// trainer's parameter-collection order. `velocity[i]` pairs with
+  /// `params[i]`; both carry the full shape.
+  std::vector<std::string> param_names;
+  std::vector<Tensor> params;
+  std::vector<Tensor> velocity;
+
+  /// (param name, Regularizer::SaveState line) for every stateful
+  /// regularizer. Lines are opaque to this layer — the io module does not
+  /// depend on core.
+  std::vector<std::pair<std::string, std::string>> reg_states;
+};
+
+/// Retry policy for checkpoint writes. Defaults keep tests fast while still
+/// exercising real backoff: attempts at +0ms, +1ms, +10ms.
+struct CheckpointIoOptions {
+  int max_attempts = 3;
+  int initial_backoff_ms = 1;
+  int backoff_multiplier = 10;
+};
+
+/// Renders the checkpoint as versioned text ending in a `checksum fnv1a64
+/// <hex>` trailer over every preceding byte, so truncated or torn files are
+/// detected on load.
+std::string SerializeCheckpoint(const TrainingCheckpoint& ckpt);
+
+/// Parses SerializeCheckpoint output. InvalidArgument on malformed input,
+/// wrong version, checksum mismatch, or trailing garbage.
+Status DeserializeCheckpoint(const std::string& text, TrainingCheckpoint* out);
+
+/// Where SaveCheckpoint rotates the previous snapshot: `path + ".prev"`.
+std::string PreviousCheckpointPath(const std::string& path);
+
+/// Durable checkpoint write with rotation and bounded retry:
+///   1. an existing `path` is renamed to PreviousCheckpointPath(path),
+///   2. the new snapshot is written via AtomicWriteFile (temp + fsync +
+///      rename), retried per `io` with exponential backoff on failure.
+/// Even when every attempt fails the previous snapshot survives as the
+/// `.prev` file, so recovery falls back one epoch instead of to zero.
+/// Counted in gm.checkpoint_saves / _save_failures / _write_retries.
+Status SaveCheckpoint(const TrainingCheckpoint& ckpt, const std::string& path,
+                      const CheckpointIoOptions& io = {});
+
+/// Strict single-file load: NotFound when missing, InvalidArgument when
+/// corrupt. Counted in gm.checkpoint_loads.
+Status LoadCheckpoint(const std::string& path, TrainingCheckpoint* out);
+
+/// Recovery entry point: tries `path`, and on corruption or absence falls
+/// back to the rotated `.prev` snapshot, logging a warning and counting
+/// gm.checkpoint_corrupt_skipped / gm.checkpoint_fallback_loads. NotFound
+/// only when neither file exists; corrupt-with-no-fallback reports the
+/// primary file's error.
+Status LoadLatestValidCheckpoint(const std::string& path,
+                                 TrainingCheckpoint* out);
+
+}  // namespace gmreg
+
+#endif  // GMREG_IO_CHECKPOINT_H_

@@ -27,6 +27,12 @@ class Sgd {
 
   const std::vector<ParamRef>& params() const { return params_; }
 
+  /// Momentum buffers, aligned with params(). Exposed (also mutably) so
+  /// training checkpoints (io/checkpoint.h) can persist and restore the
+  /// optimizer state — resume is only bit-exact if the velocity survives.
+  const std::vector<Tensor>& velocity() const { return velocity_; }
+  std::vector<Tensor>& mutable_velocity() { return velocity_; }
+
  private:
   std::vector<ParamRef> params_;
   std::vector<Tensor> velocity_;

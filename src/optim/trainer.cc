@@ -5,6 +5,7 @@
 
 #include "nn/loss.h"
 #include "tensor/tensor_ops.h"
+#include "util/fault.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/parallel.h"
@@ -56,28 +57,122 @@ void Trainer::AttachToAllWeights(
   }
 }
 
+TrainingCheckpoint Trainer::BuildCheckpoint(int completed_epochs,
+                                            std::int64_t iteration) const {
+  TrainingCheckpoint ckpt;
+  ckpt.epoch = completed_epochs;
+  ckpt.iteration = iteration;
+  ckpt.learning_rate = sgd_.learning_rate();
+  if (checkpoint_rng_ != nullptr) {
+    ckpt.has_rng = true;
+    ckpt.rng = checkpoint_rng_->SaveState();
+  }
+  const std::vector<Tensor>& velocity = sgd_.velocity();
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    ckpt.param_names.push_back(params_[i].name);
+    ckpt.params.push_back(*params_[i].value);
+    ckpt.velocity.push_back(velocity[i]);
+  }
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (regs_[i] == nullptr) continue;
+    std::string state;
+    if (regs_[i]->SaveState(&state)) {
+      ckpt.reg_states.emplace_back(params_[i].name, std::move(state));
+    }
+  }
+  return ckpt;
+}
+
+Status Trainer::Resume() {
+  GMREG_CHECK(!opts_.checkpoint_path.empty())
+      << "TrainOptions::checkpoint_path must be set to resume";
+  TrainingCheckpoint ckpt;
+  GMREG_RETURN_IF_ERROR(
+      LoadLatestValidCheckpoint(opts_.checkpoint_path, &ckpt));
+  if (ckpt.param_names.size() != params_.size()) {
+    return Status::FailedPrecondition(
+        "checkpoint has a different parameter count than the network");
+  }
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (ckpt.param_names[i] != params_[i].name ||
+        !ckpt.params[i].SameShape(*params_[i].value)) {
+      return Status::FailedPrecondition(
+          "checkpoint parameter '" + ckpt.param_names[i] +
+          "' does not match network parameter '" + params_[i].name + "'");
+    }
+  }
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    *params_[i].value = std::move(ckpt.params[i]);
+    sgd_.mutable_velocity()[i] = std::move(ckpt.velocity[i]);
+  }
+  sgd_.set_learning_rate(ckpt.learning_rate);
+  for (auto& [name, blob] : ckpt.reg_states) {
+    Regularizer* reg = nullptr;
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+      if (params_[i].name == name) {
+        reg = regs_[i];
+        break;
+      }
+    }
+    if (reg == nullptr) {
+      return Status::FailedPrecondition(
+          "checkpoint carries regularizer state for '" + name +
+          "' but no regularizer is attached there");
+    }
+    GMREG_RETURN_IF_ERROR(reg->LoadState(blob));
+  }
+  if (ckpt.has_rng) {
+    if (checkpoint_rng_ != nullptr) {
+      checkpoint_rng_->RestoreState(ckpt.rng);
+    } else {
+      GMREG_LOG(Warning) << "checkpoint carries an RNG state but no "
+                            "generator is registered (SetCheckpointRng); "
+                            "the batch stream will not be replayed";
+    }
+  } else if (checkpoint_rng_ != nullptr) {
+    GMREG_LOG(Warning) << "checkpoint has no RNG state; the registered "
+                          "generator keeps its current stream";
+  }
+  start_epoch_ = ckpt.epoch;
+  start_iteration_ = ckpt.iteration;
+  GMREG_LOG(Info) << "resumed from checkpoint at epoch " << ckpt.epoch
+                  << " (iteration " << ckpt.iteration << ")";
+  return Status::Ok();
+}
+
 std::vector<EpochStats> Trainer::Train(const BatchFn& next_batch,
                                        std::int64_t batches_per_epoch) {
   GMREG_CHECK_GT(batches_per_epoch, 0);
   double scale = 1.0 / static_cast<double>(opts_.num_train_samples);
   std::vector<EpochStats> stats;
-  stats.reserve(static_cast<std::size_t>(opts_.epochs));
+  if (start_epoch_ >= opts_.epochs) {
+    GMREG_LOG(Warning) << "checkpoint already covers all " << opts_.epochs
+                       << " epochs; nothing to train";
+    return stats;
+  }
+  stats.reserve(static_cast<std::size_t>(opts_.epochs - start_epoch_));
   MetricsRegistry& registry = MetricsRegistry::Global();
   Counter* iterations_counter = registry.counter("trainer.iterations");
   Counter* epochs_counter = registry.counter("trainer.epochs");
   std::unique_ptr<JsonlFileSink> trace;
   if (!opts_.metrics_path.empty()) {
+    // A resumed run appends: the crashed run's flushed epoch lines plus
+    // ours must form one contiguous trace (what checkpoint_test compares
+    // against an uninterrupted run's trace).
     trace = std::make_unique<JsonlFileSink>(opts_.metrics_path,
-                                            /*append=*/false);
+                                            /*append=*/start_epoch_ > 0);
   }
+  const bool checkpointing =
+      !opts_.checkpoint_path.empty() && opts_.checkpoint_every > 0;
+  FaultInjector& fault = FaultInjector::Global();
   Tensor input;
   Tensor logits;
   Tensor grad_logits;
   Tensor grad_input;
   std::vector<int> labels;
-  std::int64_t iteration = 0;
+  std::int64_t iteration = start_iteration_;
   Stopwatch watch;
-  for (int epoch = 0; epoch < opts_.epochs; ++epoch) {
+  for (int epoch = start_epoch_; epoch < opts_.epochs; ++epoch) {
     ScopedSpan epoch_span("trainer.epoch_seconds");
     for (const auto& [at_epoch, factor] : opts_.lr_schedule) {
       if (at_epoch == epoch) {
@@ -116,6 +211,18 @@ std::vector<EpochStats> Trainer::Train(const BatchFn& next_batch,
                       << " penalty=" << es.penalty
                       << " t=" << es.elapsed_seconds << "s";
     }
+    if (checkpointing && (epoch + 1) % opts_.checkpoint_every == 0) {
+      Status st = SaveCheckpoint(BuildCheckpoint(epoch + 1, iteration),
+                                 opts_.checkpoint_path);
+      if (!st.ok()) {
+        // Degrade gracefully: a run that cannot checkpoint is still a run.
+        GMREG_LOG(Warning) << "checkpoint at epoch " << epoch + 1
+                           << " failed after retries: " << st.ToString();
+      }
+    }
+    // Fault-injection kill point (GMREG_FAULT=crash_after_epoch:N) — after
+    // the checkpoint write, exactly where a real crash hurts the most.
+    fault.MaybeCrashAfterEpoch(epoch);
   }
   return stats;
 }

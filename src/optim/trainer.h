@@ -7,9 +7,11 @@
 #include <string>
 #include <vector>
 
+#include "io/checkpoint.h"
 #include "nn/layer.h"
 #include "optim/sgd.h"
 #include "reg/regularizer.h"
+#include "util/rng.h"
 
 namespace gmreg {
 
@@ -39,6 +41,16 @@ struct TrainOptions {
   /// Tag stamped into every emitted record as the "run" field, so traces
   /// from several runs sharing one sink stay separable.
   std::string run_label = "train";
+  /// When non-empty, Train() snapshots the full training state (weights,
+  /// SGD momentum + lr, regularizer state, data RNG, cursors) to this path
+  /// every `checkpoint_every` epochs via io/checkpoint.h — write-to-temp +
+  /// fsync + atomic rename, previous snapshot rotated to `<path>.prev`. A
+  /// failed write logs a warning and training continues (crash safety must
+  /// not become a new crash source). See docs/CHECKPOINTING.md.
+  std::string checkpoint_path;
+  /// Epochs between checkpoints; <= 0 disables checkpointing even when
+  /// checkpoint_path is set.
+  int checkpoint_every = 1;
 };
 
 /// Per-epoch bookkeeping; `elapsed_seconds` is cumulative wall-clock since
@@ -74,7 +86,26 @@ class Trainer {
   /// Fills `input` (resizing as needed) and `labels` with one mini-batch.
   using BatchFn = std::function<void(Tensor* input, std::vector<int>* labels)>;
 
-  /// Runs `opts.epochs` epochs of `batches_per_epoch` iterations each.
+  /// Registers the data-stream generator (not owned) to capture in
+  /// checkpoints. Without it a resumed run restores weights/optimizer/
+  /// regularizer state but replays the batch stream from wherever the
+  /// caller's generator happens to be — registering it is what makes
+  /// resume reproduce the uninterrupted loss trajectory bit-exactly.
+  void SetCheckpointRng(Rng* rng) { checkpoint_rng_ = rng; }
+
+  /// Restores the latest valid checkpoint from opts.checkpoint_path
+  /// (falling back to the rotated `.prev` snapshot if the primary is
+  /// corrupt — see LoadLatestValidCheckpoint). Must be called after all
+  /// regularizers are attached and before Train(); the subsequent Train()
+  /// then continues from the checkpoint's epoch cursor. Returns NotFound
+  /// when no checkpoint exists (callers treat that as a cold start),
+  /// FailedPrecondition when the checkpoint does not match the current
+  /// network/regularizer topology.
+  Status Resume();
+
+  /// Runs epochs [start, opts.epochs) of `batches_per_epoch` iterations
+  /// each, where start is 0 for a cold start or the restored epoch cursor
+  /// after Resume(). Returns stats for the epochs actually run.
   std::vector<EpochStats> Train(const BatchFn& next_batch,
                                 std::int64_t batches_per_epoch);
 
@@ -95,6 +126,11 @@ class Trainer {
   /// global registry sinks plus the optional per-run `trace` sink.
   void EmitEpochRecord(const EpochStats& es, MetricsSink* trace);
 
+  /// Snapshots the current training state (`completed_epochs` epochs and
+  /// `iteration` SGD steps done) into a TrainingCheckpoint.
+  TrainingCheckpoint BuildCheckpoint(int completed_epochs,
+                                     std::int64_t iteration) const;
+
   Layer* net_;
   TrainOptions opts_;
   std::vector<ParamRef> params_;
@@ -102,6 +138,9 @@ class Trainer {
   // Regularizer per parameter index (nullptr = none).
   std::vector<Regularizer*> regs_;
   std::vector<std::unique_ptr<Regularizer>> owned_regs_;
+  Rng* checkpoint_rng_ = nullptr;  // not owned
+  int start_epoch_ = 0;            // set by Resume()
+  std::int64_t start_iteration_ = 0;
 };
 
 }  // namespace gmreg

@@ -5,4 +5,12 @@ namespace gmreg {
 // Regularizer is an interface; the virtual destructor's key function lives
 // here so the vtable is emitted once.
 
+Status Regularizer::LoadState(const std::string& text) {
+  if (text.empty()) return Status::Ok();
+  std::string msg = "'";
+  msg.append(Name());
+  msg.append("' is stateless and cannot restore checkpoint state");
+  return Status::InvalidArgument(std::move(msg));
+}
+
 }  // namespace gmreg

@@ -6,6 +6,7 @@
 
 #include "tensor/tensor.h"
 #include "util/metrics.h"
+#include "util/status.h"
 
 namespace gmreg {
 
@@ -47,6 +48,24 @@ class Regularizer {
     (void)prefix;
     (void)record;
   }
+
+  /// Serializes the regularizer's *mutable training state* — whatever must
+  /// survive a restart for the loss trajectory to continue bit-exactly —
+  /// into a single newline-free line for embedding in a training checkpoint
+  /// (io/checkpoint.h). Configuration is NOT included: resume reconstructs
+  /// the regularizer from config first, then overlays this state. Returns
+  /// false when the regularizer is stateless (the default), in which case
+  /// nothing is persisted.
+  virtual bool SaveState(std::string* out) const {
+    out->clear();
+    return false;
+  }
+
+  /// Restores state produced by SaveState on an identically-configured
+  /// instance. The default (stateless) implementation rejects any payload,
+  /// so a checkpoint written with an adaptive regularizer cannot silently
+  /// resume into a baseline one.
+  virtual Status LoadState(const std::string& text);
 };
 
 }  // namespace gmreg

@@ -1,0 +1,131 @@
+#include "util/atomic_file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/fault.h"
+
+namespace gmreg {
+namespace {
+
+Status ErrnoStatus(const std::string& op, const std::string& path) {
+  std::string msg = op;
+  msg.append(" failed for ");
+  msg.append(path);
+  msg.append(": ");
+  msg.append(std::strerror(errno));
+  return Status::Internal(std::move(msg));
+}
+
+// Best-effort fsync of the directory containing `path`, so the rename
+// itself is durable. Failure is ignored: some filesystems (and CI sandboxes)
+// reject directory fsync, and the data file is already synced.
+void SyncParentDir(const std::string& path) {
+  // Branch straight to open() rather than building a std::string for the
+  // "." / "/" cases: assigning a literal into a std::string here trips a
+  // GCC 12 -Wrestrict false positive once inlined into AtomicWriteFile
+  // under -O3 -fsanitize=address.
+  std::size_t slash = path.find_last_of('/');
+  int fd;
+  if (slash == std::string::npos) {
+    fd = ::open(".", O_RDONLY);
+  } else if (slash == 0) {
+    fd = ::open("/", O_RDONLY);
+  } else {
+    fd = ::open(path.substr(0, slash).c_str(), O_RDONLY);
+  }
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+Status WriteAll(int fd, const char* data, std::size_t size,
+                const std::string& path) {
+  std::size_t written = 0;
+  while (written < size) {
+    ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write", path);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status AtomicWriteFile(const std::string& path, const std::string& content) {
+  FaultInjector& fault = FaultInjector::Global();
+  if (fault.ShouldFailWrite()) {
+    return Status::Internal("fault injection: write_fail on " + path);
+  }
+  // A torn write persists only a prefix and skips the data fsync —
+  // simulating a crash mid-write on a filesystem that reordered the blocks.
+  // The rename still happens, so the *reader* must detect the damage (the
+  // checkpoint checksum does).
+  bool torn = fault.ConsumeTornWrite();
+  std::size_t payload_size = torn ? content.size() / 2 : content.size();
+
+  std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoStatus("open", tmp);
+  Status write_status = WriteAll(fd, content.data(), payload_size, tmp);
+  if (!write_status.ok()) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return write_status;
+  }
+  if (!torn && ::fsync(fd) != 0) {
+    Status st = ErrnoStatus("fsync", tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  if (::close(fd) != 0) {
+    Status st = ErrnoStatus("close", tmp);
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status st = ErrnoStatus("rename to " + path, tmp);
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  SyncParentDir(path);
+  return Status::Ok();
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  out->clear();
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::NotFound("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::Internal("read failed: " + path);
+  *out = buffer.str();
+  return Status::Ok();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+std::uint64_t Fnv1a64(const std::string& bytes) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace gmreg

@@ -1,0 +1,34 @@
+#ifndef GMREG_UTIL_ATOMIC_FILE_H_
+#define GMREG_UTIL_ATOMIC_FILE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace gmreg {
+
+/// Crash-safe whole-file replacement: writes `content` to `path + ".tmp"`,
+/// fsyncs it, renames it over `path`, and fsyncs the parent directory, so a
+/// reader either sees the old file or the complete new one — never a torn
+/// mix (the RocksDB MANIFEST discipline). Honors the fault-injection layer
+/// (util/fault.h): write_fail makes the call return Internal without
+/// touching the filesystem, torn_write persists only half the payload and
+/// skips the fsync (what the checkpoint checksum exists to catch).
+Status AtomicWriteFile(const std::string& path, const std::string& content);
+
+/// Reads the entire file into `*out`. NotFound when the file does not
+/// exist, Internal on read errors.
+Status ReadFileToString(const std::string& path, std::string* out);
+
+/// True when `path` exists (any file type).
+bool FileExists(const std::string& path);
+
+/// 64-bit FNV-1a over `bytes` — the content checksum of the checkpoint
+/// format (io/checkpoint.h). Not cryptographic; detects truncation and
+/// bit rot, which is all crash recovery needs.
+std::uint64_t Fnv1a64(const std::string& bytes);
+
+}  // namespace gmreg
+
+#endif  // GMREG_UTIL_ATOMIC_FILE_H_

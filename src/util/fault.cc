@@ -1,0 +1,152 @@
+#include "util/fault.h"
+
+#include <cstdlib>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace gmreg {
+namespace {
+
+// Fixed seed so write_fail failure sequences replay identically run-to-run.
+constexpr std::uint64_t kFaultRngSeed = 0xfa171e5ULL;
+
+std::vector<std::string> SplitOn(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      parts.push_back(s.substr(start));
+      return parts;
+    }
+    parts.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector() : rng_(kFaultRngSeed) {
+  const char* env = std::getenv("GMREG_FAULT");
+  if (env != nullptr && *env != '\0') {
+    Status st = Configure(env);
+    if (!st.ok()) {
+      GMREG_LOG(Warning) << "ignoring malformed GMREG_FAULT='" << env
+                         << "': " << st.ToString();
+    }
+  }
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+Status FaultInjector::Configure(const std::string& spec) {
+  Reset();
+  if (spec.empty()) return Status::Ok();
+  double write_fail_p = 0.0;
+  bool torn_write = false;
+  std::int64_t crash_after_epoch = -1;
+  for (const std::string& directive : SplitOn(spec, ',')) {
+    if (directive.empty()) continue;
+    std::size_t colon = directive.find(':');
+    std::string name = directive.substr(0, colon);
+    std::string arg =
+        colon == std::string::npos ? "" : directive.substr(colon + 1);
+    if (name == "torn_write") {
+      if (!arg.empty()) {
+        return Status::InvalidArgument("torn_write takes no argument");
+      }
+      torn_write = true;
+    } else if (name == "write_fail") {
+      char* end = nullptr;
+      double p = std::strtod(arg.c_str(), &end);
+      if (arg.empty() || end == arg.c_str() || *end != '\0') {
+        return Status::InvalidArgument("write_fail needs a probability, got '" +
+                                       arg + "'");
+      }
+      if (!(p >= 0.0 && p <= 1.0)) {
+        return Status::OutOfRange(
+            StrFormat("write_fail probability %g outside [0, 1]", p));
+      }
+      write_fail_p = p;
+    } else if (name == "crash_after_epoch") {
+      char* end = nullptr;
+      long long n = std::strtoll(arg.c_str(), &end, 10);
+      if (arg.empty() || end == arg.c_str() || *end != '\0') {
+        return Status::InvalidArgument(
+            "crash_after_epoch needs an epoch index, got '" + arg + "'");
+      }
+      if (n < 0) {
+        return Status::OutOfRange(
+            StrFormat("crash_after_epoch index %lld is negative", n));
+      }
+      crash_after_epoch = n;
+    } else {
+      return Status::InvalidArgument("unknown fault directive '" + name + "'");
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  write_fail_p_ = write_fail_p;
+  torn_write_ = torn_write;
+  crash_after_epoch_ = crash_after_epoch;
+  rng_ = Rng(kFaultRngSeed);
+  return Status::Ok();
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  write_fail_p_ = 0.0;
+  torn_write_ = false;
+  crash_after_epoch_ = -1;
+  rng_ = Rng(kFaultRngSeed);
+}
+
+bool FaultInjector::enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return write_fail_p_ > 0.0 || torn_write_ || crash_after_epoch_ >= 0;
+}
+
+bool FaultInjector::ShouldFailWrite() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (write_fail_p_ <= 0.0) return false;
+  if (write_fail_p_ >= 1.0) return true;
+  return rng_.NextDouble() < write_fail_p_;
+}
+
+bool FaultInjector::ConsumeTornWrite() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!torn_write_) return false;
+  torn_write_ = false;
+  return true;
+}
+
+std::int64_t FaultInjector::crash_after_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crash_after_epoch_;
+}
+
+void FaultInjector::MaybeCrashAfterEpoch(std::int64_t epoch) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crash_after_epoch_ < 0 || epoch < crash_after_epoch_) return;
+  }
+  GMREG_LOG(Warning) << "fault injection: simulated crash after epoch "
+                     << epoch << " (exit " << kFaultCrashExitCode << ")";
+  std::_Exit(kFaultCrashExitCode);
+}
+
+double FaultInjector::write_fail_probability() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return write_fail_p_;
+}
+
+bool FaultInjector::torn_write_armed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return torn_write_;
+}
+
+}  // namespace gmreg

@@ -1,0 +1,82 @@
+#ifndef GMREG_UTIL_FAULT_H_
+#define GMREG_UTIL_FAULT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace gmreg {
+
+/// Exit code of a crash_after_epoch fault, so tests can tell a deliberate
+/// fault-injection crash (EXPECT_EXIT) from any genuine failure.
+inline constexpr int kFaultCrashExitCode = 42;
+
+/// Process-wide fault-injection switchboard for crash-safety tests. All
+/// faults are off unless armed via the GMREG_FAULT environment variable
+/// (read once, on first Global() use) or programmatically via Configure.
+///
+/// Spec grammar — comma-separated directives:
+///   write_fail:p          every AtomicWriteFile fails with probability p
+///                         (p in [0, 1]; draws come from a fixed-seed Rng,
+///                         so failure sequences are reproducible)
+///   torn_write            the NEXT AtomicWriteFile persists only the first
+///                         half of its payload and skips fsync (one-shot;
+///                         simulates a crash mid-write / torn page)
+///   crash_after_epoch:N   Trainer::Train calls std::_Exit with
+///                         kFaultCrashExitCode right after completing epoch
+///                         index N (0-based) and writing its checkpoint —
+///                         no destructors, no stream flushes, like a kill
+///
+/// e.g. GMREG_FAULT=write_fail:0.5,crash_after_epoch:3
+///
+/// Thread-safe. Production code never pays more than one branch per fault
+/// site when nothing is armed.
+class FaultInjector {
+ public:
+  /// The process-wide injector; first use parses GMREG_FAULT (a malformed
+  /// value logs a warning and leaves all faults off).
+  static FaultInjector& Global();
+
+  /// Replaces the current configuration with `spec` (empty = all off).
+  /// Invalid specs return InvalidArgument/OutOfRange and leave faults off.
+  Status Configure(const std::string& spec);
+
+  /// Disarms every fault.
+  void Reset();
+
+  /// True when any fault is armed.
+  bool enabled() const;
+
+  /// Draws the write_fail coin; true means the caller must fail the write.
+  bool ShouldFailWrite();
+
+  /// Consumes the one-shot torn_write arm; true at most once per arm.
+  bool ConsumeTornWrite();
+
+  /// Epoch index after which to crash, or -1 when disarmed.
+  std::int64_t crash_after_epoch() const;
+
+  /// Crashes the process (std::_Exit(kFaultCrashExitCode)) when the
+  /// crash_after_epoch fault is armed and `epoch` has reached it.
+  void MaybeCrashAfterEpoch(std::int64_t epoch);
+
+  // Introspection (tests).
+  double write_fail_probability() const;
+  bool torn_write_armed() const;
+
+ private:
+  FaultInjector();
+
+  mutable std::mutex mu_;
+  double write_fail_p_ = 0.0;
+  bool torn_write_ = false;
+  std::int64_t crash_after_epoch_ = -1;
+  Rng rng_;
+};
+
+}  // namespace gmreg
+
+#endif  // GMREG_UTIL_FAULT_H_

@@ -78,6 +78,17 @@ void Rng::Shuffle(std::vector<int>& values) {
   }
 }
 
+Rng::State Rng::SaveState() const {
+  return State{state_, inc_, has_cached_gaussian_, cached_gaussian_};
+}
+
+void Rng::RestoreState(const State& s) {
+  state_ = s.state;
+  inc_ = s.inc;
+  has_cached_gaussian_ = s.has_cached_gaussian;
+  cached_gaussian_ = s.cached_gaussian;
+}
+
 Rng Rng::Split() {
   std::uint64_t child_seed =
       (static_cast<std::uint64_t>(NextUint32()) << 32) | NextUint32();

@@ -42,6 +42,23 @@ class Rng {
   /// Splits off an independent generator (for per-layer / per-fold seeding).
   Rng Split();
 
+  /// Complete generator state — everything needed to continue the stream
+  /// bit-for-bit after a restart (io/checkpoint.h persists this so a
+  /// resumed training run replays the exact same batch sequence).
+  struct State {
+    std::uint64_t state = 0;
+    std::uint64_t inc = 0;
+    bool has_cached_gaussian = false;
+    double cached_gaussian = 0.0;
+  };
+
+  /// Captures the full state of the stream.
+  State SaveState() const;
+
+  /// Restores a state captured by SaveState; the next draws continue that
+  /// stream exactly.
+  void RestoreState(const State& s);
+
  private:
   std::uint64_t state_;
   std::uint64_t inc_;

@@ -1,4 +1,5 @@
 #include <cmath>
+#include <fstream>
 
 #include "core/factory.h"
 #include "core/gm_regularizer.h"
@@ -35,6 +36,52 @@ TEST(SerializeTest, RejectsMalformedInput) {
             StatusCode::kInvalidArgument);  // truncated lambda
   EXPECT_EQ(DeserializeMixture("gm v1 2 0.5", &out).code(),
             StatusCode::kInvalidArgument);  // truncated pi
+}
+
+TEST(SerializeTest, RejectsTrailingGarbage) {
+  GaussianMixture out({1.0}, {1.0});
+  // K mismatch, too many values: K says 2 but three lambdas follow.
+  EXPECT_EQ(DeserializeMixture("gm v1 2 0.5 0.5 1 2 3", &out).code(),
+            StatusCode::kInvalidArgument);
+  // Non-numeric junk glued to an otherwise valid record.
+  EXPECT_EQ(DeserializeMixture("gm v1 2 0.5 0.5 1 2 hello", &out).code(),
+            StatusCode::kInvalidArgument);
+  // A second record on the same line.
+  EXPECT_EQ(
+      DeserializeMixture("gm v1 1 1.0 2.0 gm v1 1 1.0 2.0", &out).code(),
+      StatusCode::kInvalidArgument);
+  // The rejects must not have clobbered the output.
+  EXPECT_EQ(out.num_components(), 1);
+}
+
+TEST(SerializeTest, RejectsNonFiniteValues) {
+  // libstdc++'s operator>> refuses the "nan"/"inf" tokens outright (the
+  // extraction fails -> kInvalidArgument); the std::isfinite checks in
+  // DeserializeMixture are defense-in-depth for implementations that do
+  // parse them (-> kOutOfRange). Either way the record must be rejected.
+  GaussianMixture out({1.0}, {1.0});
+  EXPECT_FALSE(DeserializeMixture("gm v1 2 nan 0.5 1 2", &out).ok());
+  EXPECT_FALSE(DeserializeMixture("gm v1 2 inf 0.5 1 2", &out).ok());
+  EXPECT_FALSE(DeserializeMixture("gm v1 2 0.5 0.5 nan 2", &out).ok());
+  EXPECT_FALSE(DeserializeMixture("gm v1 2 0.5 0.5 1 -inf", &out).ok());
+}
+
+TEST(SerializeTest, LoadRejectsTrailingLines) {
+  std::string path = ::testing::TempDir() + "/gmreg_trailing.txt";
+  {
+    std::ofstream f(path);
+    f << "gm v1 1 1.0 2.0\n";
+    f << "gm v1 1 1.0 3.0\n";  // a second record the format does not allow
+  }
+  GaussianMixture out({1.0}, {1.0});
+  EXPECT_EQ(LoadMixture(path, &out).code(), StatusCode::kInvalidArgument);
+  // Trailing blank lines are tolerated (editors add them).
+  {
+    std::ofstream f(path);
+    f << "gm v1 1 1.0 2.0\n\n  \n";
+  }
+  EXPECT_TRUE(LoadMixture(path, &out).ok());
+  EXPECT_DOUBLE_EQ(out.lambda()[0], 2.0);
 }
 
 TEST(SerializeTest, RejectsInvalidValues) {
