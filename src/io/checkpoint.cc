@@ -38,6 +38,24 @@ CkptCounters& GlobalCkptCounters() {
   return counters;
 }
 
+// Model-only load accounting (the serving hot-reload path).
+struct ModelLoadCounters {
+  Counter* loads;
+  Counter* salvages;
+  Counter* fallback_loads;
+};
+
+ModelLoadCounters& GlobalModelLoadCounters() {
+  static ModelLoadCounters counters = [] {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    return ModelLoadCounters{
+        registry.counter("gm.checkpoint_model_loads"),
+        registry.counter("gm.checkpoint_model_salvages"),
+        registry.counter("gm.checkpoint_model_fallback_loads")};
+  }();
+  return counters;
+}
+
 void AppendTensor(const char* tag, const std::string& name, const Tensor& t,
                   std::ostringstream* oss) {
   *oss << tag << " " << name << " " << t.rank();
@@ -304,6 +322,135 @@ Status LoadLatestValidCheckpoint(const std::string& path,
     counters.fallback_loads->Add(1);
     GMREG_LOG(Warning) << "resumed from fallback checkpoint " << prev
                        << " (epoch " << out->epoch << ")";
+    return fallback;
+  }
+  if (primary.code() == StatusCode::kNotFound &&
+      fallback.code() == StatusCode::kNotFound) {
+    return Status::NotFound("no checkpoint at " + path + " or " + prev);
+  }
+  return primary.code() == StatusCode::kNotFound ? fallback : primary;
+}
+
+Status ParseModelSnapshot(const std::string& text, ModelSnapshot* out) {
+  ModelSnapshot snap;
+  snap.fingerprint = Fnv1a64(text);
+
+  // Verify the whole-file checksum when possible. A mismatch or a missing
+  // trailer downgrades to a salvage parse (strict on `param` lines, blind to
+  // everything else) instead of failing: the checksum covers the optimizer
+  // and regularizer sections too, and damage there must not take serving
+  // down with it.
+  bool checksum_ok = false;
+  std::string payload = text;
+  std::size_t trailer = text.rfind("checksum fnv1a64 ");
+  if (trailer != std::string::npos &&
+      (trailer == 0 || text[trailer - 1] == '\n')) {
+    payload = text.substr(0, trailer);
+    std::istringstream trailer_stream(text.substr(trailer));
+    std::string word1, word2, hex;
+    trailer_stream >> word1 >> word2 >> hex;
+    unsigned long long stored = 0;
+    if (hex.size() == 16 && std::sscanf(hex.c_str(), "%16llx", &stored) == 1 &&
+        stored == static_cast<unsigned long long>(Fnv1a64(payload))) {
+      checksum_ok = true;
+    }
+  }
+
+  std::istringstream in(payload);
+  std::string line;
+  auto next_line = [&](std::istringstream* ls) {
+    if (!std::getline(in, line)) return false;
+    ls->clear();
+    ls->str(line);
+    return true;
+  };
+
+  std::istringstream ls;
+  if (!next_line(&ls)) return Status::InvalidArgument("empty checkpoint");
+  std::string magic, version;
+  ls >> magic >> version;
+  if (magic != "gmckpt") {
+    return Status::InvalidArgument("not a gmckpt file");
+  }
+  if (version != "v2") {
+    return Status::InvalidArgument("unsupported checkpoint version '" +
+                                   version + "'");
+  }
+
+  if (!next_line(&ls)) return Status::InvalidArgument("missing meta line");
+  std::string tag;
+  if (!(ls >> tag >> snap.epoch >> snap.iteration) || tag != "meta" ||
+      snap.epoch < 0 || snap.iteration < 0) {
+    return Status::InvalidArgument("bad meta line");
+  }
+
+  if (!next_line(&ls)) return Status::InvalidArgument("truncated checkpoint");
+  ls >> tag;
+  if (tag == "rng") {
+    // RNG state is training-only; skip the line without validating it.
+    if (!next_line(&ls)) {
+      return Status::InvalidArgument("truncated checkpoint");
+    }
+  }
+
+  std::int64_t num_params = 0;
+  ls.clear();
+  ls.str(line);
+  if (!(ls >> tag >> num_params) || tag != "params" || num_params < 0 ||
+      num_params > 1000000) {
+    return Status::InvalidArgument("bad params line");
+  }
+  snap.param_names.reserve(static_cast<std::size_t>(num_params));
+  snap.params.reserve(static_cast<std::size_t>(num_params));
+  for (std::int64_t i = 0; i < num_params; ++i) {
+    std::string name;
+    Tensor value;
+    if (!next_line(&ls)) return Status::InvalidArgument("truncated params");
+    GMREG_RETURN_IF_ERROR(ParseTensor(&ls, "param", &name, &value));
+    // The paired momentum line: structure is checked, values are not — a
+    // corrupted velocity must not block a model-only load.
+    if (!next_line(&ls) || line.rfind("vel ", 0) != 0) {
+      return Status::InvalidArgument("missing 'vel' line for '" + name + "'");
+    }
+    snap.param_names.push_back(std::move(name));
+    snap.params.push_back(std::move(value));
+  }
+  // Everything past the params section (regularizer states, end marker) is
+  // training-only and deliberately ignored.
+
+  if (!checksum_ok) {
+    GlobalModelLoadCounters().salvages->Add(1);
+    GMREG_LOG(Warning)
+        << "model-only load salvaged a checkpoint whose checksum does not "
+           "verify (optimizer or regularizer state may be damaged)";
+  }
+  *out = std::move(snap);
+  return Status::Ok();
+}
+
+Status LoadModelSnapshot(const std::string& path, ModelSnapshot* out) {
+  ModelLoadCounters& counters = GlobalModelLoadCounters();
+  std::string text;
+  Status primary = ReadFileToString(path, &text);
+  if (primary.ok()) primary = ParseModelSnapshot(text, out);
+  if (primary.ok()) {
+    counters.loads->Add(1);
+    return primary;
+  }
+  if (primary.code() != StatusCode::kNotFound) {
+    GMREG_LOG(Warning) << "model snapshot " << path << " is unusable ("
+                       << primary.ToString()
+                       << "); falling back to the previous snapshot";
+  }
+  std::string prev = PreviousCheckpointPath(path);
+  std::string prev_text;
+  Status fallback = ReadFileToString(prev, &prev_text);
+  if (fallback.ok()) fallback = ParseModelSnapshot(prev_text, out);
+  if (fallback.ok()) {
+    counters.loads->Add(1);
+    counters.fallback_loads->Add(1);
+    GMREG_LOG(Warning) << "serving model restored from fallback checkpoint "
+                       << prev << " (epoch " << out->epoch << ")";
     return fallback;
   }
   if (primary.code() == StatusCode::kNotFound &&

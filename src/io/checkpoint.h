@@ -88,6 +88,34 @@ Status LoadCheckpoint(const std::string& path, TrainingCheckpoint* out);
 Status LoadLatestValidCheckpoint(const std::string& path,
                                  TrainingCheckpoint* out);
 
+/// Weights-plus-identity view of a checkpoint — what the serving layer
+/// (src/serve/model_registry.h) publishes. Deliberately excludes optimizer
+/// velocity, RNG and regularizer state: inference must stay loadable even
+/// when those sections are damaged.
+struct ModelSnapshot {
+  int epoch = 0;               ///< completed training epochs at the snapshot
+  std::int64_t iteration = 0;  ///< completed SGD steps at the snapshot
+  std::vector<std::string> param_names;
+  std::vector<Tensor> params;
+  /// FNV-1a 64 hash of the entire checkpoint file the snapshot came from —
+  /// the registry's change detector and version identity.
+  std::uint64_t fingerprint = 0;
+};
+
+/// Parses only the model-relevant part of a serialized checkpoint: header,
+/// meta and `param` lines are validated strictly; `vel` (SGD momentum) and
+/// `reg` lines are skipped without validating their values, so
+/// optimizer-state corruption — even when it breaks the whole-file checksum
+/// — does not block a model-only load (a salvage is logged and counted in
+/// gm.checkpoint_model_salvages).
+Status ParseModelSnapshot(const std::string& text, ModelSnapshot* out);
+
+/// Model-only recovery load for the serving layer: reads `path` through
+/// ParseModelSnapshot, and when the model section itself is damaged (or the
+/// file is missing) falls back to the rotated `.prev` snapshot. Counted in
+/// gm.checkpoint_model_loads / gm.checkpoint_model_fallback_loads.
+Status LoadModelSnapshot(const std::string& path, ModelSnapshot* out);
+
 }  // namespace gmreg
 
 #endif  // GMREG_IO_CHECKPOINT_H_

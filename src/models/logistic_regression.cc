@@ -92,6 +92,21 @@ void LogisticRegression::Train(const Dataset& train, Regularizer* reg,
   }
 }
 
+void LogisticRegression::Predict(const Tensor& in, Tensor* out) const {
+  GMREG_CHECK(out != nullptr);
+  GMREG_CHECK_EQ(in.rank(), 2);
+  GMREG_CHECK_EQ(in.dim(1), num_features_);
+  std::int64_t batch = in.dim(0);
+  if (out->shape() != std::vector<std::int64_t>{batch, 2}) {
+    *out = Tensor({batch, 2});
+  }
+  for (std::int64_t i = 0; i < batch; ++i) {
+    double p = Sigmoid(RawScore(in.data() + i * num_features_));
+    out->At(i, 0) = static_cast<float>(1.0 - p);
+    out->At(i, 1) = static_cast<float>(p);
+  }
+}
+
 double LogisticRegression::EvaluateAccuracy(const Dataset& data) const {
   GMREG_CHECK_EQ(data.num_features(), num_features_);
   std::int64_t correct = 0;

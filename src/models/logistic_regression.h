@@ -41,6 +41,14 @@ class LogisticRegression {
   /// scale = 1/N per the library-wide MAP convention.
   void Train(const Dataset& train, Regularizer* reg, Rng* rng);
 
+  /// Uniform inference entry point matching Layer::Predict: `in` is
+  /// [B, num_features]; `out` becomes [B, 2] with the per-class
+  /// probabilities {P(y=0), P(y=1)}, so the row arg-max is the predicted
+  /// label exactly like the nn models' logits. The serving layer
+  /// (src/serve/) programs against this signature and never special-cases
+  /// the model type.
+  void Predict(const Tensor& in, Tensor* out) const;
+
   /// Classification accuracy on `data`.
   double EvaluateAccuracy(const Dataset& data) const;
 

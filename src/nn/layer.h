@@ -52,6 +52,15 @@ class Layer {
   /// preceded by a Forward(train=true) on the same input.
   virtual void Backward(const Tensor& grad_out, Tensor* grad_in) = 0;
 
+  /// Uniform inference entry point — one eval-mode forward (BatchNorm uses
+  /// its running inference statistics, nothing is cached for a Backward).
+  /// The serving layer (src/serve/) programs against this contract: `in` is
+  /// a batch along dim 0, `out` receives per-example scores where the row
+  /// arg-max is the predicted class.
+  void Predict(const Tensor& in, Tensor* out) {
+    Forward(in, out, /*train=*/false);
+  }
+
   /// Appends this layer's learnable parameters to `out`. Default: none.
   virtual void CollectParams(std::vector<ParamRef>* out);
 

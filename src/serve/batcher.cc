@@ -1,0 +1,191 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace gmreg {
+
+Batcher::Batcher(const BatcherOptions& options, BatchHandler handler)
+    : options_(options), handler_(std::move(handler)) {
+  GMREG_CHECK_GE(options_.max_batch_size, 1);
+  GMREG_CHECK_GE(options_.max_delay_ms, 0);
+  GMREG_CHECK_GE(options_.num_workers, 1);
+  GMREG_CHECK_GE(options_.max_queue_depth, 1);
+  GMREG_CHECK(handler_ != nullptr);
+  accepting_ = true;
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  requests_ = registry.counter("gm.serve.requests");
+  batches_ = registry.counter("gm.serve.batches");
+  rejected_ = registry.counter("gm.serve.rejected");
+  queue_depth_ = registry.gauge("gm.serve.queue_depth");
+  batch_size_ = registry.histogram("gm.serve.batch_size");
+  latency_ = registry.histogram("gm.serve.request_latency_seconds");
+  predict_time_ = registry.histogram("gm.serve.batch_predict_seconds");
+}
+
+Batcher::~Batcher() { Shutdown(); }
+
+void Batcher::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pool_ != nullptr || draining_) return;
+  // The dispatcher thread plus (num_workers - 1) pool threads together run
+  // exactly num_workers WorkerLoop instances (ThreadPool::Run has the
+  // calling thread claim tasks alongside the workers). Worker loops count
+  // as a parallel region, so the model's own ParallelFor calls fall back to
+  // serial — one batch saturates one core instead of oversubscribing.
+  pool_ = std::make_unique<ThreadPool>(options_.num_workers - 1);
+  dispatcher_ = std::thread([this] {
+    pool_->Run(options_.num_workers, [this](int w) { WorkerLoop(w); });
+  });
+}
+
+void Batcher::Shutdown() {
+  std::thread dispatcher;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) return;
+    accepting_ = false;
+    draining_ = true;
+    dispatcher = std::move(dispatcher_);
+  }
+  work_cv_.notify_all();
+  if (dispatcher.joinable()) dispatcher.join();
+  // Workers have drained everything they could. Anything still queued means
+  // Start() was never called — fail those requests instead of leaving their
+  // callers blocked forever.
+  std::lock_guard<std::mutex> lock(mu_);
+  while (!queue_.empty()) {
+    Request* req = queue_.front();
+    queue_.pop_front();
+    req->status = Status::FailedPrecondition("batcher shut down unstarted");
+    req->done = true;
+  }
+  queue_depth_->Set(0.0);
+  done_cv_.notify_all();
+}
+
+Status Batcher::Predict(const Tensor& example, Reply* reply) {
+  GMREG_CHECK(reply != nullptr);
+  if (example.empty()) {
+    return Status::InvalidArgument("empty example tensor");
+  }
+  Stopwatch watch;
+  Request req;
+  req.input = &example;
+  req.reply = reply;
+  req.deadline = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(options_.max_delay_ms);
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!accepting_) {
+    rejected_->Add(1);
+    return Status::FailedPrecondition("batcher is shut down");
+  }
+  if (static_cast<std::int64_t>(queue_.size()) >= options_.max_queue_depth) {
+    rejected_->Add(1);
+    return Status::OutOfRange("serving queue is full (backpressure)");
+  }
+  queue_.push_back(&req);
+  queue_depth_->Set(static_cast<double>(queue_.size()));
+  requests_->Add(1);
+  work_cv_.notify_one();
+  done_cv_.wait(lock, [&req] { return req.done; });
+  latency_->Observe(watch.ElapsedSeconds());
+  return req.status;
+}
+
+std::int64_t Batcher::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<std::int64_t>(queue_.size());
+}
+
+std::vector<Batcher::Request*> Batcher::TakeBatchLocked() {
+  // A batch is a shape-homogeneous prefix: a request with a different
+  // example shape ends the batch and starts the next one, so mixed-shape
+  // traffic degrades throughput, never correctness.
+  std::vector<Request*> batch;
+  const std::vector<std::int64_t>& shape = queue_.front()->input->shape();
+  while (!queue_.empty() &&
+         static_cast<int>(batch.size()) < options_.max_batch_size &&
+         queue_.front()->input->shape() == shape) {
+    batch.push_back(queue_.front());
+    queue_.pop_front();
+  }
+  return batch;
+}
+
+void Batcher::WorkerLoop(int worker) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return draining_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (draining_) return;
+      continue;
+    }
+    // Micro-batching wait: give the batch a chance to fill, but never past
+    // the oldest request's deadline — and drain immediately on shutdown.
+    while (!draining_ &&
+           static_cast<int>(queue_.size()) < options_.max_batch_size) {
+      auto deadline = queue_.front()->deadline;
+      if (std::chrono::steady_clock::now() >= deadline) break;
+      work_cv_.wait_until(lock, deadline);
+      if (queue_.empty()) break;  // another worker took the whole queue
+    }
+    if (queue_.empty()) continue;
+    std::vector<Request*> batch = TakeBatchLocked();
+    queue_depth_->Set(static_cast<double>(queue_.size()));
+    lock.unlock();
+
+    // Stack the examples into one [B, ...] tensor.
+    std::int64_t batch_size = static_cast<std::int64_t>(batch.size());
+    const Tensor& first = *batch[0]->input;
+    std::vector<std::int64_t> stacked_shape;
+    stacked_shape.reserve(first.shape().size() + 1);
+    stacked_shape.push_back(batch_size);
+    stacked_shape.insert(stacked_shape.end(), first.shape().begin(),
+                         first.shape().end());
+    Tensor in(stacked_shape);
+    std::int64_t row = first.size();
+    for (std::int64_t i = 0; i < batch_size; ++i) {
+      const Tensor& example = *batch[static_cast<std::size_t>(i)]->input;
+      std::copy(example.data(), example.data() + row, in.data() + i * row);
+    }
+
+    Tensor out;
+    BatchInfo info;
+    Status st;
+    {
+      Stopwatch predict_watch;
+      st = handler_(worker, in, &out, &info);
+      predict_time_->Observe(predict_watch.ElapsedSeconds());
+    }
+    if (st.ok() && (out.rank() < 1 || out.dim(0) != batch_size)) {
+      st = Status::Internal(
+          "batch handler returned output shape " + out.ShapeString() +
+          " for a batch of " + std::to_string(batch_size));
+    }
+    std::int64_t out_row = st.ok() ? out.size() / batch_size : 0;
+
+    lock.lock();
+    for (std::int64_t i = 0; i < batch_size; ++i) {
+      Request* req = batch[static_cast<std::size_t>(i)];
+      req->status = st;
+      if (st.ok()) {
+        Tensor scores({out_row});
+        std::copy(out.data() + i * out_row, out.data() + (i + 1) * out_row,
+                  scores.data());
+        req->reply->output = std::move(scores);
+        req->reply->model_version = info.model_version;
+        req->reply->model_epoch = info.model_epoch;
+      }
+      req->done = true;
+    }
+    batches_->Add(1);
+    batch_size_->Observe(static_cast<double>(batch_size));
+    done_cv_.notify_all();
+  }
+}
+
+}  // namespace gmreg

@@ -1,0 +1,144 @@
+#ifndef GMREG_SERVE_BATCHER_H_
+#define GMREG_SERVE_BATCHER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/metrics.h"
+#include "util/parallel.h"
+#include "util/status.h"
+
+namespace gmreg {
+
+/// Tuning knobs of the micro-batching engine.
+struct BatcherOptions {
+  /// Most examples coalesced into one model call. A full queue flushes
+  /// immediately; otherwise the flush waits for the oldest request's
+  /// deadline.
+  int max_batch_size = 8;
+  /// How long a lone request may wait for company before its batch is
+  /// flushed anyway — the latency the batcher is allowed to add.
+  int max_delay_ms = 2;
+  /// Worker threads executing batches (each needs its own handler state,
+  /// e.g. one InferenceSession per worker index).
+  int num_workers = 1;
+  /// Backpressure: Predict() fails fast with OutOfRange once this many
+  /// requests are queued, instead of growing the queue unboundedly.
+  std::int64_t max_queue_depth = 1024;
+};
+
+/// Model-version stamp a handler attaches to the batch it answered, so
+/// per-request replies can report which snapshot served them.
+struct BatchInfo {
+  std::int64_t model_version = 0;
+  int model_epoch = -1;
+};
+
+/// Executes one coalesced batch: `in` is the stacked input [B, ...], `out`
+/// must receive per-example scores [B, C]. `worker` is the index of the
+/// worker thread making the call (in [0, BatcherOptions::num_workers)) —
+/// calls are concurrent across distinct worker indices but serialized
+/// within one, so per-worker handler state needs no locking. An error
+/// status fails every request in the batch.
+using BatchHandler =
+    std::function<Status(int worker, const Tensor& in, Tensor* out,
+                         BatchInfo* info)>;
+
+/// Micro-batching request queue: single-example Predict() calls from many
+/// client threads are coalesced into one model call of up to
+/// `max_batch_size` examples (dynamic batching, the standard serving
+/// throughput lever). A batch is flushed when it is full, when the oldest
+/// request has waited `max_delay_ms`, or when the batcher is draining for
+/// shutdown.
+///
+/// Worker threads run on a dedicated util/parallel ThreadPool owned by the
+/// batcher (the global pool keeps its fork-join role for the model's
+/// internal GEMM parallelism).
+///
+/// Telemetry: gm.serve.requests / gm.serve.batches / gm.serve.rejected
+/// counters, gm.serve.queue_depth gauge, and gm.serve.batch_size /
+/// gm.serve.request_latency_seconds / gm.serve.batch_predict_seconds
+/// histograms (with p50/p95/p99 in every metrics snapshot).
+class Batcher {
+ public:
+  Batcher(const BatcherOptions& options, BatchHandler handler);
+  ~Batcher();  ///< implies Shutdown()
+
+  Batcher(const Batcher&) = delete;
+  Batcher& operator=(const Batcher&) = delete;
+
+  /// Spawns the worker threads. Predict() before Start() queues but does
+  /// not complete.
+  void Start();
+
+  /// Graceful drain: stops accepting new requests, answers everything
+  /// already queued, then stops the workers. Idempotent.
+  void Shutdown();
+
+  /// One completed request.
+  struct Reply {
+    Tensor output;  ///< this example's score row, shape [C]
+    std::int64_t model_version = 0;
+    int model_epoch = -1;
+  };
+
+  /// Blocking single-example inference: enqueues `example` (shape must
+  /// match every other request, batch dim excluded) and waits for its
+  /// batch. Thread-safe; this is the server's per-request entry point.
+  /// Fails with OutOfRange under backpressure and FailedPrecondition after
+  /// Shutdown().
+  Status Predict(const Tensor& example, Reply* reply);
+
+  /// Requests currently queued (gauge; also exported as
+  /// gm.serve.queue_depth).
+  std::int64_t queue_depth() const;
+
+  const BatcherOptions& options() const { return options_; }
+
+ private:
+  struct Request {
+    const Tensor* input = nullptr;  ///< owned by the waiting Predict caller
+    Reply* reply = nullptr;
+    Status status;
+    bool done = false;
+    std::chrono::steady_clock::time_point deadline;
+  };
+
+  void WorkerLoop(int worker);
+
+  /// Pops up to max_batch_size requests; called with mu_ held.
+  std::vector<Request*> TakeBatchLocked();
+
+  const BatcherOptions options_;
+  const BatchHandler handler_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers wait for requests/shutdown
+  std::condition_variable done_cv_;  ///< Predict callers wait for completion
+  std::deque<Request*> queue_;
+  bool accepting_ = false;
+  bool draining_ = false;
+
+  std::unique_ptr<ThreadPool> pool_;  ///< num_workers - 1 pool threads
+  std::thread dispatcher_;  ///< drives pool_->Run with the worker loops
+
+  Counter* requests_;        ///< gm.serve.requests
+  Counter* batches_;         ///< gm.serve.batches
+  Counter* rejected_;        ///< gm.serve.rejected
+  Gauge* queue_depth_;       ///< gm.serve.queue_depth
+  Histogram* batch_size_;    ///< gm.serve.batch_size
+  Histogram* latency_;       ///< gm.serve.request_latency_seconds
+  Histogram* predict_time_;  ///< gm.serve.batch_predict_seconds
+};
+
+}  // namespace gmreg
+
+#endif  // GMREG_SERVE_BATCHER_H_

@@ -1,0 +1,137 @@
+#include "serve/model_registry.h"
+
+#include <sys/stat.h>
+
+#include <chrono>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace gmreg {
+
+ModelRegistry::ModelRegistry(std::string checkpoint_path)
+    : path_(std::move(checkpoint_path)) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  reloads_ = registry.counter("gm.serve.reloads");
+  reload_failures_ = registry.counter("gm.serve.reload_failures");
+  reload_noops_ = registry.counter("gm.serve.reload_noops");
+}
+
+ModelRegistry::~ModelRegistry() { StopWatcher(); }
+
+Status ModelRegistry::Reload() {
+  // One reload at a time: concurrent callers (watcher + explicit Reload)
+  // serialize here, and readers only ever see fully-built LoadedModels.
+  std::lock_guard<std::mutex> lock(mu_);
+  auto loaded = std::make_shared<LoadedModel>();
+  Status st = LoadModelSnapshot(path_, &loaded->snapshot);
+  if (!st.ok()) {
+    reload_failures_->Add(1);
+    GMREG_LOG(Warning) << "model reload from " << path_
+                       << " failed; keeping the current model: "
+                       << st.ToString();
+    return st;
+  }
+  if (current_ != nullptr) {
+    if (loaded->snapshot.fingerprint == current_->snapshot.fingerprint) {
+      reload_noops_->Add(1);
+      return Status::Ok();
+    }
+    // A hot swap must be appliable by every bound inference session, so the
+    // parameter set has to match the published model exactly.
+    const ModelSnapshot& have = current_->snapshot;
+    const ModelSnapshot& want = loaded->snapshot;
+    if (want.param_names != have.param_names) {
+      reload_failures_->Add(1);
+      return Status::FailedPrecondition(
+          "checkpoint " + path_ +
+          " has a different parameter set than the serving model; refusing "
+          "the hot swap");
+    }
+    for (std::size_t i = 0; i < want.params.size(); ++i) {
+      if (!want.params[i].SameShape(have.params[i])) {
+        reload_failures_->Add(1);
+        return Status::FailedPrecondition(
+            "checkpoint parameter '" + want.param_names[i] +
+            "' changed shape; refusing the hot swap");
+      }
+    }
+  }
+  loaded->version = version_.load(std::memory_order_relaxed) + 1;
+  current_ = std::move(loaded);  // old model stays alive with its readers
+  version_.store(current_->version, std::memory_order_release);
+  reloads_->Add(1);
+  GMREG_LOG(Info) << "published model version " << current_->version
+                  << " from " << path_ << " (epoch "
+                  << current_->snapshot.epoch << ", "
+                  << current_->snapshot.params.size() << " tensors)";
+  return Status::Ok();
+}
+
+std::shared_ptr<const LoadedModel> ModelRegistry::Current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+bool ModelRegistry::StatCheckpoint(std::int64_t* mtime_ns,
+                                   std::int64_t* size) const {
+  struct stat st{};
+  if (::stat(path_.c_str(), &st) != 0) return false;
+#ifdef __APPLE__
+  *mtime_ns = static_cast<std::int64_t>(st.st_mtimespec.tv_sec) * 1000000000 +
+              st.st_mtimespec.tv_nsec;
+#else
+  *mtime_ns = static_cast<std::int64_t>(st.st_mtim.tv_sec) * 1000000000 +
+              st.st_mtim.tv_nsec;
+#endif
+  *size = static_cast<std::int64_t>(st.st_size);
+  return true;
+}
+
+void ModelRegistry::StartWatcher(int poll_interval_ms) {
+  GMREG_CHECK_GT(poll_interval_ms, 0);
+  std::lock_guard<std::mutex> lock(watcher_mu_);
+  if (watcher_.joinable()) return;
+  watcher_stop_ = false;
+  watcher_ = std::thread([this, poll_interval_ms] {
+    WatcherLoop(poll_interval_ms);
+  });
+}
+
+void ModelRegistry::StopWatcher() {
+  {
+    std::lock_guard<std::mutex> lock(watcher_mu_);
+    if (!watcher_.joinable()) return;
+    watcher_stop_ = true;
+  }
+  watcher_cv_.notify_all();
+  watcher_.join();
+  std::lock_guard<std::mutex> lock(watcher_mu_);
+  watcher_ = std::thread();
+}
+
+void ModelRegistry::WatcherLoop(int poll_interval_ms) {
+  std::int64_t last_mtime = -1;
+  std::int64_t last_size = -1;
+  StatCheckpoint(&last_mtime, &last_size);
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(watcher_mu_);
+      watcher_cv_.wait_for(lock,
+                           std::chrono::milliseconds(poll_interval_ms),
+                           [this] { return watcher_stop_; });
+      if (watcher_stop_) return;
+    }
+    std::int64_t mtime = -1;
+    std::int64_t size = -1;
+    if (!StatCheckpoint(&mtime, &size)) continue;
+    if (mtime == last_mtime && size == last_size) continue;
+    last_mtime = mtime;
+    last_size = size;
+    // Reload() itself de-dupes by content fingerprint, so a touch without a
+    // content change stays a no-op.
+    Reload().ok();  // failure already logged and counted
+  }
+}
+
+}  // namespace gmreg

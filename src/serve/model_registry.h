@@ -1,0 +1,108 @@
+#ifndef GMREG_SERVE_MODEL_REGISTRY_H_
+#define GMREG_SERVE_MODEL_REGISTRY_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "io/checkpoint.h"
+#include "util/metrics.h"
+#include "util/status.h"
+
+namespace gmreg {
+
+/// One published model version: an immutable weights snapshot plus the
+/// registry's version counter. Requests hold a shared_ptr to this object
+/// for as long as they need it, so a hot reload can never tear a model out
+/// from under an in-flight batch — the old LoadedModel stays alive until
+/// its last reader drops it.
+struct LoadedModel {
+  ModelSnapshot snapshot;
+  std::int64_t version = 0;  ///< 1-based publish counter
+};
+
+/// Thread-safe, versioned source of truth for the model a server process is
+/// serving. Loads weights from gmckpt checkpoint files (the artifact the
+/// Trainer writes — see docs/CHECKPOINTING.md) through the model-only
+/// LoadModelSnapshot entry point, and publishes them by swapping one
+/// shared_ptr:
+///
+///   ModelRegistry registry("run/ckpt.gmckpt");
+///   GMREG_CHECK(registry.Reload().ok());           // initial load
+///   registry.StartWatcher(/*poll_interval_ms=*/500);  // hot reload
+///   std::shared_ptr<const LoadedModel> m = registry.Current();
+///
+/// Reload semantics:
+///  * an unchanged file (same FNV-1a fingerprint) is a no-op success;
+///  * a damaged or missing file keeps the previous model serving and
+///    returns the error (gm.serve.reload_failures);
+///  * a checkpoint whose parameter names/shapes no longer match the
+///    currently published model is rejected (FailedPrecondition) — bound
+///    inference sessions could not apply it;
+///  * a successful swap bumps version() (gm.serve.reloads).
+///
+/// The watcher polls the checkpoint's mtime/size and calls Reload() on
+/// change; Reload() is also safe to call directly from any thread.
+class ModelRegistry {
+ public:
+  explicit ModelRegistry(std::string checkpoint_path);
+  ~ModelRegistry();
+
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Loads the checkpoint and publishes it if it is new. See class comment
+  /// for the failure semantics.
+  Status Reload();
+
+  /// The currently published model, or nullptr before the first successful
+  /// Reload(). Cheap (one mutex-protected shared_ptr copy per call — per
+  /// batch, not per request, in the serving path).
+  std::shared_ptr<const LoadedModel> Current() const;
+
+  /// Version of the published model; 0 before the first successful load.
+  /// Monotone, so sessions detect staleness with one atomic read.
+  std::int64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  /// Starts a background thread that polls the checkpoint file every
+  /// `poll_interval_ms` and reloads when its mtime or size changes. No-op
+  /// if already watching.
+  void StartWatcher(int poll_interval_ms);
+
+  /// Stops and joins the watcher thread (idempotent).
+  void StopWatcher();
+
+  const std::string& checkpoint_path() const { return path_; }
+
+ private:
+  void WatcherLoop(int poll_interval_ms);
+
+  /// Stamps the file's (mtime, size) into *mtime_ns/*size; false when the
+  /// file cannot be stat'ed.
+  bool StatCheckpoint(std::int64_t* mtime_ns, std::int64_t* size) const;
+
+  const std::string path_;
+
+  mutable std::mutex mu_;  ///< guards current_ and the reload critical section
+  std::shared_ptr<const LoadedModel> current_;
+  std::atomic<std::int64_t> version_{0};
+
+  std::mutex watcher_mu_;  ///< guards watcher_ lifecycle + stop signaling
+  std::condition_variable watcher_cv_;
+  std::thread watcher_;
+  bool watcher_stop_ = false;
+
+  Counter* reloads_;          ///< gm.serve.reloads
+  Counter* reload_failures_;  ///< gm.serve.reload_failures
+  Counter* reload_noops_;     ///< gm.serve.reload_noops
+};
+
+}  // namespace gmreg
+
+#endif  // GMREG_SERVE_MODEL_REGISTRY_H_

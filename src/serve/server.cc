@@ -1,0 +1,471 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "tensor/tensor.h"
+#include "util/json_writer.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace gmreg {
+namespace {
+
+// Request-size guard rails: a prediction row is a few KB of JSON, so these
+// caps are generous while keeping a misbehaving client from ballooning the
+// process.
+constexpr std::size_t kMaxHeaderBytes = 64 * 1024;
+constexpr std::size_t kMaxBodyBytes = 8 * 1024 * 1024;
+constexpr int kMaxRowsPerRequest = 1024;
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 429: return "Too Many Requests";
+    case 503: return "Service Unavailable";
+    default: return "Internal Server Error";
+  }
+}
+
+std::string ErrorBody(const std::string& message) {
+  JsonWriter w;
+  w.BeginObject().Key("error").String(message).EndObject();
+  return w.str();
+}
+
+int HttpStatusFor(const Status& st) {
+  switch (st.code()) {
+    case StatusCode::kInvalidArgument: return 400;
+    case StatusCode::kOutOfRange: return 429;          // backpressure
+    case StatusCode::kFailedPrecondition: return 503;  // no model / draining
+    default: return 500;
+  }
+}
+
+bool SendAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// ASCII case-insensitive prefix match for header names.
+bool HeaderIs(const std::string& line, const char* name) {
+  std::size_t n = std::strlen(name);
+  if (line.size() < n) return false;
+  for (std::size_t i = 0; i < n; ++i) {
+    char a = line[i];
+    if (a >= 'A' && a <= 'Z') a = static_cast<char>(a - 'A' + 'a');
+    if (a != name[i]) return false;
+  }
+  return true;
+}
+
+/// Reads one HTTP/1.1 request (request line, headers, Content-Length body).
+bool ReadHttpRequest(int fd, std::string* method, std::string* target,
+                     std::string* body) {
+  std::string buf;
+  char chunk[4096];
+  std::size_t header_end = std::string::npos;
+  while (header_end == std::string::npos) {
+    if (buf.size() > kMaxHeaderBytes) return false;
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    buf.append(chunk, static_cast<std::size_t>(n));
+    header_end = buf.find("\r\n\r\n");
+  }
+
+  std::size_t line_end = buf.find("\r\n");
+  std::string request_line = buf.substr(0, line_end);
+  std::size_t sp1 = request_line.find(' ');
+  std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos
+                               : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) return false;
+  *method = request_line.substr(0, sp1);
+  *target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+
+  std::size_t content_length = 0;
+  std::size_t pos = line_end + 2;
+  while (pos < header_end) {
+    std::size_t eol = buf.find("\r\n", pos);
+    std::string line = buf.substr(pos, eol - pos);
+    pos = eol + 2;
+    if (HeaderIs(line, "content-length:")) {
+      const char* v = line.c_str() + std::strlen("content-length:");
+      content_length = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    }
+  }
+  if (content_length > kMaxBodyBytes) return false;
+
+  std::size_t body_start = header_end + 4;
+  while (buf.size() - body_start < content_length) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+  *body = buf.substr(body_start, content_length);
+  return true;
+}
+
+std::string RenderResponse(int status, const std::string& body) {
+  return StrFormat("HTTP/1.1 %d %s\r\n"
+                   "Content-Type: application/json\r\n"
+                   "Content-Length: %d\r\n"
+                   "Connection: close\r\n\r\n",
+                   status, ReasonPhrase(status),
+                   static_cast<int>(body.size())) +
+         body;
+}
+
+}  // namespace
+
+Server::Server(ModelRegistry* registry, const ModelSpec& spec,
+               const ServerOptions& options)
+    : registry_(registry), spec_(spec), options_(options) {
+  GMREG_CHECK(registry_ != nullptr);
+  GMREG_CHECK(spec_.factory != nullptr);
+  GMREG_CHECK(!spec_.input_shape.empty());
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  http_requests_ = metrics.counter("gm.serve.http_requests");
+  http_errors_ = metrics.counter("gm.serve.http_errors");
+}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("server already running");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(StrFormat("socket: %s", std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status st = Status::Internal(StrFormat("bind to port %d: %s",
+                                           options_.port,
+                                           std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    Status st =
+        Status::Internal(StrFormat("listen: %s", std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+
+  sessions_.clear();
+  for (int w = 0; w < options_.batcher.num_workers; ++w) {
+    sessions_.push_back(
+        std::make_unique<InferenceSession>(registry_, spec_.factory));
+  }
+  batcher_ = std::make_unique<Batcher>(
+      options_.batcher,
+      [this](int worker, const Tensor& in, Tensor* out, BatchInfo* info) {
+        InferenceSession& session =
+            *sessions_[static_cast<std::size_t>(worker)];
+        Status st = session.Predict(in, out);
+        info->model_version = session.bound_version();
+        info->model_epoch = session.bound_epoch();
+        return st;
+      });
+  batcher_->Start();
+  if (options_.reload_poll_ms > 0) {
+    registry_->StartWatcher(options_.reload_poll_ms);
+    watcher_started_ = true;
+  }
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  GMREG_LOG(Info) << "gmreg_serve: model '" << spec_.name
+                  << "' listening on port " << port_;
+  return Status::Ok();
+}
+
+void Server::Stop() {
+  if (stopping_.exchange(true)) {
+    // A concurrent/second Stop: the first caller does the work.
+    return;
+  }
+  if (!running_.load(std::memory_order_acquire)) return;
+  // 1. Stop accepting: shutting the listener down unblocks accept().
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  // 2. Finish open connections.
+  {
+    std::unique_lock<std::mutex> lock(conn_mu_);
+    conn_cv_.wait(lock, [this] { return active_connections_ == 0; });
+  }
+  // 3. Drain the batcher (answers everything already queued).
+  if (batcher_ != nullptr) batcher_->Shutdown();
+  if (watcher_started_) {
+    registry_->StopWatcher();
+    watcher_started_ = false;
+  }
+  running_.store(false, std::memory_order_release);
+  GMREG_LOG(Info) << "gmreg_serve: drained and stopped";
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down (Stop) or fatally broken
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      ++active_connections_;
+    }
+    std::thread([this, fd] { HandleConnection(fd); }).detach();
+  }
+}
+
+void Server::HandleConnection(int fd) {
+  timeval timeout{};
+  timeout.tv_sec = 10;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  std::string method, target, body;
+  if (ReadHttpRequest(fd, &method, &target, &body)) {
+    int http_status = 500;
+    std::string response_body = Dispatch(method, target, body, &http_status);
+    http_requests_->Add(1);
+    if (http_status >= 400) http_errors_->Add(1);
+    SendAll(fd, RenderResponse(http_status, response_body));
+  } else {
+    SendAll(fd, RenderResponse(400, ErrorBody("malformed HTTP request")));
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  if (--active_connections_ == 0) conn_cv_.notify_all();
+}
+
+std::string Server::Dispatch(const std::string& method,
+                             const std::string& target,
+                             const std::string& body, int* http_status) {
+  std::string path = target.substr(0, target.find('?'));
+  if (path == "/healthz") {
+    if (method != "GET") {
+      *http_status = 405;
+      return ErrorBody("use GET " + path);
+    }
+    return HandleHealth(http_status);
+  }
+  if (path == "/metrics") {
+    if (method != "GET") {
+      *http_status = 405;
+      return ErrorBody("use GET " + path);
+    }
+    *http_status = 200;
+    return RecordToJson(MetricsRegistry::Global().Snapshot("metrics"));
+  }
+  if (path == "/v1/predict") {
+    if (method != "POST") {
+      *http_status = 405;
+      return ErrorBody("use POST " + path);
+    }
+    return HandlePredict(body, http_status);
+  }
+  *http_status = 404;
+  return ErrorBody("no route for '" + path + "'");
+}
+
+std::string Server::HandleHealth(int* http_status) {
+  std::shared_ptr<const LoadedModel> current = registry_->Current();
+  JsonWriter w;
+  w.BeginObject();
+  if (current == nullptr) {
+    *http_status = 503;
+    w.Key("status").String("unavailable");
+    w.Key("error").String("no model loaded yet");
+  } else {
+    *http_status = 200;
+    w.Key("status").String("ok");
+    w.Key("model").String(spec_.name);
+    w.Key("model_version").Int(current->version);
+    w.Key("model_epoch").Int(current->snapshot.epoch);
+    w.Key("checkpoint").String(registry_->checkpoint_path());
+  }
+  w.EndObject();
+  return w.str();
+}
+
+std::string Server::HandlePredict(const std::string& body, int* http_status) {
+  JsonValue doc;
+  Status st = JsonValue::Parse(body, &doc);
+  if (!st.ok() || !doc.is_object()) {
+    *http_status = 400;
+    return ErrorBody("request body is not a JSON object: " +
+                     (st.ok() ? std::string("wrong type") : st.ToString()));
+  }
+  const JsonValue* inputs = doc.Find("inputs");
+  const JsonValue* single = doc.Find("input");
+  std::vector<const JsonValue*> rows;
+  if (inputs != nullptr && inputs->is_array()) {
+    for (const JsonValue& item : inputs->items) rows.push_back(&item);
+  } else if (single != nullptr && single->is_array()) {
+    rows.push_back(single);
+  } else {
+    *http_status = 400;
+    return ErrorBody(
+        "expected \"inputs\": [[...], ...] or \"input\": [...]");
+  }
+  if (rows.empty() ||
+      static_cast<int>(rows.size()) > kMaxRowsPerRequest) {
+    *http_status = 400;
+    return ErrorBody(StrFormat("want 1..%d input rows, got %d",
+                               kMaxRowsPerRequest,
+                               static_cast<int>(rows.size())));
+  }
+
+  std::int64_t row_size = ShapeSize(spec_.input_shape);
+  std::vector<Batcher::Reply> replies(rows.size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const JsonValue& row = *rows[r];
+    if (!row.is_array() ||
+        static_cast<std::int64_t>(row.items.size()) != row_size) {
+      *http_status = 400;
+      return ErrorBody(StrFormat(
+          "input row %d must be a flat array of %d numbers (model '%s')",
+          static_cast<int>(r), static_cast<int>(row_size),
+          spec_.name.c_str()));
+    }
+    Tensor example(spec_.input_shape);
+    for (std::int64_t i = 0; i < row_size; ++i) {
+      const JsonValue& v = row.items[static_cast<std::size_t>(i)];
+      if (!v.is_number()) {
+        *http_status = 400;
+        return ErrorBody(StrFormat("input row %d element %d is not a number",
+                                   static_cast<int>(r), static_cast<int>(i)));
+      }
+      example[i] = static_cast<float>(v.number);
+    }
+    // Rows ride the shared micro-batching queue one by one, coalescing with
+    // every other in-flight request in the process.
+    st = batcher_->Predict(example, &replies[r]);
+    if (!st.ok()) {
+      *http_status = HttpStatusFor(st);
+      return ErrorBody(st.ToString());
+    }
+  }
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("model_version").Int(replies[0].model_version);
+  w.Key("model_epoch").Int(replies[0].model_epoch);
+  w.Key("outputs").BeginArray();
+  for (const Batcher::Reply& reply : replies) {
+    w.BeginArray();
+    for (std::int64_t i = 0; i < reply.output.size(); ++i) {
+      w.Double(static_cast<double>(reply.output[i]));
+    }
+    w.EndArray();
+  }
+  w.EndArray();
+  w.Key("predictions").BeginArray();
+  for (const Batcher::Reply& reply : replies) {
+    std::int64_t best = 0;
+    for (std::int64_t i = 1; i < reply.output.size(); ++i) {
+      if (reply.output[i] > reply.output[best]) best = i;
+    }
+    w.Int(best);
+  }
+  w.EndArray();
+  w.EndObject();
+  *http_status = 200;
+  return w.str();
+}
+
+Status HttpRequest(int port, const std::string& method,
+                   const std::string& target, const std::string& body,
+                   int* status_code, std::string* response_body) {
+  GMREG_CHECK(status_code != nullptr);
+  GMREG_CHECK(response_body != nullptr);
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(StrFormat("socket: %s", std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = Status::Internal(StrFormat("connect to 127.0.0.1:%d: %s",
+                                           port, std::strerror(errno)));
+    ::close(fd);
+    return st;
+  }
+  std::string request =
+      method + " " + target + " HTTP/1.1\r\n" +
+      "Host: 127.0.0.1\r\n"
+      "Content-Type: application/json\r\n" +
+      StrFormat("Content-Length: %d\r\n", static_cast<int>(body.size())) +
+      "Connection: close\r\n\r\n" +
+      body;
+  if (!SendAll(fd, request)) {
+    ::close(fd);
+    return Status::Internal("send failed");
+  }
+  std::string response;
+  char chunk[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // Connection: close framing — EOF ends the response
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  std::size_t sp = response.find(' ');
+  if (sp == std::string::npos) {
+    return Status::Internal("malformed HTTP response: '" + response + "'");
+  }
+  *status_code = std::atoi(response.c_str() + sp + 1);
+  std::size_t header_end = response.find("\r\n\r\n");
+  *response_body = header_end == std::string::npos
+                       ? std::string()
+                       : response.substr(header_end + 4);
+  return Status::Ok();
+}
+
+}  // namespace gmreg

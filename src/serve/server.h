@@ -1,0 +1,119 @@
+#ifndef GMREG_SERVE_SERVER_H_
+#define GMREG_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/batcher.h"
+#include "serve/inference_session.h"
+#include "serve/model_registry.h"
+#include "util/status.h"
+
+namespace gmreg {
+
+/// Configuration of one serving endpoint.
+struct ServerOptions {
+  /// TCP port to listen on; 0 asks the kernel for an ephemeral port (the
+  /// tests do this) — read the result back from Server::port().
+  int port = 8080;
+  /// Micro-batching knobs; num_workers also sets the number of
+  /// InferenceSession replicas.
+  BatcherOptions batcher;
+  /// When > 0, the registry's checkpoint watcher is started with this poll
+  /// interval, so re-training hot-swaps the model without a restart.
+  int reload_poll_ms = 0;
+};
+
+/// Minimal HTTP/1.1 JSON prediction server over POSIX sockets — the
+/// serving front door of docs/SERVING.md:
+///
+///   POST /v1/predict   {"inputs": [[...], ...]} or {"input": [...]}
+///                      -> {"model_version":V,"model_epoch":E,
+///                          "outputs":[[scores...],...],
+///                          "predictions":[argmax,...]}
+///   GET  /healthz      {"status":"ok",...} (503 before the first load)
+///   GET  /metrics      one MetricsRegistry snapshot as a JSON object
+///
+/// Request flow: connection thread -> JSON parse -> one Batcher::Predict
+/// per input row (micro-batched with every other in-flight request) ->
+/// InferenceSession (per batcher worker) -> Layer::Predict on the
+/// registry's current snapshot.
+///
+/// Stop() is a graceful drain: stop accepting, finish open connections,
+/// drain the batcher queue. gmreg_serve wires SIGTERM/SIGINT to it.
+class Server {
+ public:
+  /// `registry` is not owned and must outlive the server. `spec` supplies
+  /// the per-worker model factory and the input shape requests are
+  /// validated against.
+  Server(ModelRegistry* registry, const ModelSpec& spec,
+         const ServerOptions& options);
+  ~Server();  ///< implies Stop()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the accept loop plus the batcher workers
+  /// (and the registry watcher when reload_poll_ms > 0). InvalidArgument /
+  /// Internal on socket failures (e.g. the port is taken).
+  Status Start();
+
+  /// Graceful shutdown; safe to call from a signal-driven path and
+  /// idempotent.
+  void Stop();
+
+  /// The bound port (resolves port 0); -1 before Start().
+  int port() const { return port_; }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  /// Routes one parsed request; returns the response body and sets
+  /// `*http_status`.
+  std::string Dispatch(const std::string& method, const std::string& target,
+                       const std::string& body, int* http_status);
+  std::string HandlePredict(const std::string& body, int* http_status);
+  std::string HandleHealth(int* http_status);
+
+  ModelRegistry* registry_;
+  ModelSpec spec_;
+  ServerOptions options_;
+
+  std::unique_ptr<Batcher> batcher_;
+  std::vector<std::unique_ptr<InferenceSession>> sessions_;  // one per worker
+
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  bool watcher_started_ = false;
+
+  std::mutex conn_mu_;
+  std::condition_variable conn_cv_;
+  int active_connections_ = 0;
+
+  Counter* http_requests_;  ///< gm.serve.http_requests
+  Counter* http_errors_;    ///< gm.serve.http_errors (status >= 400)
+};
+
+/// Minimal loopback HTTP/1.1 client for the tests and CI smoke checks:
+/// sends one `method target` request with `body` to 127.0.0.1:port, parses
+/// the status line into `*status_code` and the payload into
+/// `*response_body`. Internal on connect/IO failures.
+Status HttpRequest(int port, const std::string& method,
+                   const std::string& target, const std::string& body,
+                   int* status_code, std::string* response_body);
+
+}  // namespace gmreg
+
+#endif  // GMREG_SERVE_SERVER_H_

@@ -1,5 +1,7 @@
 #include "util/metrics.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdlib>
 
 #include "util/json_writer.h"
@@ -147,12 +149,50 @@ void JsonlFileSink::Flush() {
 // Histogram
 // ---------------------------------------------------------------------------
 
+int Histogram::BucketIndex(double v) {
+  if (!(v > kBucketFloor)) return 0;  // zeros, negatives, NaN
+  int idx = 1 + static_cast<int>(std::floor(std::log(v / kBucketFloor) /
+                                            std::log(kBucketGrowth)));
+  return std::min(idx, kNumBuckets - 1);
+}
+
 void Histogram::Observe(double v) {
   std::lock_guard<std::mutex> lock(mu_);
   ++state_.count;
   state_.sum += v;
   if (v < state_.min) state_.min = v;
   if (v > state_.max) state_.max = v;
+  if (state_.buckets.empty()) {
+    state_.buckets.assign(static_cast<std::size_t>(kNumBuckets), 0);
+  }
+  ++state_.buckets[static_cast<std::size_t>(BucketIndex(v))];
+}
+
+double Histogram::Snapshot::Percentile(double q) const {
+  if (count <= 0 || buckets.empty()) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  // Nearest-rank: the smallest bucket whose cumulative count reaches
+  // ceil(q * count) (at least 1).
+  std::int64_t target =
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(
+                                    std::ceil(q * static_cast<double>(count))));
+  std::int64_t cum = 0;
+  std::size_t b = 0;
+  for (; b < buckets.size(); ++b) {
+    cum += buckets[b];
+    if (cum >= target) break;
+  }
+  double rep;
+  if (b == 0) {
+    rep = min;  // the underflow bucket has no geometric midpoint
+  } else {
+    double lower = kBucketFloor * std::pow(kBucketGrowth,
+                                           static_cast<double>(b) - 1.0);
+    rep = lower * std::sqrt(kBucketGrowth);  // geometric bucket midpoint
+  }
+  // Clamping to the exact extremes keeps small samples honest (p99 of three
+  // observations can never exceed the largest one).
+  return std::min(std::max(rep, min), max);
 }
 
 Histogram::Snapshot Histogram::snapshot() const {
@@ -242,6 +282,9 @@ MetricsRecord MetricsRegistry::Snapshot(const std::string& event) const {
     if (s.count > 0) {
       record.AddDouble(name + ".min", s.min);
       record.AddDouble(name + ".max", s.max);
+      record.AddDouble(name + ".p50", s.p50());
+      record.AddDouble(name + ".p95", s.p95());
+      record.AddDouble(name + ".p99", s.p99());
     }
   }
   return record;

@@ -652,6 +652,111 @@ void CrashThenResumeCase(int threads, const std::string& tag) {
   }
 }
 
+// --------------------------------------------------------------------------
+// Model-only snapshots (the serving layer's view, src/serve)
+// --------------------------------------------------------------------------
+
+TEST(ModelSnapshotTest, ParsesTheModelHalfOfACheckpoint) {
+  TrainingCheckpoint ckpt = MakeCheckpoint();
+  std::string text = SerializeCheckpoint(ckpt);
+  ModelSnapshot snap;
+  Status st = ParseModelSnapshot(text, &snap);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(snap.epoch, ckpt.epoch);
+  EXPECT_EQ(snap.iteration, ckpt.iteration);
+  ASSERT_EQ(snap.param_names, ckpt.param_names);
+  ASSERT_EQ(snap.params.size(), ckpt.params.size());
+  for (std::size_t i = 0; i < ckpt.params.size(); ++i) {
+    ExpectTensorsEqual(snap.params[i], ckpt.params[i]);
+  }
+  EXPECT_NE(snap.fingerprint, 0u);
+  // The fingerprint is the change detector: identical text, identical
+  // fingerprint; any edit, a different one.
+  ModelSnapshot again;
+  ASSERT_TRUE(ParseModelSnapshot(text, &again).ok());
+  EXPECT_EQ(again.fingerprint, snap.fingerprint);
+  ckpt.epoch += 1;
+  ASSERT_TRUE(ParseModelSnapshot(SerializeCheckpoint(ckpt), &again).ok());
+  EXPECT_NE(again.fingerprint, snap.fingerprint);
+}
+
+TEST(ModelSnapshotTest, OptimizerCorruptionDoesNotBlockModelOnlyLoads) {
+  // The ISSUE 4 negative test: damage ONLY the optimizer state (a `vel`
+  // momentum line). The strict training load must reject the file; the
+  // model-only load must salvage the intact weights.
+  std::string path = TempPath("model_salvage.ckpt");
+  std::remove(PreviousCheckpointPath(path).c_str());
+  TrainingCheckpoint ckpt = MakeCheckpoint();
+  std::string text = SerializeCheckpoint(ckpt);
+  std::size_t vel_pos = text.find("\nvel ");
+  ASSERT_NE(vel_pos, std::string::npos);
+  // Corrupt the first velocity value (keep the "vel <name> <rank>" prefix
+  // intact so only the numbers are damaged, as bit rot would).
+  std::size_t line_end = text.find('\n', vel_pos + 1);
+  std::string vel_line = text.substr(vel_pos + 1, line_end - vel_pos - 1);
+  std::string damaged_line = vel_line;
+  damaged_line.replace(damaged_line.size() - 8, 8, "#garbage");
+  std::string damaged = text;
+  damaged.replace(vel_pos + 1, vel_line.size(), damaged_line);
+  std::ofstream(path, std::ios::binary) << damaged;
+
+  TrainingCheckpoint strict;
+  EXPECT_EQ(LoadCheckpoint(path, &strict).code(),
+            StatusCode::kInvalidArgument);
+
+  std::int64_t salvages_before = CounterValue("gm.checkpoint_model_salvages");
+  ModelSnapshot snap;
+  Status st = LoadModelSnapshot(path, &snap);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  ASSERT_EQ(snap.param_names, ckpt.param_names);
+  for (std::size_t i = 0; i < ckpt.params.size(); ++i) {
+    ExpectTensorsEqual(snap.params[i], ckpt.params[i]);
+  }
+  EXPECT_EQ(CounterValue("gm.checkpoint_model_salvages"),
+            salvages_before + 1);
+}
+
+TEST(ModelSnapshotTest, DamagedParamLineStillFailsTheModelLoad) {
+  // Salvage is blind to optimizer state, NOT to the weights themselves.
+  std::string path = TempPath("model_param_damage.ckpt");
+  std::remove(PreviousCheckpointPath(path).c_str());
+  std::string text = SerializeCheckpoint(MakeCheckpoint());
+  std::size_t param_pos = text.find("param fc1/weight");
+  ASSERT_NE(param_pos, std::string::npos);
+  std::string damaged = text;
+  damaged.replace(param_pos + 20, 3, "NaN");
+  std::ofstream(path, std::ios::binary) << damaged;
+  ModelSnapshot snap;
+  EXPECT_FALSE(LoadModelSnapshot(path, &snap).ok());
+}
+
+TEST(ModelSnapshotTest, FallsBackToPrevWhenPrimaryIsUnusable) {
+  std::string path = TempPath("model_fallback.ckpt");
+  TrainingCheckpoint old_ckpt = MakeCheckpoint();
+  old_ckpt.epoch = 3;
+  ASSERT_TRUE(SaveCheckpoint(old_ckpt, path).ok());
+  TrainingCheckpoint new_ckpt = MakeCheckpoint();
+  new_ckpt.epoch = 4;
+  ASSERT_TRUE(SaveCheckpoint(new_ckpt, path).ok());  // rotates 3 to .prev
+  std::ofstream(path, std::ios::trunc) << "gmckpt v2\nshredded\n";
+  std::int64_t fallback_before =
+      CounterValue("gm.checkpoint_model_fallback_loads");
+  ModelSnapshot snap;
+  Status st = LoadModelSnapshot(path, &snap);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(snap.epoch, 3);
+  EXPECT_EQ(CounterValue("gm.checkpoint_model_fallback_loads"),
+            fallback_before + 1);
+}
+
+TEST(ModelSnapshotTest, MissingEverythingIsNotFound) {
+  std::string path = TempPath("model_nothing_here.ckpt");
+  std::remove(path.c_str());
+  std::remove(PreviousCheckpointPath(path).c_str());
+  ModelSnapshot snap;
+  EXPECT_EQ(LoadModelSnapshot(path, &snap).code(), StatusCode::kNotFound);
+}
+
 TEST(TrainerCrashResumeTest, BitExactTraceSingleThread) {
   CrashThenResumeCase(1, "t1");
 }

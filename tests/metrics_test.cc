@@ -359,6 +359,87 @@ TEST(TrainerMetricsTest, LazyScheduleReportsCacheHits) {
   EXPECT_EQ(reg.estep_count() + reg.greg_cache_hits(), 20);
 }
 
+// --------------------------------------------------------------------------
+// Histogram percentiles (geometric buckets, serving latency telemetry)
+// --------------------------------------------------------------------------
+
+TEST(HistogramPercentileTest, BucketIndexIsMonotoneAndBounded) {
+  EXPECT_EQ(Histogram::BucketIndex(0.0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(-1.0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(1e-9), 0);
+  int last = 0;
+  for (double v = 1e-8; v < 1e9; v *= 3.7) {
+    int idx = Histogram::BucketIndex(v);
+    EXPECT_GE(idx, last) << "v=" << v;
+    EXPECT_LT(idx, Histogram::kNumBuckets);
+    last = idx;
+  }
+  // Far beyond the covered span, the overflow bucket absorbs everything.
+  EXPECT_EQ(Histogram::BucketIndex(1e30), Histogram::kNumBuckets - 1);
+}
+
+TEST(HistogramPercentileTest, EmptyAndSingleObservation) {
+  Histogram h;
+  EXPECT_EQ(h.snapshot().p50(), 0.0);
+  h.Observe(0.125);
+  Histogram::Snapshot snap = h.snapshot();
+  // One observation: every percentile is that observation (the bucket
+  // midpoint estimate is clamped to [min, max] = [0.125, 0.125]).
+  EXPECT_EQ(snap.p50(), 0.125);
+  EXPECT_EQ(snap.p95(), 0.125);
+  EXPECT_EQ(snap.p99(), 0.125);
+}
+
+TEST(HistogramPercentileTest, UniformLatenciesWithinBucketTolerance) {
+  // 1ms..1000ms uniformly: p50 ~ 0.5s, p95 ~ 0.95s, p99 ~ 0.99s. The
+  // geometric buckets guarantee ~±5% relative error (growth factor 1.1).
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Observe(static_cast<double>(i) / 1000.0);
+  Histogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1000);
+  EXPECT_NEAR(snap.p50(), 0.5, 0.5 * 0.05);
+  EXPECT_NEAR(snap.p95(), 0.95, 0.95 * 0.05);
+  EXPECT_NEAR(snap.p99(), 0.99, 0.99 * 0.05);
+  // Percentiles never leave the observed range, and are ordered.
+  EXPECT_GE(snap.p50(), snap.min);
+  EXPECT_LE(snap.p99(), snap.max);
+  EXPECT_LE(snap.p50(), snap.p95());
+  EXPECT_LE(snap.p95(), snap.p99());
+}
+
+TEST(HistogramPercentileTest, HeavyTailIsSeparatedFromTheBody) {
+  // 98 fast requests at ~1ms and two stragglers at 2s: p50 stays at the
+  // body, p99 yanks up into the tail — the exact failure mode a mean hides.
+  // (Two stragglers, because nearest-rank p99 over 100 samples selects the
+  // 99th smallest: a single outlier at rank 100 would be invisible to it.)
+  Histogram h;
+  for (int i = 0; i < 98; ++i) h.Observe(0.001);
+  h.Observe(2.0);
+  h.Observe(2.0);
+  Histogram::Snapshot snap = h.snapshot();
+  EXPECT_NEAR(snap.p50(), 0.001, 0.001 * 0.06);
+  EXPECT_GT(snap.p99(), 1.0);
+  EXPECT_NEAR(snap.mean(), (98 * 0.001 + 2 * 2.0) / 100.0, 1e-9);
+}
+
+TEST(HistogramPercentileTest, SnapshotRecordCarriesPercentileFields) {
+  MetricsRegistry registry;
+  registry.histogram("request_seconds")->Observe(0.25);
+  registry.histogram("request_seconds")->Observe(0.75);
+  MetricsRecord record = registry.Snapshot("latency_report");
+  std::string json = RecordToJson(record);
+  EXPECT_NE(json.find("request_seconds.p50"), std::string::npos) << json;
+  EXPECT_NE(json.find("request_seconds.p95"), std::string::npos) << json;
+  EXPECT_NE(json.find("request_seconds.p99"), std::string::npos) << json;
+  // And the JSONL sink emits the same flattened record.
+  std::string path = TempPath("percentile_sink.jsonl");
+  registry.AddSink(std::make_unique<JsonlFileSink>(path));
+  registry.EmitSnapshot("latency_report");
+  std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("request_seconds.p99"), std::string::npos);
+}
+
 TEST(GlobalRegistryTest, GmCountersAccumulateIntoGlobalRegistry) {
   Counter* esteps = MetricsRegistry::Global().counter("gm.esteps");
   std::int64_t before = esteps->value();
