@@ -4,6 +4,7 @@
 // sweep shows how coalescing requests into larger model calls trades a
 // bounded queueing delay (BatcherOptions::max_delay_ms) for throughput.
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <thread>
@@ -50,7 +51,8 @@ int main() {
   const int requests_per_client = ScalePick(200, 2000, 10000);
   const int batch_sizes[] = {1, 4, 16, 64};
 
-  TablePrinter table({"max_batch", "workers", "requests/s", "mean batch"});
+  TablePrinter table({"max_batch", "workers", "requests/s", "mean batch",
+                      "p50 ms", "p95 ms"});
   bench::JsonSummary summary("serve_throughput", "mlp-64-128-8");
   summary.AddInt("clients", kClients);
   summary.AddInt("requests_per_client", requests_per_client);
@@ -77,6 +79,11 @@ int main() {
 
       std::int64_t batches_before = static_cast<std::int64_t>(
           MetricsRegistry::Global().counter("gm.serve.batches")->value());
+      // Per-request latency as the client sees it (enqueue to reply),
+      // including the batcher's queueing delay. One sample vector per
+      // client, merged after the join.
+      std::vector<std::vector<double>> client_latency_ms(
+          static_cast<std::size_t>(kClients));
       Stopwatch watch;
       std::vector<std::thread> clients;
       for (int c = 0; c < kClients; ++c) {
@@ -86,15 +93,38 @@ int main() {
           for (std::int64_t i = 0; i < example.size(); ++i) {
             example[i] = static_cast<float>(rng.NextGaussian());
           }
+          std::vector<double>& latency =
+              client_latency_ms[static_cast<std::size_t>(c)];
+          latency.reserve(static_cast<std::size_t>(requests_per_client));
           Batcher::Reply reply;
+          Stopwatch request_watch;
           for (int r = 0; r < requests_per_client; ++r) {
+            request_watch.Reset();
             GMREG_CHECK(batcher.Predict(example, &reply).ok());
+            latency.push_back(request_watch.ElapsedMillis());
           }
         });
       }
       for (std::thread& t : clients) t.join();
       double elapsed = watch.ElapsedSeconds();
       batcher.Shutdown();
+
+      // Exact percentiles over the merged samples (nth_element, not a
+      // histogram — the sample count is small enough to keep them all).
+      std::vector<double> latency_ms;
+      for (const std::vector<double>& l : client_latency_ms) {
+        latency_ms.insert(latency_ms.end(), l.begin(), l.end());
+      }
+      auto percentile = [&latency_ms](double q) {
+        auto idx = static_cast<std::size_t>(
+            q * static_cast<double>(latency_ms.size() - 1));
+        std::nth_element(latency_ms.begin(),
+                         latency_ms.begin() + static_cast<std::ptrdiff_t>(idx),
+                         latency_ms.end());
+        return latency_ms[idx];
+      };
+      double p50_ms = percentile(0.50);
+      double p95_ms = percentile(0.95);
 
       double total = static_cast<double>(kClients) * requests_per_client;
       double rps = total / elapsed;
@@ -104,8 +134,11 @@ int main() {
       double mean_batch = batches > 0 ? total / static_cast<double>(batches)
                                       : 0.0;
       table.AddRow({std::to_string(max_batch), std::to_string(workers),
-                    StrFormat("%.0f", rps), StrFormat("%.1f", mean_batch)});
+                    StrFormat("%.0f", rps), StrFormat("%.1f", mean_batch),
+                    StrFormat("%.3f", p50_ms), StrFormat("%.3f", p95_ms)});
       summary.Add(StrFormat("rps.w%d.b%d", workers, max_batch), rps);
+      summary.Add(StrFormat("p50_ms.w%d.b%d", workers, max_batch), p50_ms);
+      summary.Add(StrFormat("p95_ms.w%d.b%d", workers, max_batch), p95_ms);
     }
   }
   table.Print(std::cout);

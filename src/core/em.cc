@@ -25,18 +25,81 @@ void GmSuffStats::Merge(const GmSuffStats& other) {
 
 namespace {
 
+// K-specialized E-step kernel: the mixture parameters are hoisted into
+// fixed-size locals and every k loop has a compile-time trip count KK, so
+// the compiler fully unrolls and vectorizes the responsibility softmax.
+// The arithmetic replicates GaussianMixture::Responsibilities() expression
+// for expression — same operations in the same order, so this path is
+// bitwise identical to the generic one below (tests/em_test.cc relies on
+// the E-step's determinism contract, docs/KERNELS.md).
+template <int KK, typename T>
+void EStepFixedK(const GaussianMixture& gm, const T* w, std::int64_t n,
+                 T* greg_out, GmSuffStats* stats) {
+  double lc[KK];
+  double lam[KK];
+  const std::vector<double>& log_coef = gm.log_coef();
+  const std::vector<double>& lambda = gm.lambda();
+  for (int k = 0; k < KK; ++k) {
+    auto ks = static_cast<std::size_t>(k);
+    lc[k] = log_coef[ks];
+    lam[k] = lambda[ks];
+  }
+  for (std::int64_t m = 0; m < n; ++m) {
+    double x = static_cast<double>(w[m]);
+    double r[KK];
+    double best = -1e300;
+    for (int k = 0; k < KK; ++k) {
+      r[k] = lc[k] - 0.5 * lam[k] * x * x;
+      best = std::max(best, r[k]);
+    }
+    double denom = 0.0;
+    for (int k = 0; k < KK; ++k) {
+      r[k] = std::exp(r[k] - best);
+      denom += r[k];
+    }
+    for (int k = 0; k < KK; ++k) r[k] /= denom;
+    if (greg_out != nullptr) {
+      double acc = 0.0;
+      for (int k = 0; k < KK; ++k) acc += r[k] * lam[k];
+      greg_out[m] = static_cast<T>(acc * x);
+    }
+    if (stats != nullptr) {
+      for (int k = 0; k < KK; ++k) {
+        auto ks = static_cast<std::size_t>(k);
+        stats->resp_sum[ks] += r[k];
+        stats->resp_w2_sum[ks] += r[k] * x * x;
+      }
+    }
+  }
+}
+
 // Shared E-step kernel over either float or double input. K is small (<= 8
-// in practice), so responsibilities live in a fixed-size stack buffer.
+// in practice), so responsibilities live in a fixed-size stack buffer; the
+// common component counts dispatch to the unrolled EStepFixedK variants.
 template <typename T>
 void EStepImpl(const GaussianMixture& gm, const T* w, std::int64_t n,
                T* greg_out, GmSuffStats* stats) {
   int kk = gm.num_components();
   GMREG_CHECK_LE(kk, 64);
-  const std::vector<double>& lambda = gm.lambda();
   if (stats != nullptr) {
     GMREG_CHECK_EQ(static_cast<int>(stats->resp_sum.size()), kk);
     stats->count += n;
   }
+  switch (kk) {
+    case 1:
+      return EStepFixedK<1>(gm, w, n, greg_out, stats);
+    case 2:
+      return EStepFixedK<2>(gm, w, n, greg_out, stats);
+    case 3:
+      return EStepFixedK<3>(gm, w, n, greg_out, stats);
+    case 4:
+      return EStepFixedK<4>(gm, w, n, greg_out, stats);
+    case 8:
+      return EStepFixedK<8>(gm, w, n, greg_out, stats);
+    default:
+      break;
+  }
+  const std::vector<double>& lambda = gm.lambda();
   double r[64];
   for (std::int64_t m = 0; m < n; ++m) {
     double x = static_cast<double>(w[m]);

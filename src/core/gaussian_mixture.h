@@ -49,6 +49,12 @@ class GaussianMixture {
   const std::vector<double>& pi() const { return pi_; }
   const std::vector<double>& lambda() const { return lambda_; }
 
+  /// Cached log(pi_k) + 0.5*log(lambda_k) — the x-independent part of the
+  /// component log-densities. Exposed so the K-specialized E-step kernels
+  /// (core/em.cc) can replicate Responsibilities() without a per-element
+  /// call through the generic loop.
+  const std::vector<double>& log_coef() const { return log_coef_; }
+
   /// Replaces the parameters (revalidates; renormalizes pi).
   void Set(std::vector<double> pi, std::vector<double> lambda);
 

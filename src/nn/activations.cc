@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "tensor/gemm_kernel.h"
+
 namespace gmreg {
 
 Relu::Relu(std::string name) : Layer(std::move(name)) {}
@@ -9,30 +11,21 @@ Relu::Relu(std::string name) : Layer(std::move(name)) {}
 void Relu::Forward(const Tensor& in, Tensor* out, bool train) {
   EnsureShape(in.shape(), out);
   in_shape_ = in.shape();
-  const float* ip = in.data();
-  float* op = out->data();
   std::int64_t n = in.size();
   if (train) {
-    mask_.assign(static_cast<std::size_t>(n), false);
-    for (std::int64_t i = 0; i < n; ++i) {
-      bool pos = ip[i] > 0.0f;
-      mask_[static_cast<std::size_t>(i)] = pos;
-      op[i] = pos ? ip[i] : 0.0f;
-    }
+    mask_.resize(static_cast<std::size_t>(n));
+    GetKernelOps().relu_forward(n, in.data(), out->data(), mask_.data());
   } else {
-    for (std::int64_t i = 0; i < n; ++i) op[i] = ip[i] > 0.0f ? ip[i] : 0.0f;
+    GetKernelOps().relu_forward(n, in.data(), out->data(), nullptr);
   }
 }
 
 void Relu::Backward(const Tensor& grad_out, Tensor* grad_in) {
   EnsureShape(in_shape_, grad_in);
-  const float* gp = grad_out.data();
-  float* gi = grad_in->data();
   std::int64_t n = grad_out.size();
   GMREG_CHECK_EQ(static_cast<std::int64_t>(mask_.size()), n);
-  for (std::int64_t i = 0; i < n; ++i) {
-    gi[i] = mask_[static_cast<std::size_t>(i)] ? gp[i] : 0.0f;
-  }
+  GetKernelOps().relu_backward(n, grad_out.data(), mask_.data(),
+                               grad_in->data());
 }
 
 Lrn::Lrn(std::string name, int local_size, double alpha, double beta,

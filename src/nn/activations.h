@@ -17,7 +17,10 @@ class Relu : public Layer {
   void Backward(const Tensor& grad_out, Tensor* grad_in) override;
 
  private:
-  std::vector<bool> mask_;  // true where input > 0
+  // 1 where input > 0. Bytes, not vector<bool>, so the vectorized
+  // relu_forward/relu_backward kernels (tensor/gemm_kernel.h) can write and
+  // read it directly.
+  std::vector<unsigned char> mask_;
   std::vector<std::int64_t> in_shape_;
 };
 

@@ -1,5 +1,6 @@
 #include "nn/conv.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "tensor/random.h"
@@ -102,19 +103,17 @@ void Conv2d::Forward(const Tensor& in, Tensor* out, bool train) {
     Gemm(false, false, out_channels_, cols, patch, 1.0f, weight_.data(),
          patch, col->data(), cols, 0.0f, out->data() + i * out_chw, cols);
     // bias broadcast over spatial positions
-    float* op = out->data() + i * out_chw;
-    for (std::int64_t co = 0; co < out_channels_; ++co) {
-      float bval = bias_[co];
-      for (std::int64_t p = 0; p < cols; ++p) op[co * cols + p] += bval;
-    }
+    AddColBroadcast(out_channels_, cols, bias_.data(),
+                    out->data() + i * out_chw);
   };
   // Samples are independent and write disjoint output slices, so the batch
   // loop shards over the thread budget with one im2col buffer per shard;
   // the inner Gemm then runs serially (nested regions don't re-shard).
   int shards = ComputeNumShards(b, /*grain=*/1, ResolveNumThreads(0));
   if (shards <= 1 || InParallelRegion()) {
-    EnsureShape({patch, cols}, &col_);
-    for (std::int64_t i = 0; i < b; ++i) forward_one(i, &col_);
+    shard_cols_.resize(1);
+    EnsureShape({patch, cols}, &shard_cols_[0]);
+    for (std::int64_t i = 0; i < b; ++i) forward_one(i, &shard_cols_[0]);
   } else {
     shard_cols_.resize(static_cast<std::size_t>(shards));
     RunShards(shards, 0, b, [&](int s, std::int64_t b0, std::int64_t b1) {
@@ -138,26 +137,65 @@ void Conv2d::Backward(const Tensor& grad_out, Tensor* grad_in) {
   std::int64_t out_chw = out_channels_ * cols;
   EnsureShape(cached_in_.shape(), grad_in);
   grad_in->SetZero();
-  // The parallel forward uses per-shard buffers, so col_ may be unsized.
-  EnsureShape({patch, cols}, &col_);
-  Tensor gcol({patch, cols});
-  for (std::int64_t i = 0; i < b; ++i) {
-    const float* gout = grad_out.data() + i * out_chw;
-    // Recompute col for this sample (memory-lean: one col buffer, not B).
-    Im2Col(cached_in_.data() + i * in_chw, h, w, out_h, out_w, col_.data());
-    // dW += gout_i [Cout, cols] * col^T [cols, patch]
-    Gemm(false, true, out_channels_, patch, cols, 1.0f, gout, cols,
-         col_.data(), cols, 1.0f, weight_grad_.data(), patch);
-    // db += spatial sums
-    for (std::int64_t co = 0; co < out_channels_; ++co) {
-      float acc = 0.0f;
-      for (std::int64_t p = 0; p < cols; ++p) acc += gout[co * cols + p];
-      bias_grad_[co] += acc;
+  // The batch splits into a fixed number of chunks that depends only on the
+  // batch size — never on the thread budget — so the per-chunk partial
+  // weight/bias gradients and their fixed-order merge below produce
+  // bitwise-identical results at every thread budget (docs/KERNELS.md).
+  // Each chunk owns its scratch (col/gcol) and partial accumulators; samples
+  // write disjoint grad_in slices.
+  int chunks = static_cast<int>(std::min<std::int64_t>(b, 8));
+  bwd_scratch_.resize(static_cast<std::size_t>(chunks));
+  auto backward_chunk = [&](int s, std::int64_t b0, std::int64_t b1) {
+    BwdScratch& scratch = bwd_scratch_[static_cast<std::size_t>(s)];
+    EnsureShape({patch, cols}, &scratch.col);
+    EnsureShape({patch, cols}, &scratch.gcol);
+    EnsureShape(weight_grad_.shape(), &scratch.wgrad);
+    EnsureShape(bias_grad_.shape(), &scratch.bgrad);
+    scratch.wgrad.SetZero();
+    scratch.bgrad.SetZero();
+    for (std::int64_t i = b0; i < b1; ++i) {
+      const float* gout = grad_out.data() + i * out_chw;
+      // Recompute col for this sample (memory-lean: one col buffer per
+      // chunk, not B).
+      Im2Col(cached_in_.data() + i * in_chw, h, w, out_h, out_w,
+             scratch.col.data());
+      // chunk dW += gout_i [Cout, cols] * col^T [cols, patch]
+      Gemm(false, true, out_channels_, patch, cols, 1.0f, gout, cols,
+           scratch.col.data(), cols, 1.0f, scratch.wgrad.data(), patch);
+      // chunk db += spatial sums
+      RowSumsAccum(out_channels_, cols, gout, scratch.bgrad.data());
+      // gcol = W^T [patch, Cout] * gout_i [Cout, cols]
+      Gemm(true, false, patch, cols, out_channels_, 1.0f, weight_.data(),
+           patch, gout, cols, 0.0f, scratch.gcol.data(), cols);
+      Col2Im(scratch.gcol.data(), h, w, out_h, out_w,
+             grad_in->data() + i * in_chw);
     }
-    // gcol = W^T [patch, Cout] * gout_i [Cout, cols]
-    Gemm(true, false, patch, cols, out_channels_, 1.0f, weight_.data(), patch,
-         gout, cols, 0.0f, gcol.data(), cols);
-    Col2Im(gcol.data(), h, w, out_h, out_w, grad_in->data() + i * in_chw);
+  };
+  // The chunk boundaries are fixed, but execution respects the thread
+  // budget: the chunks are grouped over at most `budget` workers (each
+  // worker runs its chunks serially, in chunk order). Any budget — 1,
+  // nested-region serial, or N — therefore runs the exact same per-chunk
+  // arithmetic; only the worker assignment changes.
+  auto run_chunk = [&](int s) {
+    auto [b0, b1] = ShardRange(s, chunks, 0, b);
+    backward_chunk(s, b0, b1);
+  };
+  int budget = ResolveNumThreads(0);
+  if (chunks <= 1 || InParallelRegion() || budget <= 1) {
+    for (int s = 0; s < chunks; ++s) run_chunk(s);
+  } else {
+    RunShards(std::min(chunks, budget), 0, chunks,
+              [&](int /*group*/, std::int64_t c0, std::int64_t c1) {
+                for (std::int64_t s = c0; s < c1; ++s) {
+                  run_chunk(static_cast<int>(s));
+                }
+              });
+  }
+  // Merge the partials in fixed chunk order.
+  for (int s = 0; s < chunks; ++s) {
+    Axpy(1.0f, bwd_scratch_[static_cast<std::size_t>(s)].wgrad,
+         &weight_grad_);
+    Axpy(1.0f, bwd_scratch_[static_cast<std::size_t>(s)].bgrad, &bias_grad_);
   }
 }
 

@@ -45,10 +45,19 @@ class Conv2d : public Layer {
   Tensor weight_grad_;
   Tensor bias_grad_;
   Tensor cached_in_;    // [B, Cin, H, W]
-  Tensor col_;          // scratch [Cin*K*K, Hout*Wout] (serial path)
   // Per-shard im2col scratch of the batch-parallel forward; one buffer per
-  // shard so workers never share, sized lazily like col_.
+  // shard so workers never share, sized lazily. The serial path is shard 0.
   std::vector<Tensor> shard_cols_;
+  // Per-chunk scratch of the batch-parallel backward: im2col / gradient
+  // columns plus partial weight/bias gradients, merged in fixed chunk order
+  // so the result is bitwise-identical at every thread budget.
+  struct BwdScratch {
+    Tensor col;    // [Cin*K*K, Hout*Wout]
+    Tensor gcol;   // [Cin*K*K, Hout*Wout]
+    Tensor wgrad;  // [Cout, Cin*K*K]
+    Tensor bgrad;  // [Cout]
+  };
+  std::vector<BwdScratch> bwd_scratch_;
 };
 
 }  // namespace gmreg

@@ -29,13 +29,7 @@ void Dense::Forward(const Tensor& in, Tensor* out, bool train) {
   std::int64_t b = in.dim(0);
   EnsureShape({b, out_features_}, out);
   MatMul(in, weight_, out);
-  float* op = out->data();
-  const float* bp = bias_.data();
-  for (std::int64_t i = 0; i < b; ++i) {
-    for (std::int64_t j = 0; j < out_features_; ++j) {
-      op[i * out_features_ + j] += bp[j];
-    }
-  }
+  AddRowBroadcast(b, out_features_, bias_.data(), out->data());
   if (train) cached_in_ = in;
 }
 
@@ -48,13 +42,7 @@ void Dense::Backward(const Tensor& grad_out, Tensor* grad_in) {
        in_features_, grad_out.data(), out_features_, 1.0f,
        weight_grad_.data(), out_features_);
   // db += column sums of gout
-  const float* gp = grad_out.data();
-  float* bg = bias_grad_.data();
-  for (std::int64_t i = 0; i < b; ++i) {
-    for (std::int64_t j = 0; j < out_features_; ++j) {
-      bg[j] += gp[i * out_features_ + j];
-    }
-  }
+  ColSumsAccum(b, out_features_, grad_out.data(), bias_grad_.data());
   // gin = gout * W^T
   EnsureShape({b, in_features_}, grad_in);
   Gemm(false, true, b, in_features_, out_features_, 1.0f, grad_out.data(),

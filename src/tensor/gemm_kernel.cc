@@ -1,0 +1,250 @@
+#include "tensor/gemm_kernel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace gmreg {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar kernel tier. The accumulation orders here are the contract: the
+// SIMD tier performs the same per-element operation sequences (modulo FMA
+// contraction, see docs/KERNELS.md), so results agree to rounding and the
+// blocked driver is free to dispatch either.
+// ---------------------------------------------------------------------------
+
+void GemmMicroScalar(std::int64_t kc, float alpha, const float* ap,
+                     const float* bp, float* c, std::int64_t ldc,
+                     std::int64_t mr, std::int64_t nr, bool overwrite) {
+  float acc[kGemmMR][kGemmNR] = {};
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const float* b_row = bp + p * kGemmNR;
+    const float* a_col = ap + p * kGemmMR;
+    for (std::int64_t r = 0; r < kGemmMR; ++r) {
+      float av = a_col[r];
+      for (std::int64_t j = 0; j < kGemmNR; ++j) acc[r][j] += av * b_row[j];
+    }
+  }
+  if (overwrite) {
+    for (std::int64_t r = 0; r < mr; ++r) {
+      float* c_row = c + r * ldc;
+      for (std::int64_t j = 0; j < nr; ++j) c_row[j] = alpha * acc[r][j];
+    }
+  } else {
+    for (std::int64_t r = 0; r < mr; ++r) {
+      float* c_row = c + r * ldc;
+      for (std::int64_t j = 0; j < nr; ++j) c_row[j] += alpha * acc[r][j];
+    }
+  }
+}
+
+void AxpyScalar(std::int64_t n, float alpha, const float* x, float* y) {
+  for (std::int64_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void AddRowBroadcastScalar(std::int64_t rows, std::int64_t cols,
+                           const float* row, float* out) {
+  for (std::int64_t i = 0; i < rows; ++i) {
+    float* o = out + i * cols;
+    for (std::int64_t j = 0; j < cols; ++j) o[j] += row[j];
+  }
+}
+
+void AddColBroadcastScalar(std::int64_t rows, std::int64_t cols,
+                           const float* col, float* out) {
+  for (std::int64_t i = 0; i < rows; ++i) {
+    float v = col[i];
+    float* o = out + i * cols;
+    for (std::int64_t j = 0; j < cols; ++j) o[j] += v;
+  }
+}
+
+void ColSumsAccumScalar(std::int64_t rows, std::int64_t cols, const float* m,
+                        float* out) {
+  for (std::int64_t i = 0; i < rows; ++i) {
+    const float* r = m + i * cols;
+    for (std::int64_t j = 0; j < cols; ++j) out[j] += r[j];
+  }
+}
+
+void RowSumsAccumScalar(std::int64_t rows, std::int64_t cols, const float* m,
+                        float* out) {
+  for (std::int64_t i = 0; i < rows; ++i) {
+    const float* r = m + i * cols;
+    float acc = 0.0f;
+    for (std::int64_t j = 0; j < cols; ++j) acc += r[j];
+    out[i] += acc;
+  }
+}
+
+void ReluForwardScalar(std::int64_t n, const float* in, float* out,
+                       unsigned char* mask) {
+  if (mask != nullptr) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      bool pos = in[i] > 0.0f;
+      mask[i] = pos ? 1 : 0;
+      out[i] = pos ? in[i] : 0.0f;
+    }
+  } else {
+    for (std::int64_t i = 0; i < n; ++i) out[i] = in[i] > 0.0f ? in[i] : 0.0f;
+  }
+}
+
+void ReluBackwardScalar(std::int64_t n, const float* gout,
+                        const unsigned char* mask, float* gin) {
+  for (std::int64_t i = 0; i < n; ++i) gin[i] = mask[i] ? gout[i] : 0.0f;
+}
+
+constexpr KernelOps kScalarOps = {
+    "scalar",         GemmMicroScalar,      AxpyScalar,
+    AddRowBroadcastScalar, AddColBroadcastScalar, ColSumsAccumScalar,
+    RowSumsAccumScalar,    ReluForwardScalar,     ReluBackwardScalar,
+};
+
+std::atomic<bool> g_force_scalar{false};
+
+// Resolves the SIMD tier once: compiled-in + CPU support (checked by
+// GetSimdKernelOpsOrNull) + not disabled via GMREG_SIMD=0|off.
+const KernelOps* ResolvedSimdOps() {
+  static const KernelOps* ops = [] {
+    const char* env = std::getenv("GMREG_SIMD");
+    if (env != nullptr) {
+      std::string v(env);
+      if (v == "0" || v == "off" || v == "OFF") return (const KernelOps*)nullptr;
+    }
+    return internal::GetSimdKernelOpsOrNull();
+  }();
+  return ops;
+}
+
+}  // namespace
+
+const KernelOps& GetKernelOps() {
+  const KernelOps* simd = g_force_scalar.load(std::memory_order_relaxed)
+                              ? nullptr
+                              : ResolvedSimdOps();
+  return simd != nullptr ? *simd : kScalarOps;
+}
+
+bool SimdKernelsEnabled() { return &GetKernelOps() != &kScalarOps; }
+
+namespace internal {
+
+void ForceScalarKernelsForTesting(bool force) {
+  g_force_scalar.store(force, std::memory_order_relaxed);
+}
+
+}  // namespace internal
+
+void PackB(bool trans_b, const float* b, std::int64_t ldb, std::int64_t k,
+           std::int64_t n, float* bp) {
+  std::int64_t n_round = RoundUpN(n);
+  for (std::int64_t p0 = 0; p0 < k; p0 += kGemmKC) {
+    std::int64_t kc = std::min(kGemmKC, k - p0);
+    float* slab = bp + p0 * n_round;
+    for (std::int64_t j0 = 0; j0 < n; j0 += kGemmNR) {
+      std::int64_t nr = std::min(kGemmNR, n - j0);
+      float* tile = slab + (j0 / kGemmNR) * kc * kGemmNR;
+      if (nr < kGemmNR) {
+        std::memset(tile, 0,
+                    static_cast<std::size_t>(kc * kGemmNR) * sizeof(float));
+      }
+      if (!trans_b) {
+        // op(B)[p][j] = B[p][j]: contiguous row reads.
+        for (std::int64_t p = 0; p < kc; ++p) {
+          const float* src = b + (p0 + p) * ldb + j0;
+          float* dst = tile + p * kGemmNR;
+          for (std::int64_t j = 0; j < nr; ++j) dst[j] = src[j];
+        }
+      } else {
+        // op(B)[p][j] = B[j][p]: contiguous reads along p per output column.
+        for (std::int64_t j = 0; j < nr; ++j) {
+          const float* src = b + (j0 + j) * ldb + p0;
+          float* dst = tile + j;
+          for (std::int64_t p = 0; p < kc; ++p) dst[p * kGemmNR] = src[p];
+        }
+      }
+    }
+  }
+}
+
+void PackA(bool trans_a, const float* a, std::int64_t lda, std::int64_t i0,
+           std::int64_t mc, std::int64_t p0, std::int64_t kc, float* ap) {
+  for (std::int64_t r0 = 0; r0 < mc; r0 += kGemmMR) {
+    std::int64_t mr = std::min(kGemmMR, mc - r0);
+    float* tile = ap + (r0 / kGemmMR) * kc * kGemmMR;
+    if (mr < kGemmMR) {
+      std::memset(tile, 0,
+                  static_cast<std::size_t>(kc * kGemmMR) * sizeof(float));
+    }
+    if (!trans_a) {
+      // op(A)[i][p] = A[i][p]: contiguous row reads.
+      for (std::int64_t r = 0; r < mr; ++r) {
+        const float* src = a + (i0 + r0 + r) * lda + p0;
+        float* dst = tile + r;
+        for (std::int64_t p = 0; p < kc; ++p) dst[p * kGemmMR] = src[p];
+      }
+    } else {
+      // op(A)[i][p] = A[p][i]: contiguous reads along i per p.
+      for (std::int64_t p = 0; p < kc; ++p) {
+        const float* src = a + (p0 + p) * lda + i0 + r0;
+        float* dst = tile + p * kGemmMR;
+        for (std::int64_t r = 0; r < mr; ++r) dst[r] = src[r];
+      }
+    }
+  }
+}
+
+void GemmPackedRows(bool trans_a, std::int64_t i0, std::int64_t i1,
+                    std::int64_t n, std::int64_t k, float alpha,
+                    const float* a, std::int64_t lda, const float* bp,
+                    float beta, float* c, std::int64_t ldc) {
+  // Scale this shard's C rows first, exactly once. For beta == 0 there is
+  // nothing to scale: C is never read, and the first k slab's micro-kernel
+  // calls overwrite every element instead (each element belongs to exactly
+  // one tile per slab). Clear explicitly only in the degenerate k <= 0 case.
+  bool overwrite_first = (beta == 0.0f);
+  if (beta == 0.0f) {
+    if (k <= 0) {
+      for (std::int64_t i = i0; i < i1; ++i) {
+        std::memset(c + i * ldc, 0,
+                    static_cast<std::size_t>(n) * sizeof(float));
+      }
+    }
+  } else if (beta != 1.0f) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      float* row = c + i * ldc;
+      for (std::int64_t j = 0; j < n; ++j) row[j] *= beta;
+    }
+  }
+  const KernelOps& ops = GetKernelOps();
+  std::int64_t n_round = RoundUpN(n);
+  // Per-worker A pack, bounded at MC x KC floats and reused across calls.
+  thread_local std::vector<float> apack;
+  apack.resize(static_cast<std::size_t>(kGemmMC * kGemmKC));
+  for (std::int64_t p0 = 0; p0 < k; p0 += kGemmKC) {
+    std::int64_t kc = std::min(kGemmKC, k - p0);
+    const float* slab = bp + p0 * n_round;
+    for (std::int64_t ic = i0; ic < i1; ic += kGemmMC) {
+      std::int64_t mc = std::min(kGemmMC, i1 - ic);
+      PackA(trans_a, a, lda, ic, mc, p0, kc, apack.data());
+      for (std::int64_t j0 = 0; j0 < n; j0 += kGemmNR) {
+        std::int64_t nr = std::min(kGemmNR, n - j0);
+        const float* b_tile = slab + (j0 / kGemmNR) * kc * kGemmNR;
+        for (std::int64_t r0 = 0; r0 < mc; r0 += kGemmMR) {
+          std::int64_t mr = std::min(kGemmMR, mc - r0);
+          const float* a_tile = apack.data() + (r0 / kGemmMR) * kc * kGemmMR;
+          ops.gemm_micro(kc, alpha, a_tile, b_tile,
+                         c + (ic + r0) * ldc + j0, ldc, mr, nr,
+                         overwrite_first && p0 == 0);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace gmreg

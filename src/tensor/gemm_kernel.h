@@ -1,0 +1,124 @@
+#ifndef GMREG_TENSOR_GEMM_KERNEL_H_
+#define GMREG_TENSOR_GEMM_KERNEL_H_
+
+#include <cstdint>
+
+namespace gmreg {
+
+/// Tile geometry of the packed GEMM (docs/KERNELS.md). The micro-kernel
+/// updates an MR x NR accumulator tile held in registers: NR = 16 is two
+/// 8-float vectors, MR = 6 keeps 6x2 accumulators plus two B vectors and an
+/// A broadcast inside the 16 YMM registers of AVX2.
+inline constexpr std::int64_t kGemmMR = 6;
+inline constexpr std::int64_t kGemmNR = 16;
+
+/// k is consumed in slabs of at most KC so one packed B panel column
+/// (KC x NR = 16 KB) stays L1-resident across the row micro-panels.
+inline constexpr std::int64_t kGemmKC = 256;
+
+/// Rows are packed in blocks of MC (multiple of MR) so the per-thread A
+/// pack (MC x KC floats = 72 KB) stays L2-resident.
+inline constexpr std::int64_t kGemmMC = 72;
+
+/// Below this flop count (2*m*n*k) the packing traffic beats the win and
+/// Gemm runs a plain unpacked loop instead.
+inline constexpr std::int64_t kGemmSmallFlops = 1 << 14;
+
+/// The runtime-dispatched kernel tier: the GEMM micro-kernel plus the
+/// vectorized elementwise kernels layered on the same GMREG_SIMD gate.
+/// Exactly one table is active at a time (scalar or AVX2+FMA); both share
+/// the per-element accumulation orders documented in docs/KERNELS.md.
+struct KernelOps {
+  /// Short label for telemetry/benches, e.g. "avx2-fma" or "scalar".
+  const char* name;
+
+  /// C tile (+)= alpha * (packed A panel · packed B panel) over one k slab:
+  /// c[r*ldc + j] op= alpha * sum_p ap[p*kGemmMR + r] * bp[p*kGemmNR + j]
+  /// for r < mr, j < nr, where op is `=` when `overwrite` (the beta == 0
+  /// first slab — C is never read) and `+=` otherwise. The full MR x NR
+  /// accumulator is always computed (packed panels are zero-padded); only
+  /// the mr x nr corner is stored.
+  void (*gemm_micro)(std::int64_t kc, float alpha, const float* ap,
+                     const float* bp, float* c, std::int64_t ldc,
+                     std::int64_t mr, std::int64_t nr, bool overwrite);
+
+  /// y[i] += alpha * x[i].
+  void (*axpy)(std::int64_t n, float alpha, const float* x, float* y);
+
+  /// out[i*cols + j] += row[j] (dense bias broadcast).
+  void (*add_row_broadcast)(std::int64_t rows, std::int64_t cols,
+                            const float* row, float* out);
+
+  /// out[i*cols + j] += col[i] (conv bias broadcast over spatial positions).
+  void (*add_col_broadcast)(std::int64_t rows, std::int64_t cols,
+                            const float* col, float* out);
+
+  /// out[j] += sum_i m[i*cols + j] (dense bias gradient).
+  void (*col_sums_accum)(std::int64_t rows, std::int64_t cols, const float* m,
+                         float* out);
+
+  /// out[i] += sum_j m[i*cols + j] (conv bias gradient).
+  void (*row_sums_accum)(std::int64_t rows, std::int64_t cols, const float* m,
+                         float* out);
+
+  /// out[i] = max(in[i], 0); when mask != nullptr also mask[i] = in[i] > 0.
+  void (*relu_forward)(std::int64_t n, const float* in, float* out,
+                       unsigned char* mask);
+
+  /// gin[i] = mask[i] ? gout[i] : 0.
+  void (*relu_backward)(std::int64_t n, const float* gout,
+                        const unsigned char* mask, float* gin);
+};
+
+/// The active kernel table: the AVX2+FMA tier when it was compiled in
+/// (GMREG_SIMD build option), the CPU supports it, and the GMREG_SIMD
+/// environment variable is not "0"/"off"; the scalar tier otherwise.
+const KernelOps& GetKernelOps();
+
+/// True when GetKernelOps() currently returns the SIMD tier.
+bool SimdKernelsEnabled();
+
+namespace internal {
+
+/// The SIMD table, or nullptr when not compiled in / not supported by this
+/// CPU. Defined by gemm_kernel_simd.cc.
+const KernelOps* GetSimdKernelOpsOrNull();
+
+/// Test hook: true pins GetKernelOps() to the scalar tier so a single
+/// binary can cross-check the two tiers (tests/gemm_kernel_test.cc).
+void ForceScalarKernelsForTesting(bool force);
+
+}  // namespace internal
+
+/// Packs op(B)'s full k x n into `bp` for the blocked GEMM. Layout: k slabs
+/// of kc = min(kGemmKC, k - p0) in order; within a slab, column panels of
+/// kGemmNR as contiguous kc x NR tiles (zero-padded past n). Slab p0 starts
+/// at offset p0 * RoundUpN(n); panel j0 at + (j0/NR) * kc * NR.
+void PackB(bool trans_b, const float* b, std::int64_t ldb, std::int64_t k,
+           std::int64_t n, float* bp);
+
+/// Packs op(A) rows [i0, i0+mc) for k slab [p0, p0+kc) into `ap`: row
+/// micro-panels of kGemmMR as contiguous kc x MR tiles (zero-padded past
+/// mc), panel r0 at offset (r0/MR) * kc * MR.
+void PackA(bool trans_a, const float* a, std::int64_t lda, std::int64_t i0,
+           std::int64_t mc, std::int64_t p0, std::int64_t kc, float* ap);
+
+/// n rounded up to a whole number of NR column panels.
+inline std::int64_t RoundUpN(std::int64_t n) {
+  return (n + kGemmNR - 1) / kGemmNR * kGemmNR;
+}
+
+/// One shard of the blocked GEMM: output rows [i0, i1) of C, consuming the
+/// shared packed B (`bp`, laid out by PackB) and packing its own A panels
+/// into thread-local scratch. Applies beta to its rows first (beta == 0
+/// never reads C: the first k slab overwrites). Every C element accumulates
+/// in the same order regardless of (i0, i1), so row sharding is
+/// bitwise-invariant to the thread budget (docs/KERNELS.md).
+void GemmPackedRows(bool trans_a, std::int64_t i0, std::int64_t i1,
+                    std::int64_t n, std::int64_t k, float alpha,
+                    const float* a, std::int64_t lda, const float* bp,
+                    float beta, float* c, std::int64_t ldc);
+
+}  // namespace gmreg
+
+#endif  // GMREG_TENSOR_GEMM_KERNEL_H_

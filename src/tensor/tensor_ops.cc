@@ -3,85 +3,73 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <vector>
 
+#include "tensor/gemm_kernel.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
 
 namespace gmreg {
 namespace {
 
-// Flop budget per GEMM shard: at the measured ~14 GFLOP/s a shard is tens
-// of microseconds, comfortably above the pool dispatch cost.
-constexpr std::int64_t kGemmShardFlops = std::int64_t{1} << 19;
+// Flop budget per GEMM shard: at the ~50 GFLOP/s the packed kernel
+// delivers a shard is tens of microseconds, comfortably above the pool
+// dispatch cost.
+constexpr std::int64_t kGemmShardFlops = std::int64_t{1} << 21;
 
-// One shard of a GEMM: output rows [i0, i1) of C. Rows of C are disjoint
-// across shards and every element keeps its serial accumulation order
-// (ascending p), so the parallel result is bitwise identical to serial.
-void GemmRows(bool trans_a, bool trans_b, std::int64_t i0, std::int64_t i1,
-              std::int64_t n, std::int64_t k, float alpha, const float* a,
-              std::int64_t lda, const float* b, std::int64_t ldb, float beta,
-              float* c, std::int64_t ldc) {
-  // Scale (or clear) this shard's C rows first.
+// Hot-path kernel accounting, surfaced through MetricsRegistry snapshots
+// (docs/OBSERVABILITY.md). Pointers are cached once; Add is an atomic.
+struct KernelCounters {
+  Counter* gemm_calls;
+  Counter* gemm_flops;
+  Counter* pack_bytes;
+};
+
+KernelCounters& GlobalKernelCounters() {
+  static KernelCounters counters = [] {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    registry.gauge("gm.kernel.simd")->Set(SimdKernelsEnabled() ? 1.0 : 0.0);
+    return KernelCounters{registry.counter("gm.kernel.gemm_calls"),
+                          registry.counter("gm.kernel.gemm_flops"),
+                          registry.counter("gm.kernel.pack_bytes")};
+  }();
+  return counters;
+}
+
+// Scales (or clears) rows [i0, i1) of C by beta. beta == 0 overwrites —
+// BLAS semantics: existing NaN/Inf in C are discarded, not propagated.
+void ScaleRows(std::int64_t i0, std::int64_t i1, std::int64_t n, float beta,
+               float* c, std::int64_t ldc) {
+  if (beta == 1.0f) return;
   if (beta == 0.0f) {
     for (std::int64_t i = i0; i < i1; ++i) {
       std::memset(c + i * ldc, 0, static_cast<std::size_t>(n) * sizeof(float));
     }
-  } else if (beta != 1.0f) {
-    for (std::int64_t i = i0; i < i1; ++i) {
-      for (std::int64_t j = 0; j < n; ++j) c[i * ldc + j] *= beta;
-    }
-  }
-  if (!trans_a && !trans_b) {
-    // C[i,j] += A[i,p] * B[p,j]; i-p-j order keeps B and C accesses
-    // contiguous so the compiler can vectorize the j loop.
-    for (std::int64_t i = i0; i < i1; ++i) {
-      const float* a_row = a + i * lda;
-      float* c_row = c + i * ldc;
-      for (std::int64_t p = 0; p < k; ++p) {
-        float a_ip = alpha * a_row[p];
-        if (a_ip == 0.0f) continue;
-        const float* b_row = b + p * ldb;
-        for (std::int64_t j = 0; j < n; ++j) {
-          c_row[j] += a_ip * b_row[j];
-        }
-      }
-    }
     return;
   }
-  if (trans_a && !trans_b) {
-    // C[i,j] += sum_p A[p,i] * B[p,j]; A is read column-wise. Used by the
-    // backward passes, which dominate less than the forward GEMM.
-    for (std::int64_t i = i0; i < i1; ++i) {
-      float* c_row = c + i * ldc;
-      for (std::int64_t p = 0; p < k; ++p) {
-        float a_pi = alpha * a[p * lda + i];
-        if (a_pi == 0.0f) continue;
-        const float* b_row = b + p * ldb;
-        for (std::int64_t j = 0; j < n; ++j) c_row[j] += a_pi * b_row[j];
-      }
-    }
-    return;
-  }
-  if (!trans_a && trans_b) {
-    // C[i,j] += sum_p A[i,p] * B[j,p] — dot of two contiguous rows.
-    for (std::int64_t i = i0; i < i1; ++i) {
-      const float* a_row = a + i * lda;
-      float* c_row = c + i * ldc;
-      for (std::int64_t j = 0; j < n; ++j) {
-        const float* b_row = b + j * ldb;
-        float acc = 0.0f;
-        for (std::int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
-        c_row[j] += alpha * acc;
-      }
-    }
-    return;
-  }
-  // trans_a && trans_b: C[i,j] += sum_p A[p,i] * B[j,p]
   for (std::int64_t i = i0; i < i1; ++i) {
+    float* row = c + i * ldc;
+    for (std::int64_t j = 0; j < n; ++j) row[j] *= beta;
+  }
+}
+
+// Unpacked fallback for GEMMs too small to amortize panel packing. Unlike
+// the pre-blocked kernel there is no zero-skip fast path: every A element
+// participates, so NaN/Inf in B propagate exactly as the math demands.
+void GemmSmall(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+               std::int64_t k, float alpha, const float* a, std::int64_t lda,
+               const float* b, std::int64_t ldb, float beta, float* c,
+               std::int64_t ldc) {
+  ScaleRows(0, m, n, beta, c, ldc);
+  for (std::int64_t i = 0; i < m; ++i) {
     float* c_row = c + i * ldc;
     for (std::int64_t j = 0; j < n; ++j) {
-      const float* b_row = b + j * ldb;
       float acc = 0.0f;
-      for (std::int64_t p = 0; p < k; ++p) acc += a[p * lda + i] * b_row[p];
+      for (std::int64_t p = 0; p < k; ++p) {
+        float av = trans_a ? a[p * lda + i] : a[i * lda + p];
+        float bv = trans_b ? b[j * ldb + p] : b[p * ldb + j];
+        acc += av * bv;
+      }
       c_row[j] += alpha * acc;
     }
   }
@@ -93,14 +81,38 @@ void Gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
           std::int64_t k, float alpha, const float* a, std::int64_t lda,
           const float* b, std::int64_t ldb, float beta, float* c,
           std::int64_t ldc) {
-  // Shard over output rows. Inside another parallel region (e.g. the
-  // batch-parallel conv forward) this degrades to one serial call.
-  std::int64_t flops_per_row =
-      2 * std::max<std::int64_t>(n, 1) * std::max<std::int64_t>(k, 1);
-  std::int64_t grain = std::max<std::int64_t>(1, kGemmShardFlops / flops_per_row);
+  if (m <= 0 || n <= 0) return;
+  KernelCounters& counters = GlobalKernelCounters();
+  counters.gemm_calls->Add(1);
+  counters.gemm_flops->Add(2 * m * n * k);
+  // alpha == 0 (or an empty k) never reads A or B — BLAS semantics.
+  if (alpha == 0.0f || k == 0) {
+    ScaleRows(0, m, n, beta, c, ldc);
+    return;
+  }
+  // Path choice depends only on the shape, never on the thread budget, so a
+  // given problem always takes the same arithmetic.
+  if (2 * m * n * k <= kGemmSmallFlops) {
+    GemmSmall(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+    return;
+  }
+  // Pack op(B) once into a caller-local buffer shared read-only by every
+  // row shard; each shard packs its own A panels (docs/KERNELS.md).
+  thread_local std::vector<float> bpack;
+  std::int64_t b_floats = k * RoundUpN(n);
+  bpack.resize(static_cast<std::size_t>(b_floats));
+  PackB(trans_b, b, ldb, k, n, bpack.data());
+  counters.pack_bytes->Add(b_floats * static_cast<std::int64_t>(sizeof(float)));
+  const float* bp = bpack.data();
+  // Shard over output rows. Every C element accumulates in the same order
+  // whatever the shard boundaries, so results are bitwise identical at any
+  // thread budget; inside another parallel region (e.g. the batch-parallel
+  // conv passes) this degrades to one serial call.
+  std::int64_t flops_per_row = 2 * n * k;
+  std::int64_t grain =
+      std::max<std::int64_t>(1, kGemmShardFlops / flops_per_row);
   ParallelFor(0, m, grain, [&](std::int64_t i0, std::int64_t i1) {
-    GemmRows(trans_a, trans_b, i0, i1, n, k, alpha, a, lda, b, ldb, beta, c,
-             ldc);
+    GemmPackedRows(trans_a, i0, i1, n, k, alpha, a, lda, bp, beta, c, ldc);
   });
 }
 
@@ -117,10 +129,27 @@ void MatMul(const Tensor& a, const Tensor& b, Tensor* out) {
 
 void Axpy(float alpha, const Tensor& x, Tensor* y) {
   GMREG_CHECK_EQ(x.size(), y->size());
-  const float* xp = x.data();
-  float* yp = y->data();
-  std::int64_t n = x.size();
-  for (std::int64_t i = 0; i < n; ++i) yp[i] += alpha * xp[i];
+  GetKernelOps().axpy(x.size(), alpha, x.data(), y->data());
+}
+
+void AddRowBroadcast(std::int64_t rows, std::int64_t cols, const float* row,
+                     float* out) {
+  GetKernelOps().add_row_broadcast(rows, cols, row, out);
+}
+
+void AddColBroadcast(std::int64_t rows, std::int64_t cols, const float* col,
+                     float* out) {
+  GetKernelOps().add_col_broadcast(rows, cols, col, out);
+}
+
+void ColSumsAccum(std::int64_t rows, std::int64_t cols, const float* m,
+                  float* out) {
+  GetKernelOps().col_sums_accum(rows, cols, m, out);
+}
+
+void RowSumsAccum(std::int64_t rows, std::int64_t cols, const float* m,
+                  float* out) {
+  GetKernelOps().row_sums_accum(rows, cols, m, out);
 }
 
 void Scale(float alpha, Tensor* x) {

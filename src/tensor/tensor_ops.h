@@ -8,8 +8,13 @@
 namespace gmreg {
 
 /// C[m,n] (+)= alpha * op(A) * op(B): single-precision GEMM with optional
-/// transposes, row-major, simple register-blocked kernel. `beta` scales the
-/// existing C (0 overwrites). Dimensions are of op(A)=m*k and op(B)=k*n.
+/// transposes, row-major. Backed by the packed register-tiled kernel of
+/// tensor/gemm_kernel.h (micro-kernel + B/A panel packing, SIMD behind the
+/// GMREG_SIMD gate); all four transpose variants route through the same
+/// packed kernel. `beta` scales the existing C first (0 overwrites,
+/// discarding NaN/Inf per BLAS convention; alpha == 0 never reads A or B).
+/// NaN/Inf in A and B propagate — there is no zero-skip fast path. Results
+/// are bitwise identical at every thread budget (docs/KERNELS.md).
 void Gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
           std::int64_t k, float alpha, const float* a, std::int64_t lda,
           const float* b, std::int64_t ldb, float beta, float* c,
@@ -19,8 +24,26 @@ void Gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
 /// with shape [a.dim(0), b.dim(1)].
 void MatMul(const Tensor& a, const Tensor& b, Tensor* out);
 
-/// y += alpha * x (same shape).
+/// y += alpha * x (same shape). Dispatches to the vectorized elementwise
+/// tier (tensor/gemm_kernel.h).
 void Axpy(float alpha, const Tensor& x, Tensor* y);
+
+/// out[i*cols + j] += row[j] — bias broadcast across `rows` rows.
+void AddRowBroadcast(std::int64_t rows, std::int64_t cols, const float* row,
+                     float* out);
+
+/// out[i*cols + j] += col[i] — per-row constant broadcast (conv bias over
+/// spatial positions).
+void AddColBroadcast(std::int64_t rows, std::int64_t cols, const float* col,
+                     float* out);
+
+/// out[j] += sum_i m[i*cols + j] — column sums (dense bias gradient).
+void ColSumsAccum(std::int64_t rows, std::int64_t cols, const float* m,
+                  float* out);
+
+/// out[i] += sum_j m[i*cols + j] — row sums (conv bias gradient).
+void RowSumsAccum(std::int64_t rows, std::int64_t cols, const float* m,
+                  float* out);
 
 /// x *= alpha.
 void Scale(float alpha, Tensor* x);

@@ -183,14 +183,8 @@ void RunShards(
     fn(0, begin, end);
     return;
   }
-  // Fixed boundaries: shard s gets chunk (+1 for the first n % shards), so
-  // the split depends only on (begin, end, num_shards).
-  std::int64_t chunk = n / num_shards;
-  std::int64_t rem = n % num_shards;
   GlobalThreadPool()->Run(num_shards, [&](int s) {
-    std::int64_t b =
-        begin + s * chunk + std::min<std::int64_t>(s, rem);
-    std::int64_t e = b + chunk + (s < rem ? 1 : 0);
+    auto [b, e] = ShardRange(s, num_shards, begin, end);
     fn(s, b, e);
   });
 }

@@ -1,6 +1,7 @@
 #ifndef GMREG_UTIL_PARALLEL_H_
 #define GMREG_UTIL_PARALLEL_H_
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -87,9 +88,25 @@ int ResolveNumThreads(int requested);
 /// (docs/PARALLELISM.md).
 int ComputeNumShards(std::int64_t n, std::int64_t grain, int num_threads);
 
+/// The half-open range shard `s` of `num_shards` covers in [begin, end):
+/// the first (end - begin) % num_shards shards get one extra item. This is
+/// the boundary formula RunShards uses — call sites that execute shards
+/// serially (e.g. a nested region fallback) use it to reproduce the exact
+/// same split, keeping results bitwise-identical to the parallel path.
+inline std::pair<std::int64_t, std::int64_t> ShardRange(int s, int num_shards,
+                                                        std::int64_t begin,
+                                                        std::int64_t end) {
+  std::int64_t n = end - begin;
+  std::int64_t chunk = n / num_shards;
+  std::int64_t rem = n % num_shards;
+  std::int64_t b = begin + s * chunk + std::min<std::int64_t>(s, rem);
+  return {b, b + chunk + (s < rem ? 1 : 0)};
+}
+
 /// Runs fn(shard, shard_begin, shard_end) for `num_shards` contiguous,
-/// near-equal shards of [begin, end). Shard boundaries depend only on
-/// (begin, end, num_shards). Blocks until all shards are done.
+/// near-equal shards of [begin, end). Shard boundaries are ShardRange —
+/// they depend only on (begin, end, num_shards). Blocks until all shards
+/// are done.
 void RunShards(
     int num_shards, std::int64_t begin, std::int64_t end,
     const std::function<void(int, std::int64_t, std::int64_t)>& fn);

@@ -1,0 +1,442 @@
+// Conformance, determinism and NaN-semantics tests for the blocked GEMM
+// (tensor/gemm_kernel.h) and the elementwise kernel tier, covering both the
+// scalar and the SIMD tables via internal::ForceScalarKernelsForTesting.
+// docs/KERNELS.md states the contracts pinned here.
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <tuple>
+#include <vector>
+
+#include "core/em.h"
+#include "gtest/gtest.h"
+#include "nn/conv.h"
+#include "tensor/gemm_kernel.h"
+#include "tensor/random.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace gmreg {
+namespace {
+
+constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
+
+// Restores the global thread budget and kernel tier on scope exit so a
+// failing test cannot poison its neighbours.
+struct KernelEnvGuard {
+  ~KernelEnvGuard() {
+    SetDefaultNumThreads(0);
+    internal::ForceScalarKernelsForTesting(false);
+  }
+};
+
+std::vector<float> RandomVec(Rng* rng, std::int64_t n) {
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (float& x : v) x = static_cast<float>(rng->NextUniform(-1.0, 1.0));
+  return v;
+}
+
+// Double-accumulator reference GEMM, the conformance oracle.
+void NaiveGemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+               std::int64_t k, float alpha, const float* a, std::int64_t lda,
+               const float* b, std::int64_t ldb, float beta, float* c,
+               std::int64_t ldc) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        float av = trans_a ? a[p * lda + i] : a[i * lda + p];
+        float bv = trans_b ? b[j * ldb + p] : b[p * ldb + j];
+        acc += static_cast<double>(av) * static_cast<double>(bv);
+      }
+      float& out = c[i * ldc + j];
+      out = (beta == 0.0f ? 0.0f : beta * out) +
+            alpha * static_cast<float>(acc);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Packed-kernel conformance: PackB + GemmPackedRows directly, so every
+// (m, n, k) corner exercises the micro-kernel and the packing layouts
+// regardless of the small-GEMM dispatch threshold in Gemm().
+// ---------------------------------------------------------------------------
+
+class PackedKernelTest
+    : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+TEST_P(PackedKernelTest, MatchesNaiveReferenceAtTileCorners) {
+  auto [trans_a, trans_b] = GetParam();
+  Rng rng(0xC0FFEE);
+  // Sides straddling every tile boundary: 1, MR +- 1, MR, NR +- 1, NR, and
+  // a prime beyond one panel.
+  const std::int64_t sides[] = {1, 5, 6, 7, 15, 16, 17, 37};
+  const std::pair<float, float> coeffs[] = {
+      {1.0f, 0.0f}, {0.5f, 0.5f}, {1.0f, 1.0f}, {0.0f, 1.0f}};
+  for (std::int64_t m : sides) {
+    for (std::int64_t n : sides) {
+      for (std::int64_t k : sides) {
+        std::int64_t lda = trans_a ? m : k;
+        std::int64_t ldb = trans_b ? k : n;
+        std::vector<float> a = RandomVec(&rng, m * k);
+        std::vector<float> b = RandomVec(&rng, k * n);
+        std::vector<float> c0 = RandomVec(&rng, m * n);
+        for (auto [alpha, beta] : coeffs) {
+          std::vector<float> got = c0;
+          std::vector<float> want = c0;
+          std::vector<float> bp(
+              static_cast<std::size_t>(k * RoundUpN(n)));
+          PackB(trans_b, b.data(), ldb, k, n, bp.data());
+          GemmPackedRows(trans_a, 0, m, n, k, alpha, a.data(), lda,
+                         bp.data(), beta, got.data(), n);
+          NaiveGemm(trans_a, trans_b, m, n, k, alpha, a.data(), lda, b.data(),
+                    ldb, beta, want.data(), n);
+          double tol = 1e-5 * static_cast<double>(k) + 1e-6;
+          for (std::int64_t i = 0; i < m * n; ++i) {
+            ASSERT_NEAR(got[static_cast<std::size_t>(i)],
+                        want[static_cast<std::size_t>(i)], tol)
+                << "m=" << m << " n=" << n << " k=" << k
+                << " alpha=" << alpha << " beta=" << beta << " i=" << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTransposes, PackedKernelTest,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Bool()));
+
+// Public Gemm at shapes large enough for the blocked path (several KC slabs
+// and MC blocks), all four transpose variants.
+TEST(GemmConformanceTest, BlockedPathLargeShapes) {
+  Rng rng(7);
+  const std::int64_t m = 73, n = 65, k = 300;
+  for (bool trans_a : {false, true}) {
+    for (bool trans_b : {false, true}) {
+      std::int64_t lda = trans_a ? m : k;
+      std::int64_t ldb = trans_b ? k : n;
+      std::vector<float> a = RandomVec(&rng, m * k);
+      std::vector<float> b = RandomVec(&rng, k * n);
+      std::vector<float> got = RandomVec(&rng, m * n);
+      std::vector<float> want = got;
+      Gemm(trans_a, trans_b, m, n, k, 0.5f, a.data(), lda, b.data(), ldb,
+           0.5f, got.data(), n);
+      NaiveGemm(trans_a, trans_b, m, n, k, 0.5f, a.data(), lda, b.data(), ldb,
+                0.5f, want.data(), n);
+      for (std::int64_t i = 0; i < m * n; ++i) {
+        ASSERT_NEAR(got[static_cast<std::size_t>(i)],
+                    want[static_cast<std::size_t>(i)], 5e-3)
+            << "trans_a=" << trans_a
+            << " trans_b=" << trans_b << " i=" << i;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// NaN semantics. The old scalar GEMM skipped the inner loop when an A
+// element was exactly zero, silently swallowing NaN/Inf from B; the packed
+// kernel must propagate. Both dispatch paths (small and blocked) are pinned.
+// ---------------------------------------------------------------------------
+
+TEST(GemmNanTest, ZeroTimesNanPropagates) {
+  for (std::int64_t side : {8, 64}) {  // 8^3: small path; 64^3: blocked path
+    std::vector<float> a(static_cast<std::size_t>(side * side), 0.0f);
+    std::vector<float> b(static_cast<std::size_t>(side * side), 1.0f);
+    b[3] = kNan;
+    std::vector<float> c(static_cast<std::size_t>(side * side), 0.0f);
+    Gemm(false, false, side, side, side, 1.0f, a.data(), side, b.data(), side,
+         1.0f, c.data(), side);
+    // Column 3 of every C row saw 0 * NaN.
+    EXPECT_TRUE(std::isnan(c[3])) << "side=" << side;
+    EXPECT_TRUE(std::isnan(c[static_cast<std::size_t>(side + 3)]))
+        << "side=" << side;
+  }
+}
+
+TEST(GemmNanTest, BetaZeroOverwritesNanC) {
+  for (std::int64_t side : {8, 64}) {
+    Rng rng(3);
+    std::vector<float> a = RandomVec(&rng, side * side);
+    std::vector<float> b = RandomVec(&rng, side * side);
+    std::vector<float> c(static_cast<std::size_t>(side * side), kNan);
+    Gemm(false, false, side, side, side, 1.0f, a.data(), side, b.data(), side,
+         0.0f, c.data(), side);
+    for (float v : c) ASSERT_FALSE(std::isnan(v)) << "side=" << side;
+  }
+}
+
+TEST(GemmNanTest, AlphaZeroNeverReadsAOrB) {
+  const std::int64_t side = 16;
+  std::vector<float> a(static_cast<std::size_t>(side * side), kNan);
+  std::vector<float> b(static_cast<std::size_t>(side * side), kNan);
+  std::vector<float> c(static_cast<std::size_t>(side * side), 2.0f);
+  Gemm(false, false, side, side, side, 0.0f, a.data(), side, b.data(), side,
+       1.0f, c.data(), side);
+  for (float v : c) ASSERT_EQ(v, 2.0f);
+  Gemm(false, false, side, side, side, 0.0f, a.data(), side, b.data(), side,
+       0.0f, c.data(), side);
+  for (float v : c) ASSERT_EQ(v, 0.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: bitwise-identical C at every thread budget, and a bounded,
+// documented divergence between the scalar and SIMD tiers (FMA contraction
+// only).
+// ---------------------------------------------------------------------------
+
+std::vector<float> RunGemmAtBudget(int budget) {
+  SetDefaultNumThreads(budget);
+  Rng rng(0xDECAF);
+  const std::int64_t m = 600, n = 64, k = 64;  // >= 2 row shards at budget 4
+  std::vector<float> a = RandomVec(&rng, m * k);
+  std::vector<float> b = RandomVec(&rng, k * n);
+  std::vector<float> c(static_cast<std::size_t>(m * n), 0.25f);
+  Gemm(false, false, m, n, k, 1.0f, a.data(), k, b.data(), n, 0.5f, c.data(),
+       n);
+  return c;
+}
+
+TEST(GemmDeterminismTest, BitIdenticalAcrossThreadBudgets) {
+  KernelEnvGuard guard;
+  std::vector<float> serial = RunGemmAtBudget(1);
+  for (int budget : {2, 4}) {
+    std::vector<float> parallel = RunGemmAtBudget(budget);
+    ASSERT_EQ(0, std::memcmp(serial.data(), parallel.data(),
+                             serial.size() * sizeof(float)))
+        << "budget=" << budget;
+  }
+}
+
+TEST(GemmDeterminismTest, SimdMatchesScalarWithinFmaTolerance) {
+  KernelEnvGuard guard;
+  Rng rng(0xBEEF);
+  const std::int64_t m = 72, n = 48, k = 256;
+  std::vector<float> a = RandomVec(&rng, m * k);
+  std::vector<float> b = RandomVec(&rng, k * n);
+  std::vector<float> c0 = RandomVec(&rng, m * n);
+
+  internal::ForceScalarKernelsForTesting(true);
+  EXPECT_FALSE(SimdKernelsEnabled());
+  std::vector<float> scalar = c0;
+  Gemm(false, false, m, n, k, 1.0f, a.data(), k, b.data(), n, 1.0f,
+       scalar.data(), n);
+
+  internal::ForceScalarKernelsForTesting(false);
+  std::vector<float> simd = c0;
+  Gemm(false, false, m, n, k, 1.0f, a.data(), k, b.data(), n, 1.0f,
+       simd.data(), n);
+
+  // Same per-element accumulation order; the only divergence allowed is FMA
+  // contraction (docs/KERNELS.md), bounded by ~k ulps of the running sum.
+  double tol = 1e-5 * static_cast<double>(k);
+  for (std::int64_t i = 0; i < m * n; ++i) {
+    ASSERT_NEAR(scalar[static_cast<std::size_t>(i)],
+                simd[static_cast<std::size_t>(i)], tol)
+        << "i=" << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise kernel tier: each op against its naive definition, active
+// tier vs forced-scalar tier (exact for selection/add ops).
+// ---------------------------------------------------------------------------
+
+TEST(ElementwiseKernelTest, BroadcastAndSumOpsMatchNaive) {
+  Rng rng(21);
+  const std::int64_t rows = 13, cols = 37;
+  std::vector<float> m = RandomVec(&rng, rows * cols);
+  std::vector<float> row = RandomVec(&rng, cols);
+  std::vector<float> col = RandomVec(&rng, rows);
+
+  std::vector<float> got = m;
+  AddRowBroadcast(rows, cols, row.data(), got.data());
+  for (std::int64_t i = 0; i < rows; ++i) {
+    for (std::int64_t j = 0; j < cols; ++j) {
+      auto idx = static_cast<std::size_t>(i * cols + j);
+      ASSERT_EQ(got[idx], m[idx] + row[static_cast<std::size_t>(j)]);
+    }
+  }
+
+  got = m;
+  AddColBroadcast(rows, cols, col.data(), got.data());
+  for (std::int64_t i = 0; i < rows; ++i) {
+    for (std::int64_t j = 0; j < cols; ++j) {
+      auto idx = static_cast<std::size_t>(i * cols + j);
+      ASSERT_EQ(got[idx], m[idx] + col[static_cast<std::size_t>(i)]);
+    }
+  }
+
+  std::vector<float> csums(static_cast<std::size_t>(cols), 1.0f);
+  ColSumsAccum(rows, cols, m.data(), csums.data());
+  for (std::int64_t j = 0; j < cols; ++j) {
+    double want = 1.0;
+    for (std::int64_t i = 0; i < rows; ++i) {
+      want += m[static_cast<std::size_t>(i * cols + j)];
+    }
+    ASSERT_NEAR(csums[static_cast<std::size_t>(j)], want, 1e-5);
+  }
+
+  std::vector<float> rsums(static_cast<std::size_t>(rows), 1.0f);
+  RowSumsAccum(rows, cols, m.data(), rsums.data());
+  for (std::int64_t i = 0; i < rows; ++i) {
+    double want = 1.0;
+    for (std::int64_t j = 0; j < cols; ++j) {
+      want += m[static_cast<std::size_t>(i * cols + j)];
+    }
+    ASSERT_NEAR(rsums[static_cast<std::size_t>(i)], want, 1e-5);
+  }
+}
+
+TEST(ElementwiseKernelTest, ReluOpsExactAcrossTiers) {
+  KernelEnvGuard guard;
+  Rng rng(5);
+  const std::int64_t n = 1003;  // odd length: exercises vector tails
+  std::vector<float> in = RandomVec(&rng, n);
+  in[0] = 0.0f;  // boundary: not positive, masked off
+  std::vector<float> gout = RandomVec(&rng, n);
+
+  auto run = [&](bool force_scalar) {
+    internal::ForceScalarKernelsForTesting(force_scalar);
+    const KernelOps& ops = GetKernelOps();
+    std::vector<float> fwd(static_cast<std::size_t>(n));
+    std::vector<unsigned char> mask(static_cast<std::size_t>(n));
+    std::vector<float> bwd(static_cast<std::size_t>(n));
+    ops.relu_forward(n, in.data(), fwd.data(), mask.data());
+    ops.relu_backward(n, gout.data(), mask.data(), bwd.data());
+    return std::make_pair(fwd, bwd);
+  };
+  auto [fwd_scalar, bwd_scalar] = run(true);
+  auto [fwd_active, bwd_active] = run(false);
+
+  for (std::int64_t i = 0; i < n; ++i) {
+    auto idx = static_cast<std::size_t>(i);
+    float want_fwd = in[idx] > 0.0f ? in[idx] : 0.0f;
+    float want_bwd = in[idx] > 0.0f ? gout[idx] : 0.0f;
+    ASSERT_EQ(fwd_scalar[idx], want_fwd);
+    ASSERT_EQ(bwd_scalar[idx], want_bwd);
+    // Selection ops have no reassociation: tiers agree exactly.
+    ASSERT_EQ(fwd_active[idx], want_fwd);
+    ASSERT_EQ(bwd_active[idx], want_bwd);
+  }
+}
+
+TEST(ElementwiseKernelTest, AxpyMatchesNaive) {
+  Rng rng(9);
+  const std::int64_t n = 517;
+  std::vector<float> xs = RandomVec(&rng, n);
+  Tensor x({n});
+  Tensor y({n});
+  std::copy(xs.begin(), xs.end(), x.data());
+  std::vector<float> ys = RandomVec(&rng, n);
+  std::copy(ys.begin(), ys.end(), y.data());
+  Axpy(0.5f, x, &y);
+  for (std::int64_t i = 0; i < n; ++i) {
+    auto idx = static_cast<std::size_t>(i);
+    ASSERT_EQ(y[i], ys[idx] + 0.5f * xs[idx]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Conv backward: batch-parallel with per-chunk partial gradients merged in
+// fixed chunk order — bitwise identical at every thread budget.
+// ---------------------------------------------------------------------------
+
+struct ConvGrads {
+  std::vector<float> weight_grad;
+  std::vector<float> bias_grad;
+  std::vector<float> grad_in;
+};
+
+ConvGrads RunConvBackwardAtBudget(int budget) {
+  SetDefaultNumThreads(budget);
+  Rng rng(0xFEED);
+  Conv2d conv("c", /*in_channels=*/3, /*out_channels=*/5, /*kernel=*/3,
+              /*stride=*/1, /*padding=*/1, InitSpec::Gaussian(0.1), &rng);
+  Tensor in({6, 3, 9, 9});
+  FillGaussian(&rng, 0.0, 1.0, &in);
+  Tensor out;
+  conv.Forward(in, &out, /*train=*/true);
+  Tensor gout(out.shape());
+  FillGaussian(&rng, 0.0, 1.0, &gout);
+  Tensor gin;
+  conv.Backward(gout, &gin);
+  std::vector<ParamRef> params;
+  conv.CollectParams(&params);
+  ConvGrads grads;
+  for (const auto& p : params) {
+    const Tensor& g = *p.grad;
+    std::vector<float>& dst =
+        p.name == "c/weight" ? grads.weight_grad : grads.bias_grad;
+    dst.assign(g.data(), g.data() + g.size());
+  }
+  grads.grad_in.assign(gin.data(), gin.data() + gin.size());
+  return grads;
+}
+
+TEST(ConvBackwardDeterminismTest, BitIdenticalAcrossThreadBudgets) {
+  KernelEnvGuard guard;
+  ConvGrads serial = RunConvBackwardAtBudget(1);
+  ASSERT_FALSE(serial.weight_grad.empty());
+  for (int budget : {2, 4}) {
+    ConvGrads parallel = RunConvBackwardAtBudget(budget);
+    EXPECT_EQ(0, std::memcmp(serial.weight_grad.data(),
+                             parallel.weight_grad.data(),
+                             serial.weight_grad.size() * sizeof(float)))
+        << "weight_grad budget=" << budget;
+    EXPECT_EQ(0, std::memcmp(serial.bias_grad.data(),
+                             parallel.bias_grad.data(),
+                             serial.bias_grad.size() * sizeof(float)))
+        << "bias_grad budget=" << budget;
+    EXPECT_EQ(0, std::memcmp(serial.grad_in.data(), parallel.grad_in.data(),
+                             serial.grad_in.size() * sizeof(float)))
+        << "grad_in budget=" << budget;
+  }
+}
+
+// The K-specialized E-step kernels must be bitwise identical to the generic
+// Responsibilities() loop; K = 5 takes the generic path and serves as the
+// contract's control, K in {1, 2, 3, 4, 8} take the unrolled kernels.
+TEST(EStepFixedKTest, MatchesResponsibilitiesBitwise) {
+  Rng rng(31);
+  const std::int64_t n = 2000;
+  std::vector<double> w(static_cast<std::size_t>(n));
+  for (double& x : w) x = rng.NextUniform(-2.0, 2.0);
+  for (int kk : {1, 2, 3, 4, 5, 8}) {
+    std::vector<double> pi(static_cast<std::size_t>(kk),
+                           1.0 / static_cast<double>(kk));
+    std::vector<double> lambda;
+    for (int k = 0; k < kk; ++k) lambda.push_back(std::pow(4.0, k));
+    GaussianMixture gm(pi, lambda);
+    std::vector<double> greg(static_cast<std::size_t>(n));
+    GmSuffStats stats;
+    stats.Reset(kk);
+    EStep(gm, w.data(), n, greg.data(), &stats, /*num_threads=*/1);
+    double r[64];
+    std::vector<double> want_resp(static_cast<std::size_t>(kk), 0.0);
+    for (std::int64_t m = 0; m < n; ++m) {
+      double x = w[static_cast<std::size_t>(m)];
+      gm.Responsibilities(x, r);
+      double acc = 0.0;
+      for (int k = 0; k < kk; ++k) {
+        acc += r[k] * lambda[static_cast<std::size_t>(k)];
+        want_resp[static_cast<std::size_t>(k)] += r[k];
+      }
+      ASSERT_EQ(greg[static_cast<std::size_t>(m)], acc * x)
+          << "kk=" << kk << " m=" << m;
+    }
+    for (int k = 0; k < kk; ++k) {
+      ASSERT_EQ(stats.resp_sum[static_cast<std::size_t>(k)],
+                want_resp[static_cast<std::size_t>(k)])
+          << "kk=" << kk << " k=" << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gmreg
