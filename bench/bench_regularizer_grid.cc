@@ -1,0 +1,132 @@
+// Cross-prior comparison grid: one canonical configuration of every
+// adaptive prior (GM, EP-GIG Laplace, EP-GIG Student, dynamic prior) plus
+// an L2 baseline, trained on a slate of small tabular datasets. Where the
+// Table-7 driver tunes each method's grid per dataset, this driver holds
+// each prior at its canonical factory config — the apples-to-apples sweep
+// behind docs/REGULARIZERS.md's family comparison. Emits
+// BENCH_regularizer_grid.json with the full accuracy grid.
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/factory.h"
+#include "data/synthetic.h"
+#include "eval/method_grid.h"
+#include "eval/small_data_experiment.h"
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace gmreg;
+
+struct PriorCell {
+  std::string key;     // short JSON/CSV key, e.g. "epgig_laplace"
+  std::string config;  // factory config string
+};
+
+// The prior axis: canonical factory configs, kind-level (the Table-7
+// driver owns per-dataset tuning). Every entry must parse — the factory
+// negative tests keep the grammar honest.
+std::vector<PriorCell> PriorSlate() {
+  return {
+      {"l2", "l2:beta=1"},
+      {"gm", "gm:gamma=0.005,k=3"},
+      {"epgig_laplace", "epgig:mode=laplace,alpha=1"},
+      {"epgig_student", "epgig:mode=student,nu=4,tau=1"},
+      {"dynprior", "dynprior:beta=1,schedule=exp,decay=0.9"},
+  };
+}
+
+// Each prior becomes a single-candidate "method", so the small-data
+// protocol runs it as-is with no model selection.
+std::vector<RegMethod> MethodsFromSlate(const std::vector<PriorCell>& slate) {
+  std::vector<RegMethod> methods;
+  for (const PriorCell& cell : slate) {
+    RegMethod m{cell.key, {}};
+    std::string config = cell.config;
+    m.grid.push_back({config, [config](std::int64_t num_dims, double) {
+                        std::unique_ptr<Regularizer> reg;
+                        Status st =
+                            MakeRegularizerFromConfig(config, num_dims, &reg);
+                        GMREG_CHECK(st.ok());
+                        return reg;
+                      }});
+    methods.push_back(std::move(m));
+  }
+  return methods;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Cross-prior regularizer grid (docs/REGULARIZERS.md)",
+      "Canonical config of each prior x small tabular datasets, LR.");
+
+  std::vector<PriorCell> slate = PriorSlate();
+  std::vector<RegMethod> methods = MethodsFromSlate(slate);
+
+  // Even the smoke slate keeps >= 2 datasets and the full prior axis: the
+  // point of this driver is the cross-prior grid, so neither axis may
+  // collapse to a single line.
+  std::vector<std::string> dataset_names = {"Hosp-FA"};
+  int extra = ScalePick(1, 2, 5);
+  const std::vector<std::string>& uci = UciDatasetNames();
+  for (int i = 0; i < extra && i < static_cast<int>(uci.size()); ++i) {
+    dataset_names.push_back(uci[static_cast<std::size_t>(i)]);
+  }
+
+  SmallDataOptions opts;
+  opts.num_subsamples = ScalePick(1, 3, 5);
+  opts.cv_folds = 2;  // single-candidate grids: CV is a no-op pass
+  opts.lr.epochs = ScalePick(8, 40, 120);
+  opts.seed = 20180416;
+
+  std::vector<std::string> headers = {"Dataset"};
+  for (const PriorCell& cell : slate) headers.push_back(cell.key);
+  TablePrinter table(headers);
+  CsvWriter csv(bench::CsvPath("regularizer_grid"),
+                {"dataset", "prior", "config", "mean_accuracy", "stderr"});
+
+  bench::JsonSummary summary("regularizer_grid", "synthetic-uci+hosp-fa");
+  summary.AddInt("priors", static_cast<std::int64_t>(slate.size()));
+  summary.AddInt("datasets", static_cast<std::int64_t>(dataset_names.size()));
+  for (const PriorCell& cell : slate) {
+    summary.AddText("config." + cell.key, cell.config);
+  }
+
+  for (const std::string& name : dataset_names) {
+    TabularData raw =
+        name == "Hosp-FA" ? MakeHospFaLike(17) : MakeUciLike(name, 17);
+    std::vector<MethodResult> results =
+        RunSmallDataComparison(raw, methods, opts);
+    std::vector<std::string> row = {name};
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const MethodResult& r = results[i];
+      row.push_back(FormatMeanErr(r.mean_accuracy, r.stderr_accuracy));
+      csv.WriteRow({name, r.method, slate[i].config,
+                    StrFormat("%.4f", r.mean_accuracy),
+                    StrFormat("%.4f", r.stderr_accuracy)});
+      summary.Add("acc." + name + "." + r.method, r.mean_accuracy);
+    }
+    table.AddRow(row);
+    std::printf("finished %s\n", name.c_str());
+    std::fflush(stdout);
+  }
+
+  std::printf("\n");
+  table.Print(std::cout);
+  summary.Write();
+  std::printf(
+      "\n%zu priors x %zu datasets; every cell is the canonical factory "
+      "config,\nno per-dataset tuning (see bench_table7 for tuned grids).\n",
+      slate.size(), dataset_names.size());
+  return 0;
+}

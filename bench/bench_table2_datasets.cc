@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "core/factory.h"
 #include "data/synthetic.h"
 #include "util/csv.h"
 #include "util/string_util.h"
@@ -45,6 +46,14 @@ int main() {
   add(MakeHospFaLike(/*seed=*/1));
   summary.AddInt("datasets", num_datasets);
   summary.AddInt("total_samples", total_samples);
+  // Stamp the regularizer kinds registered at build time, so a historical
+  // series of these summaries records when the prior family grew.
+  std::string kinds;
+  for (const std::string& kind : RegularizerKinds()) {
+    if (!kinds.empty()) kinds += ",";
+    kinds += kind;
+  }
+  summary.AddText("regularizer_kinds", kinds);
   summary.Write();
   table.Print(std::cout);
   std::printf(

@@ -1,6 +1,8 @@
 // Full model-selection shoot-out on one dataset: every method tuned by
 // cross-validation over its grid, evaluated over stratified subsamples —
-// a single row of the paper's Table VII, end to end.
+// a single row of the paper's Table VII, end to end. Sweeps all seven
+// methods of eval/method_grid.h: the paper's five plus the adaptive prior
+// family (EP-GIG, dynamic prior — docs/REGULARIZERS.md).
 //
 // Usage: regularizer_shootout [dataset-name]
 // where dataset-name is one of the 11 UCI stand-ins (default: conn-sonar)

@@ -4,6 +4,8 @@
 #include <map>
 
 #include "core/gm_regularizer.h"
+#include "reg/dynamic_prior.h"
+#include "reg/epgig.h"
 #include "reg/norms.h"
 #include "util/string_util.h"
 
@@ -66,12 +68,36 @@ Status CheckKnownKeys(const std::map<std::string, std::string>& kv,
 
 }  // namespace
 
+const std::vector<std::string>& RegularizerKinds() {
+  static const auto& kinds = *new std::vector<std::string>{
+      "none", "l1", "l2", "elastic", "huber", "gm", "epgig", "dynprior"};
+  return kinds;
+}
+
+const std::vector<std::string>& RegularizerExampleConfigs() {
+  static const auto& configs = *new std::vector<std::string>{
+      "none",
+      "l1:beta=0.5",
+      "l2:beta=1.25",
+      "elastic:beta=1,l1_ratio=0.3",
+      "huber:beta=1,mu=0.1",
+      "gm:gamma=0.001,k=3,warmup=1,im=2,ig=4",
+      "epgig:mode=laplace,alpha=2,interval=2",
+      "epgig:mode=student,nu=5,tau=2",
+      "dynprior:beta=2,schedule=exp,decay=0.8,floor=0.05",
+  };
+  return configs;
+}
+
 Status MakeRegularizerFromConfig(const std::string& config,
                                  std::int64_t num_dims,
                                  std::unique_ptr<Regularizer>* out) {
   std::size_t colon = config.find(':');
   std::string kind = config.substr(0, colon);
   std::map<std::string, std::string> kv;
+  if (colon != std::string::npos && colon + 1 >= config.size()) {
+    return Status::InvalidArgument("empty key=value list: " + config);
+  }
   if (colon != std::string::npos &&
       !ParseKeyValues(config.substr(colon + 1), &kv)) {
     return Status::InvalidArgument("malformed key=value list: " + config);
@@ -174,6 +200,81 @@ Status MakeRegularizerFromConfig(const std::string& config,
       return Status::OutOfRange("min_precision must be > 0");
     }
     *out = std::make_unique<GmRegularizer>("config", num_dims, opts);
+    return Status::Ok();
+  }
+  if (kind == "epgig") {
+    GMREG_RETURN_IF_ERROR(CheckKnownKeys(
+        kv, {"mode", "alpha", "nu", "tau", "interval", "warmup"}));
+    if (num_dims <= 0) {
+      return Status::FailedPrecondition(
+          "epgig regularizer requires num_dims > 0 (the parameter count M)");
+    }
+    EpGigOptions opts;
+    if (auto it = kv.find("mode"); it != kv.end()) {
+      if (it->second == "laplace") {
+        opts.mode = EpGigMode::kLaplace;
+      } else if (it->second == "student") {
+        opts.mode = EpGigMode::kStudent;
+      } else {
+        return Status::InvalidArgument("unknown epgig mode '" + it->second +
+                                       "'");
+      }
+    }
+    GMREG_RETURN_IF_ERROR(ParseDouble(kv, "alpha", false, &opts.alpha));
+    GMREG_RETURN_IF_ERROR(ParseDouble(kv, "nu", false, &opts.nu));
+    GMREG_RETURN_IF_ERROR(ParseDouble(kv, "tau", false, &opts.tau));
+    if (opts.alpha <= 0.0) return Status::OutOfRange("alpha must be > 0");
+    if (opts.nu <= 0.0) return Status::OutOfRange("nu must be > 0");
+    if (opts.tau <= 0.0) return Status::OutOfRange("tau must be > 0");
+    double v = 0.0;
+    if (kv.count("interval") != 0u) {
+      GMREG_RETURN_IF_ERROR(ParseDouble(kv, "interval", true, &v));
+      if (v < 1.0) return Status::OutOfRange("interval must be >= 1");
+      opts.interval = static_cast<std::int64_t>(v);
+    }
+    if (kv.count("warmup") != 0u) {
+      GMREG_RETURN_IF_ERROR(ParseDouble(kv, "warmup", true, &v));
+      if (v < 0.0) return Status::OutOfRange("warmup must be >= 0");
+      opts.warmup_epochs = static_cast<int>(v);
+    }
+    *out = std::make_unique<EpGigReg>(num_dims, opts);
+    return Status::Ok();
+  }
+  if (kind == "dynprior") {
+    GMREG_RETURN_IF_ERROR(CheckKnownKeys(
+        kv, {"beta", "schedule", "decay", "rate", "floor", "period"}));
+    DynPriorOptions opts;
+    if (auto it = kv.find("schedule"); it != kv.end()) {
+      if (it->second == "exp") {
+        opts.schedule = DynPriorSchedule::kExp;
+      } else if (it->second == "inv") {
+        opts.schedule = DynPriorSchedule::kInv;
+      } else if (it->second == "cos") {
+        opts.schedule = DynPriorSchedule::kCosine;
+      } else {
+        return Status::InvalidArgument("unknown dynprior schedule '" +
+                                       it->second + "'");
+      }
+    }
+    GMREG_RETURN_IF_ERROR(ParseDouble(kv, "beta", false, &opts.beta));
+    GMREG_RETURN_IF_ERROR(ParseDouble(kv, "decay", false, &opts.decay));
+    GMREG_RETURN_IF_ERROR(ParseDouble(kv, "rate", false, &opts.rate));
+    GMREG_RETURN_IF_ERROR(ParseDouble(kv, "floor", false, &opts.floor));
+    if (opts.beta < 0.0) return Status::OutOfRange("beta must be >= 0");
+    if (opts.decay <= 0.0 || opts.decay > 1.0) {
+      return Status::OutOfRange("decay must be in (0, 1]");
+    }
+    if (opts.rate < 0.0) return Status::OutOfRange("rate must be >= 0");
+    if (opts.floor < 0.0 || opts.floor > opts.beta) {
+      return Status::OutOfRange("floor must be in [0, beta]");
+    }
+    double v = 0.0;
+    if (kv.count("period") != 0u) {
+      GMREG_RETURN_IF_ERROR(ParseDouble(kv, "period", true, &v));
+      if (v < 1.0) return Status::OutOfRange("period must be >= 1");
+      opts.period = static_cast<int>(v);
+    }
+    *out = std::make_unique<DynamicPriorReg>(opts);
     return Status::Ok();
   }
   return Status::InvalidArgument("unknown regularizer kind '" + kind + "'");

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "reg/regularizer.h"
 #include "util/status.h"
@@ -22,20 +23,42 @@ namespace gmreg {
 ///                            init (identical|linear|proportional),
 ///                            warmup, im, ig,
 ///                            threads (0 = process default, 1 = serial)
+///   epgig[:key=<v>,...]    keys: mode (laplace|student), alpha, nu, tau,
+///                                interval, warmup — the adaptive EP-GIG
+///                                sparse prior (reg/epgig.h)
+///   dynprior[:key=<v>,...] keys: beta, schedule (exp|inv|cos), decay, rate,
+///                                floor, period — the dynamic informative
+///                                prior (reg/dynamic_prior.h)
 ///
-/// For "gm", `num_dims` (the parameter count M) is required to instantiate
-/// the hyper-parameter rules; other kinds ignore it.
+/// For "gm" and "epgig", `num_dims` (the parameter count M) is required to
+/// instantiate the hyper-parameter rules; other kinds ignore it.
 ///
 /// Examples: "l2:beta=3", "elastic:beta=1,l1_ratio=0.5",
-///           "gm:gamma=0.0005,init=linear,warmup=2,im=10,ig=10".
+///           "gm:gamma=0.0005,init=linear,warmup=2,im=10,ig=10",
+///           "epgig:mode=student,nu=5,tau=2", "dynprior:beta=2,decay=0.8".
 ///
 /// Parsing is pure (thread-safe); the same config string always yields an
 /// identically-configured regularizer. Malformed configs return
 /// InvalidArgument/OutOfRange rather than aborting, so pipeline front-ends
-/// can surface them to users.
+/// can surface them to users. A trailing colon with no key=value list
+/// ("epgig:") is malformed — misspelled-separator typos fail loudly instead
+/// of silently building an all-defaults instance.
 Status MakeRegularizerFromConfig(const std::string& config,
                                  std::int64_t num_dims,
                                  std::unique_ptr<Regularizer>* out);
+
+/// Every config prefix ("kind") MakeRegularizerFromConfig accepts, in
+/// registration order. tests/factory_negative_test.cc iterates this so a
+/// newly-registered prior automatically joins the malformed-spec coverage.
+const std::vector<std::string>& RegularizerKinds();
+
+/// One canonical, well-formed example config per registered kind (adaptive
+/// kinds use small, fast-to-test settings). The property-based invariant
+/// suite (tests/regularizer_property_suite.h) and the all-prior checkpoint
+/// round-trip tests instantiate every entry, which is what makes the
+/// correctness contract automatic for future priors: registering a kind
+/// without an example here fails the suite's coverage check.
+const std::vector<std::string>& RegularizerExampleConfigs();
 
 }  // namespace gmreg
 

@@ -2,6 +2,8 @@
 
 #include "core/gm_regularizer.h"
 #include "core/hyper.h"
+#include "reg/dynamic_prior.h"
+#include "reg/epgig.h"
 #include "reg/norms.h"
 #include "util/string_util.h"
 
@@ -79,6 +81,52 @@ RegMethod GmMethod() {
   return m;
 }
 
+RegMethod EpGigMethod() {
+  RegMethod m{"EP-GIG Reg", {}};
+  for (double alpha : {0.3, 1.0, 3.0, 10.0}) {
+    m.grid.push_back({StrFormat("mode=laplace,alpha=%g", alpha),
+                      [alpha](std::int64_t num_dims, double) {
+                        EpGigOptions opts;
+                        opts.mode = EpGigMode::kLaplace;
+                        opts.alpha = alpha;
+                        return std::make_unique<EpGigReg>(num_dims, opts);
+                      }});
+  }
+  for (double tau : {0.3, 1.0, 3.0, 10.0}) {
+    m.grid.push_back({StrFormat("mode=student,tau=%g", tau),
+                      [tau](std::int64_t num_dims, double) {
+                        EpGigOptions opts;
+                        opts.mode = EpGigMode::kStudent;
+                        opts.tau = tau;
+                        return std::make_unique<EpGigReg>(num_dims, opts);
+                      }});
+  }
+  return m;
+}
+
+RegMethod DynPriorMethod() {
+  RegMethod m{"Dynamic Prior Reg", {}};
+  for (double beta : {0.03, 0.3, 3.0, 30.0}) {
+    m.grid.push_back({StrFormat("beta=%g,schedule=exp", beta),
+                      [beta](std::int64_t, double) {
+                        DynPriorOptions opts;
+                        opts.schedule = DynPriorSchedule::kExp;
+                        opts.beta = beta;
+                        opts.decay = 0.9;
+                        return std::make_unique<DynamicPriorReg>(opts);
+                      }});
+    m.grid.push_back({StrFormat("beta=%g,schedule=inv", beta),
+                      [beta](std::int64_t, double) {
+                        DynPriorOptions opts;
+                        opts.schedule = DynPriorSchedule::kInv;
+                        opts.beta = beta;
+                        opts.rate = 1.0;
+                        return std::make_unique<DynamicPriorReg>(opts);
+                      }});
+  }
+  return m;
+}
+
 std::vector<RegMethod> AllMethods() {
   std::vector<RegMethod> methods;
   methods.push_back(L1Method());
@@ -86,6 +134,8 @@ std::vector<RegMethod> AllMethods() {
   methods.push_back(ElasticNetMethod());
   methods.push_back(HuberMethod());
   methods.push_back(GmMethod());
+  methods.push_back(EpGigMethod());
+  methods.push_back(DynPriorMethod());
   return methods;
 }
 

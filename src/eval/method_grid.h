@@ -37,8 +37,17 @@ RegMethod HuberMethod();
 /// GM Reg grid sweeps gamma over the paper's Sec. V-B1 grid; K = 4,
 /// linear initialization, alpha exponent 0.5.
 RegMethod GmMethod();
+/// EP-GIG Reg grid sweeps the Laplace seed rate and the Student-t seed
+/// precision scale (the adaptive M-steps learn the final value either way;
+/// the seed sets where learning starts).
+RegMethod EpGigMethod();
+/// Dynamic-prior grid crosses the initial strength with the exponential
+/// and inverse decay schedules.
+RegMethod DynPriorMethod();
 
-/// All five, in Table VII column order.
+/// The paper's five methods in Table VII column order, followed by the
+/// adaptive prior family (EP-GIG, dynamic prior) the library adds on top —
+/// the cross-prior comparison grid of bench/bench_regularizer_grid.cc.
 std::vector<RegMethod> AllMethods();
 
 }  // namespace gmreg

@@ -16,7 +16,10 @@
 #include "core/merge.h"            // effective-component reporting
 #include "core/serialize.h"        // persist / warm-start learned priors
 
-// Baseline regularization methods (Sec. V baselines).
+// Baseline regularization methods (Sec. V baselines) and the sibling
+// adaptive priors of the family (docs/REGULARIZERS.md).
+#include "reg/dynamic_prior.h"
+#include "reg/epgig.h"
 #include "reg/norms.h"
 #include "reg/regularizer.h"
 

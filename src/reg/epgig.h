@@ -1,0 +1,105 @@
+#ifndef GMREG_REG_EPGIG_H_
+#define GMREG_REG_EPGIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "reg/regularizer.h"
+
+namespace gmreg {
+
+/// Which member of the EP-GIG family (Zhang, Wang, Liu & Jordan, "EP-GIG
+/// Priors and Applications in Bayesian Sparse Learning") the regularizer
+/// realizes. Both are Gaussian scale mixtures w | eta ~ N(0, eta) with a
+/// generalized-inverse-Gaussian mixing density on the latent variance eta;
+/// the two named special cases have closed-form E- and M-steps:
+///   kLaplace  exponential mixing  -> marginal p(w) = (alpha/2) e^{-alpha|w|}
+///   kStudent  inverse-gamma mixing -> marginal Student-t with nu dof and
+///             precision scale tau (E[lambda] = tau under the Gamma prior)
+enum class EpGigMode { kLaplace, kStudent };
+
+const char* EpGigModeName(EpGigMode mode);
+
+/// Knobs of the EP-GIG regularizer with library defaults. The rate / scale
+/// hyper-parameter is *learned* during training (that is the adaptive part);
+/// `alpha` / `tau` only seed it.
+struct EpGigOptions {
+  EpGigMode mode = EpGigMode::kLaplace;
+  double alpha = 1.0;  ///< initial Laplace rate (mode == kLaplace)
+  double nu = 4.0;     ///< Student-t degrees of freedom, fixed (kStudent)
+  double tau = 1.0;    ///< initial Student-t precision scale (kStudent)
+  /// M-step (hyper-parameter refresh) every `interval` iterations outside
+  /// the first `warmup_epochs` — the same lazy-update idea as the GM prior's
+  /// Ig interval (docs/REGULARIZERS.md).
+  std::int64_t interval = 1;
+  int warmup_epochs = 0;
+  /// Clamp for the learned rate/scale so a degenerate weight vector (all
+  /// zeros) cannot push the hyper-parameter to infinity.
+  double hyper_min = 1e-8;
+  double hyper_max = 1e12;
+};
+
+/// Adaptive sparse prior from the EP-GIG family behind the `Regularizer`
+/// interface. Each AccumulateGradient call adds the exact gradient of the
+/// marginal -log p(w) under the *current* hyper-parameter, then (per the
+/// lazy schedule) runs one EM-style hyper-parameter update on the observed
+/// weights:
+///   kLaplace:  alpha <- M / sum_m |w_m|       (collapsed-EM fixed point —
+///              the exact ML rate, so the penalty never increases)
+///   kStudent:  s_m = E[lambda_m | w_m] = (nu+1) tau / (nu + tau w_m^2),
+///              tau <- (1/M) sum_m s_m          (EM M-step; monotone by the
+///              standard EM inequality on the marginal Student-t likelihood)
+///
+/// Every reduction uses ParallelChunkedSum (util/parallel.h), so the learned
+/// hyper-parameter trajectory is bitwise identical at every thread budget —
+/// the determinism contract tests/regularizer_property_suite.cc enforces for
+/// the whole prior family.
+class EpGigReg : public Regularizer {
+ public:
+  EpGigReg(std::int64_t num_dims, const EpGigOptions& options);
+
+  void AccumulateGradient(const Tensor& w, std::int64_t iteration,
+                          std::int64_t epoch, double scale,
+                          Tensor* grad) override;
+
+  /// Marginal -log p(w) including the hyper-parameter-dependent
+  /// normalization (constants in the fixed shape nu are dropped), so the
+  /// EM monotonicity invariant is observable through this value.
+  double Penalty(const Tensor& w) const override;
+
+  std::string Name() const override { return "EP-GIG Reg"; }
+
+  /// `<prefix>.mode`, `<prefix>.hyper` (the learned alpha or tau),
+  /// `<prefix>.msteps`, and `<prefix>.suffstat_mean` (last M-step's mean
+  /// sufficient statistic).
+  void AppendMetrics(const std::string& prefix,
+                     MetricsRecord* record) const override;
+
+  /// One `epgig-state v1` line: mode tag, learned hyper-parameter, M-step
+  /// counter and the last mean sufficient statistic. The mode tag makes a
+  /// checkpoint written by a Laplace prior unloadable into a Student-t one.
+  bool SaveState(std::string* out) const override;
+  Status LoadState(const std::string& text) override;
+
+  // Introspection ----------------------------------------------------------
+  const EpGigOptions& options() const { return options_; }
+  /// The learned rate (kLaplace) or precision scale (kStudent).
+  double hyper() const { return hyper_; }
+  std::int64_t mstep_count() const { return mstep_count_; }
+  std::int64_t num_dims() const { return num_dims_; }
+
+  /// Runs one hyper-parameter update on `w` unconditionally (the lazy
+  /// schedule normally gates this from AccumulateGradient).
+  void UpdateHyper(const Tensor& w);
+
+ private:
+  std::int64_t num_dims_;
+  EpGigOptions options_;
+  double hyper_;  ///< learned alpha (kLaplace) or tau (kStudent)
+  std::int64_t mstep_count_ = 0;
+  double last_suffstat_mean_ = 0.0;
+};
+
+}  // namespace gmreg
+
+#endif  // GMREG_REG_EPGIG_H_

@@ -207,4 +207,31 @@ void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
       num_threads);
 }
 
+double ParallelChunkedSum(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<double(std::int64_t, std::int64_t)>& fn,
+    int num_threads) {
+  std::int64_t n = end - begin;
+  if (n <= 0) return 0.0;
+  if (grain < 1) grain = 1;
+  std::int64_t chunks = (n + grain - 1) / grain;
+  if (chunks == 1) return fn(begin, end);
+  std::vector<double> partial(static_cast<std::size_t>(chunks), 0.0);
+  // The chunk layout is fixed by `grain`; only the assignment of chunks to
+  // workers varies with the budget, and each partial is written exactly once.
+  ParallelFor(
+      0, chunks, /*grain=*/1,
+      [&](std::int64_t cb, std::int64_t ce) {
+        for (std::int64_t c = cb; c < ce; ++c) {
+          std::int64_t b = begin + c * grain;
+          std::int64_t e = std::min<std::int64_t>(b + grain, end);
+          partial[static_cast<std::size_t>(c)] = fn(b, e);
+        }
+      },
+      num_threads);
+  double acc = 0.0;
+  for (double p : partial) acc += p;
+  return acc;
+}
+
 }  // namespace gmreg

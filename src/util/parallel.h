@@ -124,6 +124,20 @@ void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
                  const std::function<void(std::int64_t, std::int64_t)>& fn,
                  int num_threads = 0);
 
+/// Deterministic chunked sum: [begin, end) is cut into fixed `grain`-sized
+/// chunks (the last one short), `fn(b, e)` produces each chunk's partial sum
+/// in parallel, and the partials are folded serially in chunk order. Because
+/// the chunk boundaries depend only on (begin, end, grain) — never on the
+/// thread budget — the result is bitwise identical at EVERY budget, a
+/// stronger contract than ParallelReduce (whose shard count follows the
+/// budget). The adaptive priors in src/reg/ build their hyper-parameter
+/// updates on this so a checkpoint resumed under a different
+/// GMREG_NUM_THREADS stays bit-exact (docs/REGULARIZERS.md).
+double ParallelChunkedSum(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<double(std::int64_t, std::int64_t)>& fn,
+    int num_threads = 0);
+
 /// Parallel map-reduce: partial = map(b, e) per shard, then the partials are
 /// folded left-to-right in shard order — acc = reduce(acc, partial) — so the
 /// result is bitwise-reproducible for a given thread budget.

@@ -11,11 +11,14 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "gtest/gtest.h"
 
+#include "core/factory.h"
 #include "core/gm_regularizer.h"
 #include "io/checkpoint.h"
 #include "nn/dense.h"
@@ -23,6 +26,7 @@
 #include "optim/trainer.h"
 #include "reg/regularizer.h"
 #include "tensor/tensor.h"
+#include "testutil/gmreg_testutil.h"
 #include "util/atomic_file.h"
 #include "util/fault.h"
 #include "util/json_writer.h"
@@ -33,9 +37,7 @@
 namespace gmreg {
 namespace {
 
-std::string TempPath(const std::string& name) {
-  return ::testing::TempDir() + "/" + name;
-}
+using ::gmreg::testing::TempPath;
 
 std::vector<std::string> ReadLines(const std::string& path) {
   std::ifstream in(path);
@@ -755,6 +757,142 @@ TEST(ModelSnapshotTest, MissingEverythingIsNotFound) {
   std::remove(PreviousCheckpointPath(path).c_str());
   ModelSnapshot snap;
   EXPECT_EQ(LoadModelSnapshot(path, &snap).code(), StatusCode::kNotFound);
+}
+
+// --------------------------------------------------------------------------
+// All-regularizer checkpoint round-trip: for every factory-registered
+// prior, a SaveState line embedded in a TrainingCheckpoint survives
+// rotation and a one-byte corruption of the latest file (recovery falls
+// back to .prev), and replaying the lost steps from the fallback state
+// reproduces the original trajectory bit-for-bit.
+// --------------------------------------------------------------------------
+
+// Mirrors the property suite's mini-SGD trajectory (serial weight update,
+// epoch = iteration/8, scale = 1/256) so the two batteries exercise the
+// priors identically.
+void StepRegularizer(Regularizer* reg, Tensor* w, int steps, int start_it) {
+  Tensor grad(w->shape());
+  for (int s = 0; s < steps; ++s) {
+    std::int64_t it = start_it + s;
+    grad.SetZero();
+    reg->AccumulateGradient(*w, it, it / 8, 1.0 / 256.0, &grad);
+    float* wp = w->data();
+    const float* gp = grad.data();
+    for (std::int64_t i = 0; i < w->size(); ++i) wp[i] -= 0.05f * gp[i];
+  }
+}
+
+TEST(RegFamilyCheckpointTest, CorruptLatestFallsBackAndReplaysBitExact) {
+  constexpr std::int64_t kDims = 513;
+  for (const std::string& config : RegularizerExampleConfigs()) {
+    SCOPED_TRACE(config);
+    std::string path = TempPath("reg_family.ckpt");
+    std::remove(path.c_str());
+    std::remove(PreviousCheckpointPath(path).c_str());
+
+    std::unique_ptr<Regularizer> reg;
+    ASSERT_TRUE(MakeRegularizerFromConfig(config, kDims, &reg).ok());
+    Tensor w = gmreg::testing::MakeBimodalWeightTensor(kDims, 101);
+
+    // 5 steps, checkpoint; 2 more steps, checkpoint again (rotates the
+    // first snapshot to .prev).
+    StepRegularizer(reg.get(), &w, 5, 0);
+    TrainingCheckpoint ckpt5;
+    ckpt5.epoch = 1;
+    ckpt5.iteration = 5;
+    ckpt5.param_names = {"w"};
+    ckpt5.params = {w};
+    ckpt5.velocity = {Tensor(w.shape())};
+    std::string state5;
+    bool has_state = reg->SaveState(&state5);
+    if (has_state) ckpt5.reg_states.emplace_back("w", state5);
+    ASSERT_TRUE(SaveCheckpoint(ckpt5, path).ok());
+
+    StepRegularizer(reg.get(), &w, 2, 5);
+    TrainingCheckpoint ckpt7 = ckpt5;
+    ckpt7.epoch = 2;
+    ckpt7.iteration = 7;
+    ckpt7.params = {w};
+    std::string state7;
+    reg->SaveState(&state7);
+    ckpt7.reg_states.clear();
+    if (has_state) ckpt7.reg_states.emplace_back("w", state7);
+    ASSERT_TRUE(SaveCheckpoint(ckpt7, path).ok());
+
+    // Flip one byte in the middle of the latest file: the checksum trailer
+    // must catch it and recovery must fall back to the .prev snapshot.
+    std::string bytes;
+    {
+      std::ifstream in(path, std::ios::binary);
+      bytes.assign(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>());
+    }
+    ASSERT_FALSE(bytes.empty());
+    bytes[bytes.size() / 2] ^= 0x20;
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out << bytes;
+    }
+
+    TrainingCheckpoint recovered;
+    Status st = LoadLatestValidCheckpoint(path, &recovered);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    EXPECT_EQ(recovered.epoch, 1);
+    EXPECT_EQ(recovered.iteration, 5);
+    ASSERT_EQ(recovered.reg_states.size(), has_state ? 1u : 0u);
+
+    // Resume: fresh regularizer + fallback state + the recovered weights,
+    // replay the 2 lost steps. Weights must match the original run
+    // bit-for-bit; so must the state line for priors whose SaveState is a
+    // pure function of the trajectory (the GM record embeds wall-clock
+    // E/M-step seconds and is compared behaviorally by the property suite).
+    std::unique_ptr<Regularizer> resumed;
+    ASSERT_TRUE(MakeRegularizerFromConfig(config, kDims, &resumed).ok());
+    if (has_state) {
+      EXPECT_EQ(recovered.reg_states[0].first, "w");
+      Status load = resumed->LoadState(recovered.reg_states[0].second);
+      ASSERT_TRUE(load.ok()) << load.ToString();
+    }
+    Tensor w_resumed = recovered.params[0];
+    StepRegularizer(resumed.get(), &w_resumed, 2, 5);
+    gmreg::testing::ExpectTensorBitwiseEqual(w, w_resumed,
+                                             config + " replayed weights");
+    if (config.compare(0, 3, "gm:") != 0 && config != "gm") {
+      std::string replayed;
+      EXPECT_EQ(resumed->SaveState(&replayed), has_state);
+      EXPECT_EQ(replayed, state7) << config;
+    }
+  }
+}
+
+// A state line from one prior must not load into another: the magic (and
+// for EP-GIG the mode tag) pins each record to its kind.
+TEST(RegFamilyCheckpointTest, StateLinesRejectCrossKindLoads) {
+  constexpr std::int64_t kDims = 64;
+  std::vector<std::string> stateful_configs;
+  std::vector<std::string> states;
+  for (const std::string& config : RegularizerExampleConfigs()) {
+    std::unique_ptr<Regularizer> reg;
+    ASSERT_TRUE(MakeRegularizerFromConfig(config, kDims, &reg).ok());
+    std::string state;
+    if (reg->SaveState(&state)) {
+      stateful_configs.push_back(config);
+      states.push_back(state);
+    }
+  }
+  ASSERT_GE(stateful_configs.size(), 4u)
+      << "expected gm, epgig (x2) and dynprior to be stateful";
+  for (std::size_t i = 0; i < stateful_configs.size(); ++i) {
+    for (std::size_t j = 0; j < states.size(); ++j) {
+      if (i == j) continue;
+      std::unique_ptr<Regularizer> reg;
+      ASSERT_TRUE(
+          MakeRegularizerFromConfig(stateful_configs[i], kDims, &reg).ok());
+      EXPECT_FALSE(reg->LoadState(states[j]).ok())
+          << stateful_configs[i] << " accepted state from "
+          << stateful_configs[j];
+    }
+  }
 }
 
 TEST(TrainerCrashResumeTest, BitExactTraceSingleThread) {

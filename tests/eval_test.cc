@@ -24,17 +24,31 @@ TEST(MetricsTest, DegenerateInputs) {
   EXPECT_DOUBLE_EQ(StdError({1.0}), 0.0);
 }
 
-TEST(MethodGridTest, FiveMethodsInTableSevenOrder) {
+TEST(MethodGridTest, PaperMethodsInTableSevenOrderThenAdaptiveFamily) {
   auto methods = AllMethods();
-  ASSERT_EQ(methods.size(), 5u);
+  ASSERT_EQ(methods.size(), 7u);
   EXPECT_EQ(methods[0].name, "L1 Reg");
   EXPECT_EQ(methods[1].name, "L2 Reg");
   EXPECT_EQ(methods[2].name, "Elastic-net Reg");
   EXPECT_EQ(methods[3].name, "Huber Reg");
   EXPECT_EQ(methods[4].name, "GM Reg");
+  EXPECT_EQ(methods[5].name, "EP-GIG Reg");
+  EXPECT_EQ(methods[6].name, "Dynamic Prior Reg");
   for (const auto& m : methods) {
     EXPECT_FALSE(m.grid.empty()) << m.name;
   }
+}
+
+TEST(MethodGridTest, AdaptiveFamilyGridsBuildRegularizers) {
+  for (const RegMethod& m : {EpGigMethod(), DynPriorMethod()}) {
+    for (const RegCandidate& c : m.grid) {
+      auto reg = c.make(/*num_dims=*/32, /*init_stddev=*/0.1);
+      ASSERT_NE(reg, nullptr) << m.name << " " << c.label;
+      EXPECT_FALSE(reg->Name().empty());
+    }
+  }
+  EXPECT_EQ(EpGigMethod().grid.size(), 8u);
+  EXPECT_EQ(DynPriorMethod().grid.size(), 8u);
 }
 
 TEST(MethodGridTest, GmGridSweepsPaperGammas) {

@@ -16,33 +16,25 @@
 
 #include "core/em.h"
 #include "core/gm_regularizer.h"
-#include "gradient_check.h"
 #include "gtest/gtest.h"
 #include "tensor/tensor.h"
+#include "testutil/gmreg_testutil.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 
 namespace gmreg {
 namespace {
 
-// The bench's bimodal weight distribution: mostly near-zero plus a wide
-// tail, which keeps all mixture components active.
+// The canonical bimodal weight fixture now lives in gmreg_testutil — the
+// property suite and bench drivers draw from the same distribution.
+using ::gmreg::testing::MakeBimodalWeights;
+
 std::vector<float> MakeWeights(std::int64_t n, std::uint64_t seed) {
-  Rng rng(seed);
-  std::vector<float> w(static_cast<std::size_t>(n));
-  for (float& v : w) {
-    v = static_cast<float>(rng.NextBernoulli(0.8)
-                               ? rng.NextGaussian(0.0, 0.05)
-                               : rng.NextGaussian(0.0, 0.8));
-  }
-  return w;
+  return MakeBimodalWeights(n, seed);
 }
 
 Tensor MakeWeightTensor(std::int64_t n, std::uint64_t seed) {
-  std::vector<float> w = MakeWeights(n, seed);
-  Tensor t({n});
-  std::copy(w.begin(), w.end(), t.data());
-  return t;
+  return ::gmreg::testing::MakeBimodalWeightTensor(n, seed);
 }
 
 // ---------------------------------------------------------------------------

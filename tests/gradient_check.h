@@ -1,112 +1,11 @@
 #ifndef GMREG_TESTS_GRADIENT_CHECK_H_
 #define GMREG_TESTS_GRADIENT_CHECK_H_
 
-#include <cmath>
-#include <functional>
+/// Forwarding shim: the finite-difference gradient checker moved into the
+/// shared gmreg_testutil library together with the other fixture helpers.
+/// Existing includers (and docs references) keep working; new tests should
+/// include testutil/gmreg_testutil.h directly.
 
-#include "gtest/gtest.h"
-#include "nn/layer.h"
-#include "tensor/tensor.h"
-#include "util/rng.h"
-
-namespace gmreg {
-namespace testing {
-
-/// Projects `out` onto fixed random coefficients, giving a scalar loss
-/// L = sum_i c_i * out_i whose gradient w.r.t. out is exactly c.
-class ScalarProjection {
- public:
-  ScalarProjection(const std::vector<std::int64_t>& out_shape, Rng* rng)
-      : coeffs_(out_shape) {
-    float* c = coeffs_.data();
-    for (std::int64_t i = 0; i < coeffs_.size(); ++i) {
-      c[i] = static_cast<float>(rng->NextUniform(-1.0, 1.0));
-    }
-  }
-
-  double Loss(const Tensor& out) const {
-    double acc = 0.0;
-    const float* o = out.data();
-    const float* c = coeffs_.data();
-    for (std::int64_t i = 0; i < out.size(); ++i) {
-      acc += static_cast<double>(o[i]) * c[i];
-    }
-    return acc;
-  }
-
-  const Tensor& grad() const { return coeffs_; }
-
- private:
-  Tensor coeffs_;
-};
-
-/// Checks the analytic input-gradient and parameter-gradients of `layer`
-/// against central finite differences on a random projection loss.
-/// `eps` is the perturbation; float32 forward math limits precision, so the
-/// tolerance combines a relative and an absolute term.
-inline void CheckLayerGradients(Layer* layer, const Tensor& input, Rng* rng,
-                                double eps = 1e-2, double rel_tol = 2e-2,
-                                double abs_tol = 2e-3) {
-  Tensor out;
-  layer->Forward(input, &out, /*train=*/true);
-  ScalarProjection proj(out.shape(), rng);
-
-  // Analytic gradients.
-  std::vector<ParamRef> params;
-  layer->CollectParams(&params);
-  for (ParamRef& p : params) p.grad->SetZero();
-  Tensor grad_in;
-  layer->Backward(proj.grad(), &grad_in);
-  ASSERT_TRUE(grad_in.SameShape(input));
-
-  // Central difference of the projection loss w.r.t. storage[i], where
-  // `fwd_input` is the tensor fed to Forward (the perturbed copy itself
-  // when checking input gradients).
-  auto numeric_vs_analytic = [&](Tensor* storage, const Tensor& fwd_input,
-                                 std::int64_t i, double analytic,
-                                 const char* what) {
-    float saved = (*storage)[i];
-    (*storage)[i] = static_cast<float>(saved + eps);
-    Tensor out_p;
-    layer->Forward(fwd_input, &out_p, /*train=*/true);
-    double lp = proj.Loss(out_p);
-    (*storage)[i] = static_cast<float>(saved - eps);
-    layer->Forward(fwd_input, &out_p, /*train=*/true);
-    double lm = proj.Loss(out_p);
-    (*storage)[i] = saved;
-    double numeric = (lp - lm) / (2.0 * eps);
-    double tol = rel_tol * std::max(std::fabs(numeric), std::fabs(analytic)) +
-                 abs_tol;
-    EXPECT_NEAR(numeric, analytic, tol) << what << " element " << i;
-  };
-
-  // Input gradient: every element for small inputs, a stride otherwise.
-  Tensor mutable_input = input;
-  std::int64_t stride_in = std::max<std::int64_t>(1, input.size() / 64);
-  for (std::int64_t i = 0; i < input.size(); i += stride_in) {
-    numeric_vs_analytic(&mutable_input, mutable_input, i, grad_in[i],
-                        "input");
-  }
-
-  for (ParamRef& p : params) {
-    std::int64_t stride_p = std::max<std::int64_t>(1, p.value->size() / 64);
-    for (std::int64_t i = 0; i < p.value->size(); i += stride_p) {
-      numeric_vs_analytic(p.value, input, i, (*p.grad)[i], p.name.c_str());
-    }
-  }
-}
-
-/// Fills a tensor with uniform values in [-1, 1].
-inline Tensor RandomTensor(const std::vector<std::int64_t>& shape, Rng* rng) {
-  Tensor t(shape);
-  float* p = t.data();
-  for (std::int64_t i = 0; i < t.size(); ++i) {
-    p[i] = static_cast<float>(rng->NextUniform(-1.0, 1.0));
-  }
-  return t;
-}
-
-}  // namespace testing
-}  // namespace gmreg
+#include "testutil/gmreg_testutil.h"
 
 #endif  // GMREG_TESTS_GRADIENT_CHECK_H_

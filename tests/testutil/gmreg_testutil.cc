@@ -1,0 +1,165 @@
+#include "testutil/gmreg_testutil.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/parallel.h"
+
+namespace gmreg {
+namespace testing {
+
+ScalarProjection::ScalarProjection(const std::vector<std::int64_t>& out_shape,
+                                   Rng* rng)
+    : coeffs_(out_shape) {
+  float* c = coeffs_.data();
+  for (std::int64_t i = 0; i < coeffs_.size(); ++i) {
+    c[i] = static_cast<float>(rng->NextUniform(-1.0, 1.0));
+  }
+}
+
+double ScalarProjection::Loss(const Tensor& out) const {
+  double acc = 0.0;
+  const float* o = out.data();
+  const float* c = coeffs_.data();
+  for (std::int64_t i = 0; i < out.size(); ++i) {
+    acc += static_cast<double>(o[i]) * c[i];
+  }
+  return acc;
+}
+
+void CheckLayerGradients(Layer* layer, const Tensor& input, Rng* rng,
+                         double eps, double rel_tol, double abs_tol) {
+  Tensor out;
+  layer->Forward(input, &out, /*train=*/true);
+  ScalarProjection proj(out.shape(), rng);
+
+  // Analytic gradients.
+  std::vector<ParamRef> params;
+  layer->CollectParams(&params);
+  for (ParamRef& p : params) p.grad->SetZero();
+  Tensor grad_in;
+  layer->Backward(proj.grad(), &grad_in);
+  ASSERT_TRUE(grad_in.SameShape(input));
+
+  // Central difference of the projection loss w.r.t. storage[i], where
+  // `fwd_input` is the tensor fed to Forward (the perturbed copy itself
+  // when checking input gradients).
+  auto numeric_vs_analytic = [&](Tensor* storage, const Tensor& fwd_input,
+                                 std::int64_t i, double analytic,
+                                 const char* what) {
+    float saved = (*storage)[i];
+    (*storage)[i] = static_cast<float>(saved + eps);
+    Tensor out_p;
+    layer->Forward(fwd_input, &out_p, /*train=*/true);
+    double lp = proj.Loss(out_p);
+    (*storage)[i] = static_cast<float>(saved - eps);
+    layer->Forward(fwd_input, &out_p, /*train=*/true);
+    double lm = proj.Loss(out_p);
+    (*storage)[i] = saved;
+    double numeric = (lp - lm) / (2.0 * eps);
+    double tol = rel_tol * std::max(std::fabs(numeric), std::fabs(analytic)) +
+                 abs_tol;
+    EXPECT_NEAR(numeric, analytic, tol) << what << " element " << i;
+  };
+
+  // Input gradient: every element for small inputs, a stride otherwise.
+  Tensor mutable_input = input;
+  std::int64_t stride_in = std::max<std::int64_t>(1, input.size() / 64);
+  for (std::int64_t i = 0; i < input.size(); i += stride_in) {
+    numeric_vs_analytic(&mutable_input, mutable_input, i, grad_in[i],
+                        "input");
+  }
+
+  for (ParamRef& p : params) {
+    std::int64_t stride_p = std::max<std::int64_t>(1, p.value->size() / 64);
+    for (std::int64_t i = 0; i < p.value->size(); i += stride_p) {
+      numeric_vs_analytic(p.value, input, i, (*p.grad)[i], p.name.c_str());
+    }
+  }
+}
+
+Tensor RandomTensor(const std::vector<std::int64_t>& shape, Rng* rng) {
+  Tensor t(shape);
+  float* p = t.data();
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    p[i] = static_cast<float>(rng->NextUniform(-1.0, 1.0));
+  }
+  return t;
+}
+
+std::vector<float> MakeBimodalWeights(std::int64_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> w(static_cast<std::size_t>(n));
+  for (float& v : w) {
+    v = static_cast<float>(rng.NextBernoulli(0.8)
+                               ? rng.NextGaussian(0.0, 0.05)
+                               : rng.NextGaussian(0.0, 0.8));
+  }
+  return w;
+}
+
+Tensor MakeBimodalWeightTensor(std::int64_t n, std::uint64_t seed) {
+  std::vector<float> w = MakeBimodalWeights(n, seed);
+  Tensor t({n});
+  std::copy(w.begin(), w.end(), t.data());
+  return t;
+}
+
+Tensor RandomWeightsAwayFromKinks(std::int64_t n, std::uint64_t seed,
+                                  double min_abs,
+                                  const std::vector<double>& kinks) {
+  Rng rng(seed);
+  Tensor t({n});
+  float* p = t.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    // Magnitude in [min_abs, 1], sign by fair coin — never inside the
+    // kink-at-zero margin.
+    double mag = rng.NextUniform(min_abs, 1.0);
+    // Push magnitudes out of the margin around any further kink (e.g.
+    // Huber's ±mu) by resampling; the margin is small relative to the
+    // range, so this terminates fast.
+    bool ok = false;
+    while (!ok) {
+      ok = true;
+      for (double k : kinks) {
+        if (std::fabs(mag - std::fabs(k)) < min_abs) {
+          mag = rng.NextUniform(min_abs, 1.0);
+          ok = false;
+          break;
+        }
+      }
+    }
+    p[i] = static_cast<float>(rng.NextBernoulli(0.5) ? mag : -mag);
+  }
+  return t;
+}
+
+ScopedThreadBudget::ScopedThreadBudget(int num_threads) {
+  SetDefaultNumThreads(num_threads);
+}
+
+ScopedThreadBudget::~ScopedThreadBudget() {
+  SetDefaultNumThreads(0);  // clear the override
+}
+
+void ExpectTensorBitwiseEqual(const Tensor& a, const Tensor& b,
+                              const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    std::uint32_t ba, bb;
+    std::memcpy(&ba, &pa[i], sizeof(ba));
+    std::memcpy(&bb, &pb[i], sizeof(bb));
+    ASSERT_EQ(ba, bb) << what << ": element " << i << " differs ("
+                      << pa[i] << " vs " << pb[i] << ")";
+  }
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+}  // namespace testing
+}  // namespace gmreg
