@@ -1,0 +1,242 @@
+// Open-loop serving storm — the latency/throughput knee of the HTTP front
+// door (docs/LOAD_TESTING.md). Paced client threads offer a fixed QPS to
+// the real epoll server over loopback sockets, sweeping the offered rate
+// past saturation, in two transport modes:
+//
+//   keepalive  one persistent connection per client (the event loop's
+//              intended operating point)
+//   close      a fresh connection per request (the old thread-per-
+//              connection behavior: every response was Connection: close)
+//
+// Latency is measured from each request's *scheduled* send time, not the
+// actual one, so queueing delay from falling behind the pace is charged to
+// the server (coordinated-omission correction). A mode's ladder stops one
+// level after achieved throughput drops below 70% of offered — that level
+// is past the knee. Results go to BENCH_serve_storm.json.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "io/checkpoint.h"
+#include "serve/server.h"
+#include "util/json_writer.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace gmreg;
+
+struct LevelResult {
+  double offered_qps = 0.0;
+  double achieved_qps = 0.0;  ///< completed 200s per second of wall time
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  std::int64_t ok = 0;
+  std::int64_t shed = 0;    ///< 429 responses (with Retry-After)
+  std::int64_t errors = 0;  ///< transport failures / unexpected statuses
+};
+
+double Percentile(std::vector<double>* samples, double q) {
+  if (samples->empty()) return 0.0;
+  auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(samples->size() - 1));
+  std::nth_element(samples->begin(),
+                   samples->begin() + static_cast<std::ptrdiff_t>(idx),
+                   samples->end());
+  return (*samples)[idx];
+}
+
+/// One paced load level: `clients` threads each offer qps/clients for
+/// `seconds`, measuring from scheduled send times.
+LevelResult RunLevel(int port, bool keepalive, double offered_qps,
+                     int clients, double seconds,
+                     const std::string& predict_body) {
+  using clock = std::chrono::steady_clock;
+  LevelResult result;
+  result.offered_qps = offered_qps;
+  std::vector<std::vector<double>> latency_ms(
+      static_cast<std::size_t>(clients));
+  std::vector<std::int64_t> ok(static_cast<std::size_t>(clients), 0);
+  std::vector<std::int64_t> shed(static_cast<std::size_t>(clients), 0);
+  std::vector<std::int64_t> errors(static_cast<std::size_t>(clients), 0);
+
+  auto bench_start = clock::now();
+  auto bench_end =
+      bench_start + std::chrono::duration_cast<clock::duration>(
+                        std::chrono::duration<double>(seconds));
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      double per_client = offered_qps / static_cast<double>(clients);
+      auto interval = std::chrono::duration_cast<clock::duration>(
+          std::chrono::duration<double>(1.0 / per_client));
+      HttpClient client(port);
+      std::size_t ci = static_cast<std::size_t>(c);
+      // Stagger the start so the client threads do not fire in phase.
+      auto next = bench_start + interval * c / clients;
+      while (next < bench_end) {
+        std::this_thread::sleep_until(next);
+        int status = 0;
+        std::string body;
+        Status st;
+        if (keepalive) {
+          st = client.Request("POST", "/v1/predict", predict_body, &status,
+                              &body);
+        } else {
+          st = HttpRequest(port, "POST", "/v1/predict", predict_body,
+                           &status, &body);
+        }
+        double ms = std::chrono::duration_cast<
+                        std::chrono::duration<double, std::milli>>(
+                        clock::now() - next)
+                        .count();
+        if (st.ok() && status == 200) {
+          ok[ci] += 1;
+          latency_ms[ci].push_back(ms);
+        } else if (st.ok() && status == 429) {
+          shed[ci] += 1;
+        } else {
+          errors[ci] += 1;
+          client.Close();  // reconnect after a transport error
+        }
+        next += interval;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  double elapsed = std::chrono::duration_cast<std::chrono::duration<double>>(
+                       clock::now() - bench_start)
+                       .count();
+
+  std::vector<double> merged;
+  for (std::size_t c = 0; c < latency_ms.size(); ++c) {
+    merged.insert(merged.end(), latency_ms[c].begin(), latency_ms[c].end());
+    result.ok += ok[c];
+    result.shed += shed[c];
+    result.errors += errors[c];
+  }
+  result.achieved_qps = static_cast<double>(result.ok) / elapsed;
+  result.p50_ms = Percentile(&merged, 0.50);
+  result.p95_ms = Percentile(&merged, 0.95);
+  result.p99_ms = Percentile(&merged, 0.99);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Serving storm: offered-QPS sweep to the latency/throughput knee",
+      "Open-loop paced clients vs the epoll HTTP server, keep-alive vs "
+      "close-per-request.");
+
+  // A deliberately small model (mlp:16:32:4) so the connection/transport
+  // cost — the thing this bench isolates — dominates the forward pass.
+  ModelSpec spec;
+  GMREG_CHECK(ParseModelSpec("mlp:16:32:4", &spec).ok());
+  std::unique_ptr<Layer> net = spec.factory();
+  std::vector<ParamRef> params;
+  net->CollectParams(&params);
+  TrainingCheckpoint ckpt;
+  ckpt.epoch = 1;
+  ckpt.learning_rate = 0.01;
+  for (const ParamRef& p : params) {
+    ckpt.param_names.push_back(p.name);
+    ckpt.params.push_back(*p.value);
+    ckpt.velocity.push_back(Tensor(p.value->shape()));
+  }
+  const std::string path = "bench_serve_storm.gmckpt";
+  GMREG_CHECK(SaveCheckpoint(ckpt, path).ok());
+  ModelRegistry registry(path);
+  GMREG_CHECK(registry.Reload().ok());
+
+  ServerOptions options;
+  options.port = 0;
+  options.batcher.max_batch_size = 16;
+  // No artificial batch-fill delay: with it, the ~1ms latency floor it
+  // imposes — not the transport — would set the knee for both modes.
+  options.batcher.max_delay_ms = 0;
+  options.batcher.num_workers = 2;
+  options.batcher.max_queue_depth = 256;
+  options.num_handler_threads = 8;
+  Server server(&registry, spec, options);
+  GMREG_CHECK(server.Start().ok());
+
+  std::string predict_body;
+  {
+    Rng rng(7);
+    JsonWriter w;
+    w.BeginObject().Key("input").BeginArray();
+    for (int j = 0; j < 16; ++j) w.Double(rng.NextGaussian());
+    w.EndArray().EndObject();
+    predict_body = w.str();
+  }
+
+  const int kClients = 16;
+  const double seconds_per_level = ScalePick(0.3, 1.0, 2.5);
+  const std::vector<double> ladder = {500,  1000,  2000,  4000, 8000,
+                                      16000, 32000, 64000, 128000};
+
+  TablePrinter table({"mode", "offered qps", "achieved qps", "p50 ms",
+                      "p95 ms", "p99 ms", "shed", "errors"});
+  bench::JsonSummary summary("serve_storm", "mlp-16-32-4-loopback");
+  summary.AddInt("clients", kClients);
+  summary.Add("seconds_per_level", seconds_per_level);
+
+  double knee_qps[2] = {0.0, 0.0};  // [close, keepalive]
+  for (bool keepalive : {false, true}) {
+    const char* mode = keepalive ? "keepalive" : "close";
+    std::vector<double> offered, achieved, p50, p95, p99, shed_counts;
+    for (double qps : ladder) {
+      LevelResult r = RunLevel(server.port(), keepalive, qps, kClients,
+                               seconds_per_level, predict_body);
+      table.AddRow({mode, StrFormat("%.0f", r.offered_qps),
+                    StrFormat("%.0f", r.achieved_qps),
+                    StrFormat("%.2f", r.p50_ms), StrFormat("%.2f", r.p95_ms),
+                    StrFormat("%.2f", r.p99_ms), std::to_string(r.shed),
+                    std::to_string(r.errors)});
+      offered.push_back(r.offered_qps);
+      achieved.push_back(r.achieved_qps);
+      p50.push_back(r.p50_ms);
+      p95.push_back(r.p95_ms);
+      p99.push_back(r.p99_ms);
+      shed_counts.push_back(static_cast<double>(r.shed));
+      knee_qps[keepalive ? 1 : 0] =
+          std::max(knee_qps[keepalive ? 1 : 0], r.achieved_qps);
+      // One level past the knee is enough: the ladder has shown both the
+      // linear region and the plateau.
+      if (r.achieved_qps < 0.7 * r.offered_qps) break;
+    }
+    std::string prefix = std::string(mode) + ".";
+    summary.AddList(prefix + "offered_qps", offered);
+    summary.AddList(prefix + "achieved_qps", achieved);
+    summary.AddList(prefix + "p50_ms", p50);
+    summary.AddList(prefix + "p95_ms", p95);
+    summary.AddList(prefix + "p99_ms", p99);
+    summary.AddList(prefix + "shed", shed_counts);
+  }
+  table.Print(std::cout);
+
+  double speedup = knee_qps[0] > 0.0 ? knee_qps[1] / knee_qps[0] : 0.0;
+  std::printf("\nknee: close-per-request %.0f qps, keep-alive %.0f qps "
+              "(%.2fx)\n",
+              knee_qps[0], knee_qps[1], speedup);
+  summary.Add("knee.close_qps", knee_qps[0]);
+  summary.Add("knee.keepalive_qps", knee_qps[1]);
+  summary.Add("knee.keepalive_speedup", speedup);
+  summary.Write();
+
+  server.Stop();
+  std::remove(path.c_str());
+  std::remove(PreviousCheckpointPath(path).c_str());
+  return 0;
+}

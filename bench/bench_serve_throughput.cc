@@ -52,7 +52,7 @@ int main() {
   const int batch_sizes[] = {1, 4, 16, 64};
 
   TablePrinter table({"max_batch", "workers", "requests/s", "mean batch",
-                      "p50 ms", "p95 ms"});
+                      "p50 ms", "p95 ms", "p99 ms"});
   bench::JsonSummary summary("serve_throughput", "mlp-64-128-8");
   summary.AddInt("clients", kClients);
   summary.AddInt("requests_per_client", requests_per_client);
@@ -125,6 +125,7 @@ int main() {
       };
       double p50_ms = percentile(0.50);
       double p95_ms = percentile(0.95);
+      double p99_ms = percentile(0.99);
 
       double total = static_cast<double>(kClients) * requests_per_client;
       double rps = total / elapsed;
@@ -135,10 +136,12 @@ int main() {
                                       : 0.0;
       table.AddRow({std::to_string(max_batch), std::to_string(workers),
                     StrFormat("%.0f", rps), StrFormat("%.1f", mean_batch),
-                    StrFormat("%.3f", p50_ms), StrFormat("%.3f", p95_ms)});
+                    StrFormat("%.3f", p50_ms), StrFormat("%.3f", p95_ms),
+                    StrFormat("%.3f", p99_ms)});
       summary.Add(StrFormat("rps.w%d.b%d", workers, max_batch), rps);
       summary.Add(StrFormat("p50_ms.w%d.b%d", workers, max_batch), p50_ms);
       summary.Add(StrFormat("p95_ms.w%d.b%d", workers, max_batch), p95_ms);
+      summary.Add(StrFormat("p99_ms.w%d.b%d", workers, max_batch), p99_ms);
     }
   }
   table.Print(std::cout);

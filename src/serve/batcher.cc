@@ -1,6 +1,7 @@
 #include "serve/batcher.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "util/logging.h"
@@ -99,6 +100,27 @@ Status Batcher::Predict(const Tensor& example, Reply* reply) {
 std::int64_t Batcher::queue_depth() const {
   std::lock_guard<std::mutex> lock(mu_);
   return static_cast<std::int64_t>(queue_.size());
+}
+
+int Batcher::RetryAfterSeconds() const {
+  std::int64_t depth;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    depth = static_cast<std::int64_t>(queue_.size());
+  }
+  Histogram::Snapshot predict = predict_time_->snapshot();
+  double per_batch =
+      predict.count > 0 ? predict.sum / static_cast<double>(predict.count)
+                        : 0.02;  // nothing measured yet: assume 20ms
+  // Batches left in the queue, plus one likely in flight per worker.
+  double batches =
+      std::ceil(static_cast<double>(depth) /
+                static_cast<double>(options_.max_batch_size)) +
+      static_cast<double>(options_.num_workers);
+  double seconds =
+      batches * per_batch / static_cast<double>(options_.num_workers);
+  return static_cast<int>(
+      std::clamp(std::ceil(seconds), 1.0, 30.0));
 }
 
 std::vector<Batcher::Request*> Batcher::TakeBatchLocked() {

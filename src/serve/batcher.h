@@ -101,6 +101,13 @@ class Batcher {
   /// gm.serve.queue_depth).
   std::int64_t queue_depth() const;
 
+  /// Advice for a 429 Retry-After header: how many seconds until the
+  /// current queue should have drained, estimated from the observed mean
+  /// batch predict time (gm.serve.batch_predict_seconds), the queue depth,
+  /// and the worker count. Clamped to [1, 30]; 1 when nothing has been
+  /// measured yet.
+  int RetryAfterSeconds() const;
+
   const BatcherOptions& options() const { return options_; }
 
  private:

@@ -16,6 +16,15 @@
 # Tokens containing glob/placeholder characters (`*`, `<`, `{`) never match
 # the patterns, so `BENCH_<name>.json` or `bench_*` are not flagged; paths
 # under build/ are intentionally out of scope.
+#
+# Metric instrument names are checked too: a backticked `gm.*` /
+# `trainer.*` / `parallel.*` token must appear verbatim in the sources
+# (after stripping the snapshot-derived `.p50/.p95/.p99/.count/.sum/
+# .min/.max` suffixes), so the docs/OBSERVABILITY.md catalog and the
+# per-doc metric tables cannot drift from the registered instruments.
+# Wildcard/placeholder spellings (`gm.serve.*`, `gm.serve.endpoint.<name>
+# .latency_seconds`) contain characters outside the token alphabet and
+# are skipped, same as for paths.
 
 if(NOT DEFINED GMREG_REPO_ROOT)
   message(FATAL_ERROR "pass -DGMREG_REPO_ROOT=<repo root>")
@@ -29,6 +38,7 @@ endif()
 set(errors "")
 set(path_refs 0)
 set(gmreg_tokens "")
+set(metric_tokens "")
 
 foreach(doc IN LISTS doc_files)
   file(READ "${doc}" text)
@@ -73,6 +83,19 @@ foreach(doc IN LISTS doc_files)
   # --- GMREG_* switches ----------------------------------------------------
   string(REGEX MATCHALL "GMREG_[A-Z_]+[A-Z]" tokens "${text}")
   list(APPEND gmreg_tokens ${tokens})
+
+  # --- metric instrument names ---------------------------------------------
+  # Only fully-literal backticked names participate; `gm.serve.*` and
+  # `gm.serve.endpoint.<name>...` placeholders fail the character class.
+  string(REGEX MATCHALL "`(gm|trainer|parallel)\\.[A-Za-z0-9_.]+`"
+         mtokens "${text}")
+  foreach(tok IN LISTS mtokens)
+    string(REPLACE "`" "" tok "${tok}")
+    # Snapshot records derive .p50/.count/... fields from the base
+    # instrument; the base name is what the registry knows.
+    string(REGEX REPLACE "\\.(p50|p95|p99|count|sum|min|max)$" "" tok "${tok}")
+    list(APPEND metric_tokens "${tok}")
+  endforeach()
 endforeach()
 
 # Every GMREG_* name the docs mention must be defined somewhere in the
@@ -96,8 +119,20 @@ foreach(token IN LISTS gmreg_tokens)
   endif()
 endforeach()
 
+# Every literal metric name the docs mention must be registered (i.e.
+# appear as a string) somewhere in the same source set.
+list(REMOVE_DUPLICATES metric_tokens)
+foreach(token IN LISTS metric_tokens)
+  string(FIND "${all_sources}" "\"${token}\"" pos)
+  if(pos EQUAL -1)
+    list(APPEND errors
+         "docs mention metric '${token}' but no source registers that instrument name")
+  endif()
+endforeach()
+
 list(LENGTH doc_files num_docs)
 list(LENGTH gmreg_tokens num_tokens)
+list(LENGTH metric_tokens num_metrics)
 if(errors)
   foreach(e IN LISTS errors)
     message(SEND_ERROR "docs_check: ${e}")
@@ -105,5 +140,6 @@ if(errors)
   message(FATAL_ERROR "docs_check failed")
 endif()
 message(STATUS
-        "docs_check: ${num_docs} docs, ${path_refs} path references and "
-        "${num_tokens} GMREG_* switches all resolve")
+        "docs_check: ${num_docs} docs, ${path_refs} path references, "
+        "${num_tokens} GMREG_* switches and ${num_metrics} metric names "
+        "all resolve")

@@ -52,6 +52,13 @@ void Usage(const char* argv0) {
       "  --delay-ms=N       max batching delay in ms (default 2)\n"
       "  --workers=N        inference worker threads (default 2)\n"
       "  --poll-ms=N        checkpoint watch interval, 0 = off (default 500)\n"
+      "  --idle-timeout-ms=N  close idle keep-alive connections after N ms\n"
+      "                     (default 10000)\n"
+      "  --max-conns=N      reject connections past this cap with 503\n"
+      "                     (default 1024)\n"
+      "  --handlers=N       request handler threads (default 8)\n"
+      "  --slo-ms=X         per-request latency objective for the\n"
+      "                     gm.serve.endpoint.* SLO counters (default 250)\n"
       "  --train-demo       train a demo MLP first and write --checkpoint\n",
       argv0);
 }
@@ -116,6 +123,11 @@ int Main(int argc, char** argv) {
   BatcherOptions batcher;
   batcher.num_workers = 2;
   int poll_ms = 500;
+  ServerOptions server_defaults;
+  int idle_timeout_ms = server_defaults.idle_timeout_ms;
+  int max_conns = server_defaults.max_connections;
+  int handlers = server_defaults.num_handler_threads;
+  double slo_ms = server_defaults.slo_ms;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (FlagValue(arg, "--checkpoint", &value)) {
@@ -132,6 +144,14 @@ int Main(int argc, char** argv) {
       batcher.num_workers = std::atoi(value.c_str());
     } else if (FlagValue(arg, "--poll-ms", &value)) {
       poll_ms = std::atoi(value.c_str());
+    } else if (FlagValue(arg, "--idle-timeout-ms", &value)) {
+      idle_timeout_ms = std::atoi(value.c_str());
+    } else if (FlagValue(arg, "--max-conns", &value)) {
+      max_conns = std::atoi(value.c_str());
+    } else if (FlagValue(arg, "--handlers", &value)) {
+      handlers = std::atoi(value.c_str());
+    } else if (FlagValue(arg, "--slo-ms", &value)) {
+      slo_ms = std::atof(value.c_str());
     } else if (std::strcmp(arg, "--train-demo") == 0) {
       train_demo = true;
     } else {
@@ -168,6 +188,10 @@ int Main(int argc, char** argv) {
   options.port = port;
   options.batcher = batcher;
   options.reload_poll_ms = poll_ms;
+  options.idle_timeout_ms = idle_timeout_ms;
+  options.max_connections = max_conns;
+  options.num_handler_threads = handlers;
+  options.slo_ms = slo_ms;
   Server server(&registry, spec, options);
   st = server.Start();
   if (!st.ok()) {
