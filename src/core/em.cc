@@ -131,21 +131,36 @@ void EStepDispatch(const GaussianMixture& gm, const T* w, std::int64_t n,
     EStepImpl(gm, w, n, greg_out, stats);
     return;
   }
-  std::vector<GmSuffStats> shard_stats;
+  // Persistent per-caller shard accumulators: the stats-carrying E-step
+  // runs inside every training step (GmRegularizer::UptGmParam), so the
+  // steady state must not allocate. Reset() reuses the inner vectors'
+  // capacity; EStep never nests (workers run EStepImpl directly), so the
+  // caller's buffer is never re-entered.
+  thread_local std::vector<GmSuffStats> shard_stats;
+  // Hoisted data pointer: a thread_local named inside the worker lambda
+  // would re-resolve to each worker's own (empty) vector, so the workers
+  // must go through the caller's pointer instead.
+  GmSuffStats* shard_ptr = nullptr;
   if (stats != nullptr) {
     GMREG_CHECK_EQ(static_cast<int>(stats->resp_sum.size()),
                    gm.num_components());
-    shard_stats.resize(static_cast<std::size_t>(shards));
-    for (GmSuffStats& s : shard_stats) s.Reset(gm.num_components());
+    if (static_cast<int>(shard_stats.size()) < shards) {
+      shard_stats.resize(static_cast<std::size_t>(shards));
+    }
+    for (int s = 0; s < shards; ++s) {
+      shard_stats[static_cast<std::size_t>(s)].Reset(gm.num_components());
+    }
+    shard_ptr = shard_stats.data();
   }
   RunShards(shards, 0, n, [&](int s, std::int64_t b, std::int64_t e) {
     EStepImpl(gm, w + b, e - b,
               greg_out == nullptr ? nullptr : greg_out + b,
-              stats == nullptr ? nullptr
-                               : &shard_stats[static_cast<std::size_t>(s)]);
+              shard_ptr == nullptr ? nullptr : shard_ptr + s);
   });
   if (stats != nullptr) {
-    for (const GmSuffStats& s : shard_stats) stats->Merge(s);
+    for (int s = 0; s < shards; ++s) {
+      stats->Merge(shard_stats[static_cast<std::size_t>(s)]);
+    }
   }
 }
 
@@ -167,8 +182,12 @@ void MStep(const GmSuffStats& stats, const GmHyperParams& hyper,
   GMREG_CHECK_EQ(static_cast<int>(stats.resp_sum.size()), kk);
   GMREG_CHECK_EQ(static_cast<int>(hyper.alpha.size()), kk);
   GMREG_CHECK_GT(stats.count, 0);
-  std::vector<double> pi(static_cast<std::size_t>(kk));
-  std::vector<double> lambda(static_cast<std::size_t>(kk));
+  // K <= 64 everywhere (EStepImpl enforces it), so the updated parameters
+  // fit on the stack and the per-step M-step stays allocation-free; the
+  // arithmetic below is unchanged from the vector version.
+  GMREG_CHECK_LE(kk, 64);
+  double pi[64];
+  double lambda[64];
   double m_total = static_cast<double>(stats.count);
   double pi_denom = m_total + hyper.AlphaSumMinusK();
   GMREG_CHECK_GT(pi_denom, 0.0);
@@ -185,8 +204,8 @@ void MStep(const GmSuffStats& stats, const GmHyperParams& hyper,
     pi[ks] = std::max(p, bounds.pi_floor);
     pi_sum += pi[ks];
   }
-  for (double& p : pi) p /= pi_sum;
-  gm->Set(std::move(pi), std::move(lambda));
+  for (int k = 0; k < kk; ++k) pi[static_cast<std::size_t>(k)] /= pi_sum;
+  gm->SetFromArrays(pi, lambda, kk);
 }
 
 GaussianMixture FitZeroMeanGm(const std::vector<double>& values,

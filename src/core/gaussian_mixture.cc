@@ -96,6 +96,15 @@ void GaussianMixture::Set(std::vector<double> pi, std::vector<double> lambda) {
   RefreshLogCoefficients();
 }
 
+void GaussianMixture::SetFromArrays(const double* pi, const double* lambda,
+                                    int k) {
+  GMREG_CHECK_GE(k, 1);
+  pi_.assign(pi, pi + k);
+  lambda_.assign(lambda, lambda + k);
+  Validate();
+  RefreshLogCoefficients();
+}
+
 void GaussianMixture::Validate() {
   GMREG_CHECK_GE(pi_.size(), 1u);
   GMREG_CHECK_EQ(pi_.size(), lambda_.size());

@@ -58,6 +58,13 @@ class GaussianMixture {
   /// Replaces the parameters (revalidates; renormalizes pi).
   void Set(std::vector<double> pi, std::vector<double> lambda);
 
+  /// In-place variant of Set for the per-step M-step (core/em.cc): copies
+  /// from caller-owned arrays into the existing vectors (capacity reuse, so
+  /// a same-K update performs zero allocations) and then runs the exact
+  /// Validate + RefreshLogCoefficients sequence Set runs — results are
+  /// bitwise identical to the Set path.
+  void SetFromArrays(const double* pi, const double* lambda, int k);
+
   /// Mixture probability density at x.
   double Density(double x) const;
 

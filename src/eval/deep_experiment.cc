@@ -1,5 +1,7 @@
 #include "eval/deep_experiment.h"
 
+#include <algorithm>
+
 #include "core/merge.h"
 #include "data/batch.h"
 #include "models/alex_cifar10.h"
@@ -93,10 +95,15 @@ DeepExperimentResult RunDeepExperiment(const CifarLikePair& data,
   BatchIterator batches(n, options.batch_size, &rng);
   Trainer::BatchFn next_batch = [&](Tensor* input, std::vector<int>* labels) {
     const std::vector<int>& idx = batches.Next();
-    std::vector<std::int64_t> shape = {
-        static_cast<std::int64_t>(idx.size()), data.train.channels(),
-        data.train.height(), data.train.width()};
-    if (input->shape() != shape) *input = Tensor(shape);
+    // Shape compare without materializing a vector: this runs every batch
+    // and the steady state must not allocate (docs/MEMORY.md).
+    const std::int64_t want[4] = {static_cast<std::int64_t>(idx.size()),
+                                  data.train.channels(), data.train.height(),
+                                  data.train.width()};
+    const std::vector<std::int64_t>& cur = input->shape();
+    if (cur.size() != 4 || !std::equal(want, want + 4, cur.begin())) {
+      *input = Tensor({want[0], want[1], want[2], want[3]});
+    }
     GatherImageBatch(data.train, idx, augment, /*pad=*/2, &rng, input,
                      labels);
   };

@@ -8,6 +8,30 @@
 #include "util/parallel.h"
 
 namespace gmreg {
+namespace {
+
+// Shrink-or-plan scratch shaping: EnsureShape alone would keep a buffer
+// sized for the largest batch ever seen. When the retained capacity is more
+// than twice what the new shape needs, drop the buffer and reallocate at
+// the planned size (a shape change is a planning step, so the reallocation
+// is not on the steady-state path).
+void PlanScratch(std::initializer_list<std::int64_t> shape, Tensor* t) {
+  const std::vector<std::int64_t>& cur = t->shape();
+  if (cur.size() == shape.size() &&
+      std::equal(shape.begin(), shape.end(), cur.begin())) {
+    return;
+  }
+  std::int64_t need = 1;
+  for (std::int64_t d : shape) need *= d;
+  if (t->capacity() > 2 * need) {
+    // Drop the oversized buffer so the reallocation below starts fresh
+    // instead of keeping the old high-water block alive.
+    *t = Tensor();
+  }
+  *t = Tensor(shape);
+}
+
+}  // namespace
 
 Conv2d::Conv2d(std::string name, std::int64_t in_channels,
                std::int64_t out_channels, int kernel, int stride, int padding,
@@ -112,17 +136,23 @@ void Conv2d::Forward(const Tensor& in, Tensor* out, bool train) {
   int shards = ComputeNumShards(b, /*grain=*/1, ResolveNumThreads(0));
   if (shards <= 1 || InParallelRegion()) {
     shard_cols_.resize(1);
-    EnsureShape({patch, cols}, &shard_cols_[0]);
+    PlanScratch({patch, cols}, &shard_cols_[0]);
     for (std::int64_t i = 0; i < b; ++i) forward_one(i, &shard_cols_[0]);
   } else {
     shard_cols_.resize(static_cast<std::size_t>(shards));
     RunShards(shards, 0, b, [&](int s, std::int64_t b0, std::int64_t b1) {
       Tensor* col = &shard_cols_[static_cast<std::size_t>(s)];
-      EnsureShape({patch, cols}, col);
+      PlanScratch({patch, cols}, col);
       for (std::int64_t i = b0; i < b1; ++i) forward_one(i, col);
     });
   }
-  if (train) cached_in_ = in;
+  if (train) {
+    // Copy-assign reuses capacity, which would otherwise pin the largest
+    // batch ever seen for the rest of the run; drop the buffer first when
+    // it is more than twice the new batch's need.
+    if (cached_in_.capacity() > 2 * in.size()) cached_in_ = Tensor();
+    cached_in_ = in;
+  }
 }
 
 void Conv2d::Backward(const Tensor& grad_out, Tensor* grad_in) {
@@ -147,8 +177,8 @@ void Conv2d::Backward(const Tensor& grad_out, Tensor* grad_in) {
   bwd_scratch_.resize(static_cast<std::size_t>(chunks));
   auto backward_chunk = [&](int s, std::int64_t b0, std::int64_t b1) {
     BwdScratch& scratch = bwd_scratch_[static_cast<std::size_t>(s)];
-    EnsureShape({patch, cols}, &scratch.col);
-    EnsureShape({patch, cols}, &scratch.gcol);
+    PlanScratch({patch, cols}, &scratch.col);
+    PlanScratch({patch, cols}, &scratch.gcol);
     EnsureShape(weight_grad_.shape(), &scratch.wgrad);
     EnsureShape(bias_grad_.shape(), &scratch.bgrad);
     scratch.wgrad.SetZero();

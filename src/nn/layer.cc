@@ -1,5 +1,7 @@
 #include "nn/layer.h"
 
+#include <algorithm>
+
 namespace gmreg {
 
 void Layer::CollectParams(std::vector<ParamRef>* out) { (void)out; }
@@ -8,6 +10,15 @@ void Layer::EnsureShape(const std::vector<std::int64_t>& shape, Tensor* t) {
   if (t->shape() != shape) {
     *t = Tensor(shape);
   }
+}
+
+void Layer::EnsureShape(std::initializer_list<std::int64_t> shape, Tensor* t) {
+  const std::vector<std::int64_t>& cur = t->shape();
+  if (cur.size() == shape.size() &&
+      std::equal(shape.begin(), shape.end(), cur.begin())) {
+    return;
+  }
+  *t = Tensor(shape);
 }
 
 }  // namespace gmreg

@@ -71,6 +71,11 @@ class Layer {
 
   /// Reallocates `*t` to `shape` unless it already matches.
   static void EnsureShape(const std::vector<std::int64_t>& shape, Tensor* t);
+  /// Braced-list overload: call sites like EnsureShape({b, n}, t) compare
+  /// against the current shape without materializing a vector, so the
+  /// steady-state match path performs zero allocations.
+  static void EnsureShape(std::initializer_list<std::int64_t> shape,
+                          Tensor* t);
 
  private:
   std::string name_;

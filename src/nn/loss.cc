@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "tensor/tensor_ops.h"
+#include "util/arena.h"
 #include "util/logging.h"
 
 namespace gmreg {
@@ -35,19 +36,22 @@ double SoftmaxCrossEntropy::ForwardBackward(const Tensor& logits,
   if (grad_logits->shape() != logits.shape()) {
     *grad_logits = Tensor(logits.shape());
   }
-  std::vector<double> probs(static_cast<std::size_t>(c));
+  // Per-thread row scratch: ForwardBackward runs every training step, so
+  // the steady state must not allocate (docs/MEMORY.md).
+  thread_local ScratchBuffer<double> probs_buf;
+  double* probs = probs_buf.EnsureCapacity(static_cast<std::size_t>(c));
   double total = 0.0;
   float* gp = grad_logits->data();
   double inv_b = 1.0 / static_cast<double>(b);
   for (std::int64_t i = 0; i < b; ++i) {
     const float* row = logits.data() + i * c;
-    SoftmaxRow(row, c, probs.data());
+    SoftmaxRow(row, c, probs);
     int y = labels[static_cast<std::size_t>(i)];
     GMREG_CHECK_GE(y, 0);
     GMREG_CHECK_LT(y, c);
-    total += -std::log(std::max(probs[static_cast<std::size_t>(y)], 1e-300));
+    total += -std::log(std::max(probs[y], 1e-300));
     for (std::int64_t j = 0; j < c; ++j) {
-      double g = probs[static_cast<std::size_t>(j)] - (j == y ? 1.0 : 0.0);
+      double g = probs[j] - (j == y ? 1.0 : 0.0);
       gp[i * c + j] = static_cast<float>(g * inv_b);
     }
   }
@@ -60,12 +64,13 @@ double SoftmaxCrossEntropy::Loss(const Tensor& logits,
   std::int64_t b = logits.dim(0);
   std::int64_t c = logits.dim(1);
   GMREG_CHECK_EQ(static_cast<std::int64_t>(labels.size()), b);
-  std::vector<double> probs(static_cast<std::size_t>(c));
+  thread_local ScratchBuffer<double> probs_buf;
+  double* probs = probs_buf.EnsureCapacity(static_cast<std::size_t>(c));
   double total = 0.0;
   for (std::int64_t i = 0; i < b; ++i) {
-    SoftmaxRow(logits.data() + i * c, c, probs.data());
+    SoftmaxRow(logits.data() + i * c, c, probs);
     int y = labels[static_cast<std::size_t>(i)];
-    total += -std::log(std::max(probs[static_cast<std::size_t>(y)], 1e-300));
+    total += -std::log(std::max(probs[y], 1e-300));
   }
   return total / static_cast<double>(b);
 }

@@ -11,6 +11,13 @@ Layer* Sequential::Add(std::unique_ptr<Layer> layer) {
 
 void Sequential::Forward(const Tensor& in, Tensor* out, bool train) {
   GMREG_CHECK(!layers_.empty()) << "empty Sequential '" << name() << "'";
+  // First batch of a new shape: plan — size the whole activation chain into
+  // the arena. When a caller (Trainer::Step, InferenceSession::Predict)
+  // already installed a scope this nests harmlessly onto the same arena and
+  // does not double-count the rebuild.
+  bool replan = plan_.Update(in.shape().data(), in.rank());
+  if (replan && Arena::Current() == nullptr) RecordArenaPlanRebuild();
+  ArenaScope plan_scope(replan ? &GlobalArena() : nullptr);
   acts_.resize(layers_.size());
   const Tensor* current = &in;
   for (std::size_t i = 0; i + 1 < layers_.size(); ++i) {
@@ -22,14 +29,11 @@ void Sequential::Forward(const Tensor& in, Tensor* out, bool train) {
 
 void Sequential::Backward(const Tensor& grad_out, Tensor* grad_in) {
   const Tensor* current = &grad_out;
-  // Ping-pong between two scratch tensors walking the chain backwards.
-  Tensor* bufs[2] = {&scratch_a_, &scratch_b_};
-  int which = 0;
+  grads_.resize(layers_.size());
   for (std::size_t i = layers_.size(); i-- > 1;) {
-    Tensor* next = bufs[which];
+    Tensor* next = &grads_[i];
     layers_[i]->Backward(*current, next);
     current = next;
-    which ^= 1;
   }
   layers_[0]->Backward(*current, grad_in);
 }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "nn/layer.h"
+#include "util/arena.h"
 
 namespace gmreg {
 
@@ -36,8 +37,15 @@ class Sequential : public Layer {
  private:
   std::vector<std::unique_ptr<Layer>> layers_;
   std::vector<Tensor> acts_;   // acts_[i]: output of layers_[i] (except last)
-  Tensor scratch_a_;
-  Tensor scratch_b_;
+  // grads_[i]: gradient flowing out of layers_[i]'s Backward. One buffer
+  // per layer (not a ping-pong pair) so each buffer keeps one stable shape
+  // across batches — EnsureShape then never reallocates in steady state.
+  std::vector<Tensor> grads_;
+  // Plan-once shape key: a new input shape re-sizes the activation chain
+  // under an arena planning scope (docs/MEMORY.md); same-shape calls reuse
+  // every buffer without allocating. Nested Sequentials (residual branches)
+  // inherit the outermost scope, so only the outermost records the rebuild.
+  ShapePlan plan_;
 };
 
 }  // namespace gmreg

@@ -140,10 +140,33 @@ Status Trainer::Resume() {
   return Status::Ok();
 }
 
+double Trainer::Step(const Tensor& input, const std::vector<int>& labels) {
+  // Plan-once: the first batch of a new input shape sizes every intermediate
+  // (activations, gradients, im2col panels, E-step scratch) inside an arena
+  // planning scope; same-shape batches find all buffers sized and run
+  // without touching the heap (docs/MEMORY.md).
+  bool replan = step_plan_.Update(input.shape().data(), input.rank());
+  if (replan) RecordArenaPlanRebuild();
+  ArenaScope plan_scope(replan ? &GlobalArena() : nullptr);
+  double scale = 1.0 / static_cast<double>(opts_.num_train_samples);
+  sgd_.ZeroGrad();
+  net_->Forward(input, &logits_, /*train=*/true);
+  double loss =
+      SoftmaxCrossEntropy::ForwardBackward(logits_, labels, &grad_logits_);
+  net_->Backward(grad_logits_, &grad_input_);
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    if (regs_[k] == nullptr) continue;
+    regs_[k]->AccumulateGradient(*params_[k].value, iteration_, epoch_, scale,
+                                 params_[k].grad);
+  }
+  sgd_.Step();
+  ++iteration_;
+  return loss;
+}
+
 std::vector<EpochStats> Trainer::Train(const BatchFn& next_batch,
                                        std::int64_t batches_per_epoch) {
   GMREG_CHECK_GT(batches_per_epoch, 0);
-  double scale = 1.0 / static_cast<double>(opts_.num_train_samples);
   std::vector<EpochStats> stats;
   if (start_epoch_ >= opts_.epochs) {
     GMREG_LOG(Warning) << "checkpoint already covers all " << opts_.epochs
@@ -166,14 +189,12 @@ std::vector<EpochStats> Trainer::Train(const BatchFn& next_batch,
       !opts_.checkpoint_path.empty() && opts_.checkpoint_every > 0;
   FaultInjector& fault = FaultInjector::Global();
   Tensor input;
-  Tensor logits;
-  Tensor grad_logits;
-  Tensor grad_input;
   std::vector<int> labels;
-  std::int64_t iteration = start_iteration_;
+  iteration_ = start_iteration_;
   Stopwatch watch;
   for (int epoch = start_epoch_; epoch < opts_.epochs; ++epoch) {
     ScopedSpan epoch_span("trainer.epoch_seconds");
+    epoch_ = epoch;
     for (const auto& [at_epoch, factor] : opts_.lr_schedule) {
       if (at_epoch == epoch) {
         sgd_.set_learning_rate(sgd_.learning_rate() * factor);
@@ -182,18 +203,7 @@ std::vector<EpochStats> Trainer::Train(const BatchFn& next_batch,
     double loss_sum = 0.0;
     for (std::int64_t b = 0; b < batches_per_epoch; ++b) {
       next_batch(&input, &labels);
-      sgd_.ZeroGrad();
-      net_->Forward(input, &logits, /*train=*/true);
-      loss_sum +=
-          SoftmaxCrossEntropy::ForwardBackward(logits, labels, &grad_logits);
-      net_->Backward(grad_logits, &grad_input);
-      for (std::size_t k = 0; k < params_.size(); ++k) {
-        if (regs_[k] == nullptr) continue;
-        regs_[k]->AccumulateGradient(*params_[k].value, iteration, epoch,
-                                     scale, params_[k].grad);
-      }
-      sgd_.Step();
-      ++iteration;
+      loss_sum += Step(input, labels);
     }
     iterations_counter->Add(batches_per_epoch);
     epochs_counter->Add(1);
@@ -212,7 +222,7 @@ std::vector<EpochStats> Trainer::Train(const BatchFn& next_batch,
                       << " t=" << es.elapsed_seconds << "s";
     }
     if (checkpointing && (epoch + 1) % opts_.checkpoint_every == 0) {
-      Status st = SaveCheckpoint(BuildCheckpoint(epoch + 1, iteration),
+      Status st = SaveCheckpoint(BuildCheckpoint(epoch + 1, iteration_),
                                  opts_.checkpoint_path);
       if (!st.ok()) {
         // Degrade gracefully: a run that cannot checkpoint is still a run.

@@ -11,6 +11,7 @@
 #include "nn/layer.h"
 #include "optim/sgd.h"
 #include "reg/regularizer.h"
+#include "util/arena.h"
 #include "util/rng.h"
 
 namespace gmreg {
@@ -103,6 +104,20 @@ class Trainer {
   /// network/regularizer topology.
   Status Resume();
 
+  /// Runs one SGD step on `input`/`labels` — zero grads, forward, loss
+  /// backward, regularizer gradients, optimizer update — and returns the
+  /// batch loss. This is the unit Train() iterates; it is public so callers
+  /// (and the `alloc` test label) can drive single steps.
+  ///
+  /// Plan-once execution (docs/MEMORY.md): the first batch of a new input
+  /// shape sizes every intermediate under an arena planning scope
+  /// (gm.arena.plan_rebuilds); subsequent same-shape batches reuse those
+  /// buffers and perform zero heap allocations. Outputs are bitwise
+  /// identical either way — the arena only changes where buffers live.
+  /// Iteration/epoch counters for the regularizer schedules advance
+  /// internally (Train() sets the epoch; standalone use stays at epoch 0).
+  double Step(const Tensor& input, const std::vector<int>& labels);
+
   /// Runs epochs [start, opts.epochs) of `batches_per_epoch` iterations
   /// each, where start is 0 for a cold start or the restored epoch cursor
   /// after Resume(). Returns stats for the epochs actually run.
@@ -141,6 +156,14 @@ class Trainer {
   Rng* checkpoint_rng_ = nullptr;  // not owned
   int start_epoch_ = 0;            // set by Resume()
   std::int64_t start_iteration_ = 0;
+  // Step() state: persistent forward/backward buffers (sized once per input
+  // shape) and the shape key of the plan that sized them.
+  Tensor logits_;
+  Tensor grad_logits_;
+  Tensor grad_input_;
+  ShapePlan step_plan_;
+  std::int64_t iteration_ = 0;
+  int epoch_ = 0;
 };
 
 }  // namespace gmreg

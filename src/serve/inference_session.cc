@@ -191,6 +191,11 @@ Status InferenceSession::Predict(const Tensor& in, Tensor* out) {
       GMREG_RETURN_IF_ERROR(Rebind(std::move(current)));
     }
   }
+  // Plan-once: a new input shape sizes the intermediates into the arena;
+  // repeat shapes reuse them allocation-free (docs/MEMORY.md).
+  bool replan = plan_.Update(in.shape().data(), in.rank());
+  if (replan) RecordArenaPlanRebuild();
+  ArenaScope plan_scope(replan ? &GlobalArena() : nullptr);
   net_->Predict(in, out);
   return Status::Ok();
 }

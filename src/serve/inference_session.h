@@ -9,6 +9,7 @@
 
 #include "nn/layer.h"
 #include "serve/model_registry.h"
+#include "util/arena.h"
 #include "util/status.h"
 
 namespace gmreg {
@@ -76,6 +77,12 @@ class InferenceSession {
   std::unique_ptr<Layer> net_;
   std::vector<ParamRef> params_;
   std::shared_ptr<const LoadedModel> bound_;
+  // Plan-once shape key: the first batch of a new shape sizes the network's
+  // intermediates under an arena planning scope; same-shape predicts then
+  // run with zero heap allocations (docs/MEMORY.md). Rebinding to a new
+  // model version does not replan — weights are copied into buffers in
+  // place.
+  ShapePlan plan_;
 };
 
 }  // namespace gmreg

@@ -5,7 +5,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
-#include <vector>
+
+#include "util/arena.h"
 
 namespace gmreg {
 namespace {
@@ -224,20 +225,24 @@ void GemmPackedRows(bool trans_a, std::int64_t i0, std::int64_t i1,
   const KernelOps& ops = GetKernelOps();
   std::int64_t n_round = RoundUpN(n);
   // Per-worker A pack, bounded at MC x KC floats and reused across calls.
-  thread_local std::vector<float> apack;
-  apack.resize(static_cast<std::size_t>(kGemmMC * kGemmKC));
+  // Arena-served (ScratchBuffer) so a pool worker whose first GEMM lands
+  // mid-run sizes it from the slab, not the heap — the zero-alloc contract
+  // must hold whichever workers the ticket race picks (docs/MEMORY.md).
+  thread_local ScratchBuffer<float> apack_buf;
+  float* apack =
+      apack_buf.EnsureCapacity(static_cast<std::size_t>(kGemmMC * kGemmKC));
   for (std::int64_t p0 = 0; p0 < k; p0 += kGemmKC) {
     std::int64_t kc = std::min(kGemmKC, k - p0);
     const float* slab = bp + p0 * n_round;
     for (std::int64_t ic = i0; ic < i1; ic += kGemmMC) {
       std::int64_t mc = std::min(kGemmMC, i1 - ic);
-      PackA(trans_a, a, lda, ic, mc, p0, kc, apack.data());
+      PackA(trans_a, a, lda, ic, mc, p0, kc, apack);
       for (std::int64_t j0 = 0; j0 < n; j0 += kGemmNR) {
         std::int64_t nr = std::min(kGemmNR, n - j0);
         const float* b_tile = slab + (j0 / kGemmNR) * kc * kGemmNR;
         for (std::int64_t r0 = 0; r0 < mc; r0 += kGemmMR) {
           std::int64_t mr = std::min(kGemmMR, mc - r0);
-          const float* a_tile = apack.data() + (r0 / kGemmMR) * kc * kGemmMR;
+          const float* a_tile = apack + (r0 / kGemmMR) * kc * kGemmMR;
           ops.gemm_micro(kc, alpha, a_tile, b_tile,
                          c + (ic + r0) * ldc + j0, ldc, mr, nr,
                          overwrite_first && p0 == 0);

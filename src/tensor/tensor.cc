@@ -13,7 +13,7 @@ std::int64_t ShapeSize(const std::vector<std::int64_t>& shape) {
 
 Tensor::Tensor(std::vector<std::int64_t> shape) : shape_(std::move(shape)) {
   for (std::int64_t d : shape_) GMREG_CHECK_GT(d, 0);
-  data_.assign(static_cast<std::size_t>(ShapeSize(shape_)), 0.0f);
+  data_.AssignZero(static_cast<std::size_t>(ShapeSize(shape_)));
 }
 
 Tensor::Tensor(std::initializer_list<std::int64_t> shape)
@@ -67,12 +67,21 @@ float Tensor::At(std::int64_t i, std::int64_t j, std::int64_t k,
 }
 
 void Tensor::Fill(float value) {
-  std::fill(data_.begin(), data_.end(), value);
+  std::fill(data_.data(), data_.data() + data_.size(), value);
 }
 
-void Tensor::Reshape(std::vector<std::int64_t> shape) {
+void Tensor::Reshape(const std::vector<std::int64_t>& shape) {
   GMREG_CHECK_EQ(ShapeSize(shape), size());
-  shape_ = std::move(shape);
+  // Copy-assign so the member vector's capacity is reused — hot paths
+  // (Flatten::Backward) reshape every batch and must not allocate.
+  shape_ = shape;
+}
+
+void Tensor::Reshape(std::initializer_list<std::int64_t> shape) {
+  std::int64_t total = 1;
+  for (std::int64_t d : shape) total *= d;
+  GMREG_CHECK_EQ(total, size());
+  shape_.assign(shape);
 }
 
 std::string Tensor::ShapeString() const {

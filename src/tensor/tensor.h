@@ -2,13 +2,101 @@
 #define GMREG_TENSOR_TENSOR_H_
 
 #include <cstdint>
+#include <cstring>
 #include <initializer_list>
 #include <string>
 #include <vector>
 
+#include "util/arena.h"
 #include "util/logging.h"
 
 namespace gmreg {
+
+namespace internal {
+
+/// The float buffer under Tensor: vector-like value semantics (size +
+/// capacity; copies reuse existing capacity, so copy-assigning a same-shape
+/// tensor never allocates) with allocation routed through util/arena.h —
+/// inside a planning ArenaScope new buffers land in the arena slab, outside
+/// one they come from the 64-byte-aligned heap tier and count toward
+/// gm.arena.steady_state_allocs. Growth never preserves contents (every
+/// caller overwrites), and arena-backed blocks are abandoned rather than
+/// freed (reclaimed only by Arena::Reset — see docs/MEMORY.md).
+class FloatStore {
+ public:
+  FloatStore() = default;
+  FloatStore(const FloatStore& other) { CopyFrom(other); }
+  FloatStore& operator=(const FloatStore& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  FloatStore(FloatStore&& other) noexcept { MoveFrom(other); }
+  FloatStore& operator=(FloatStore&& other) noexcept {
+    if (this != &other) {
+      Release();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  ~FloatStore() { Release(); }
+
+  float* data() { return ptr_; }
+  const float* data() const { return ptr_; }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return cap_; }
+  bool empty() const { return size_ == 0; }
+
+  float& operator[](std::size_t i) { return ptr_[i]; }
+  float operator[](std::size_t i) const { return ptr_[i]; }
+
+  /// Sizes to `n` and zero-fills — vector::assign(n, 0.0f) semantics,
+  /// reusing capacity when possible.
+  void AssignZero(std::size_t n) {
+    Reserve(n);
+    size_ = n;
+    if (n > 0) std::memset(ptr_, 0, n * sizeof(float));
+  }
+
+ private:
+  void Reserve(std::size_t n) {
+    if (n <= cap_) return;
+    ArenaFreeRaw(ptr_, from_arena_);
+    ptr_ = static_cast<float*>(ArenaAllocRaw(n * sizeof(float), &from_arena_));
+    cap_ = n;
+  }
+
+  void CopyFrom(const FloatStore& other) {
+    Reserve(other.size_);
+    size_ = other.size_;
+    if (size_ > 0) std::memcpy(ptr_, other.ptr_, size_ * sizeof(float));
+  }
+
+  void MoveFrom(FloatStore& other) noexcept {
+    ptr_ = other.ptr_;
+    size_ = other.size_;
+    cap_ = other.cap_;
+    from_arena_ = other.from_arena_;
+    other.ptr_ = nullptr;
+    other.size_ = 0;
+    other.cap_ = 0;
+    other.from_arena_ = false;
+  }
+
+  void Release() {
+    ArenaFreeRaw(ptr_, from_arena_);
+    ptr_ = nullptr;
+    size_ = 0;
+    cap_ = 0;
+    from_arena_ = false;
+  }
+
+  float* ptr_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = 0;
+  bool from_arena_ = false;
+};
+
+}  // namespace internal
 
 /// Dense row-major float32 tensor. This is the numeric workhorse under the
 /// NN substrate: parameters, activations and gradients are all Tensors.
@@ -43,6 +131,11 @@ class Tensor {
   int rank() const { return static_cast<int>(shape_.size()); }
   std::int64_t dim(int i) const;
   std::int64_t size() const { return static_cast<std::int64_t>(data_.size()); }
+  /// Elements the underlying buffer can hold without reallocating — what
+  /// scratch-shrink heuristics (nn/conv.cc) compare against size().
+  std::int64_t capacity() const {
+    return static_cast<std::int64_t>(data_.capacity());
+  }
   bool empty() const { return data_.empty(); }
 
   float* data() { return data_.data(); }
@@ -66,8 +159,11 @@ class Tensor {
   /// Sets every element to zero.
   void SetZero() { Fill(0.0f); }
 
-  /// Reinterprets the shape; total size must be unchanged. O(1).
-  void Reshape(std::vector<std::int64_t> shape);
+  /// Reinterprets the shape; total size must be unchanged. O(1). Both
+  /// overloads reuse the shape vector's capacity — hot paths (Flatten)
+  /// reshape per batch and must not allocate.
+  void Reshape(const std::vector<std::int64_t>& shape);
+  void Reshape(std::initializer_list<std::int64_t> shape);
 
   /// "[2, 3, 4]" — for logging and error messages.
   std::string ShapeString() const;
@@ -77,7 +173,7 @@ class Tensor {
 
  private:
   std::vector<std::int64_t> shape_;
-  std::vector<float> data_;
+  internal::FloatStore data_;
 };
 
 /// Product of dims; 1 for an empty shape.

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
-#include <vector>
 
 #include "tensor/gemm_kernel.h"
+#include "util/arena.h"
 #include "util/metrics.h"
 #include "util/parallel.h"
 
@@ -97,13 +97,16 @@ void Gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
     return;
   }
   // Pack op(B) once into a caller-local buffer shared read-only by every
-  // row shard; each shard packs its own A panels (docs/KERNELS.md).
-  thread_local std::vector<float> bpack;
+  // row shard; each shard packs its own A panels (docs/KERNELS.md). The
+  // buffer is arena-served scratch (grow-only, per thread): conv layers call
+  // Gemm from inside pool workers, and whichever worker packs first must not
+  // touch the heap in steady state (docs/MEMORY.md).
+  thread_local ScratchBuffer<float> bpack;
   std::int64_t b_floats = k * RoundUpN(n);
-  bpack.resize(static_cast<std::size_t>(b_floats));
-  PackB(trans_b, b, ldb, k, n, bpack.data());
+  float* bp_mut = bpack.EnsureCapacity(static_cast<std::size_t>(b_floats));
+  PackB(trans_b, b, ldb, k, n, bp_mut);
   counters.pack_bytes->Add(b_floats * static_cast<std::int64_t>(sizeof(float)));
-  const float* bp = bpack.data();
+  const float* bp = bp_mut;
   // Shard over output rows. Every C element accumulates in the same order
   // whatever the shard boundaries, so results are bitwise identical at any
   // thread budget; inside another parallel region (e.g. the batch-parallel

@@ -1,0 +1,181 @@
+#include "util/arena.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/env.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+
+namespace gmreg {
+namespace {
+
+// Default slab when GMREG_MEM is unset: 256 MB, dynet's historical default.
+// Virtual reservation only — untouched pages cost nothing on Linux.
+constexpr std::size_t kDefaultCapacityBytes = std::size_t{256} << 20;
+
+constexpr std::size_t RoundUpAlign(std::size_t n) {
+  return (n + Arena::kAlignment - 1) & ~(Arena::kAlignment - 1);
+}
+
+thread_local Arena* tls_current_arena = nullptr;
+
+// Arena accounting, surfaced through MetricsRegistry snapshots
+// (docs/OBSERVABILITY.md / docs/MEMORY.md). Cached-pointer pattern: the
+// registry lookup is mutexed, the instruments themselves are atomics.
+struct ArenaCounters {
+  Gauge* bytes_reserved;         ///< slab size actually reserved
+  Gauge* high_water;             ///< peak bytes ever bump-allocated
+  Counter* plan_rebuilds;        ///< shape changes that forced a re-plan
+  Counter* steady_state_allocs;  ///< buffer growth outside a planning scope
+  Counter* fallback_allocs;      ///< slab exhausted -> heap fallback
+};
+
+ArenaCounters& GlobalArenaCounters() {
+  static ArenaCounters counters = [] {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    return ArenaCounters{registry.gauge("gm.arena.bytes_reserved"),
+                         registry.gauge("gm.arena.high_water"),
+                         registry.counter("gm.arena.plan_rebuilds"),
+                         registry.counter("gm.arena.steady_state_allocs"),
+                         registry.counter("gm.arena.fallback_allocs")};
+  }();
+  return counters;
+}
+
+// Heap tier under the arena: 64-byte-aligned operator new, so SIMD kernels
+// see the same alignment whichever tier served the block, and the test-lib
+// operator-new interposer (tests/testutil/alloc_count.h) observes every
+// heap allocation the arena could not absorb.
+void* HeapAllocAligned(std::size_t bytes) {
+  if (bytes == 0) bytes = 1;
+  return ::operator new(bytes, std::align_val_t{Arena::kAlignment});
+}
+
+}  // namespace
+
+Arena::Arena(std::size_t capacity_bytes, bool report_metrics)
+    : capacity_(RoundUpAlign(capacity_bytes)),
+      report_metrics_(report_metrics) {}
+
+Arena::~Arena() {
+  char* slab = slab_.load(std::memory_order_acquire);
+  // The slab comes from std::aligned_alloc, deliberately below operator new:
+  // reserving it must not show up in the interposed allocation counts.
+  std::free(slab);
+}
+
+char* Arena::ReserveSlab() {
+  std::lock_guard<std::mutex> lock(reserve_mu_);
+  char* slab = slab_.load(std::memory_order_acquire);
+  if (slab != nullptr) return slab;
+  if (capacity_ == 0) return nullptr;
+  slab = static_cast<char*>(std::aligned_alloc(kAlignment, capacity_));
+  if (slab == nullptr) {
+    GMREG_LOG(Warning) << "arena: failed to reserve " << capacity_
+                       << " bytes; every allocation will fall back to heap";
+    return nullptr;
+  }
+  if (report_metrics_) {
+    GlobalArenaCounters().bytes_reserved->Set(static_cast<double>(capacity_));
+  }
+  slab_.store(slab, std::memory_order_release);
+  return slab;
+}
+
+void* Arena::TryAllocate(std::size_t bytes) {
+  std::size_t need = RoundUpAlign(bytes == 0 ? 1 : bytes);
+  if (need > capacity_) return nullptr;
+  char* slab = slab_.load(std::memory_order_acquire);
+  if (slab == nullptr) {
+    slab = ReserveSlab();
+    if (slab == nullptr) return nullptr;
+  }
+  std::size_t off = offset_.fetch_add(need, std::memory_order_relaxed);
+  if (off + need > capacity_) return nullptr;  // exhausted; offset stays high
+  std::size_t top = off + need;
+  std::size_t seen = high_water_.load(std::memory_order_relaxed);
+  while (top > seen && !high_water_.compare_exchange_weak(
+                           seen, top, std::memory_order_relaxed)) {
+  }
+  alloc_count_.fetch_add(1, std::memory_order_relaxed);
+  if (report_metrics_) {
+    GlobalArenaCounters().high_water->Set(
+        static_cast<double>(high_water_.load(std::memory_order_relaxed)));
+  }
+  return slab + off;
+}
+
+void Arena::Reset() {
+  offset_.store(0, std::memory_order_relaxed);
+  reset_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool Arena::Owns(const void* p) const {
+  const char* slab = slab_.load(std::memory_order_acquire);
+  if (slab == nullptr || p == nullptr) return false;
+  const char* c = static_cast<const char*>(p);
+  return c >= slab && c < slab + capacity_;
+}
+
+void Arena::RecordFallback() {
+  fallback_count_.fetch_add(1, std::memory_order_relaxed);
+  GlobalArenaCounters().fallback_allocs->Add(1);
+}
+
+Arena* Arena::Current() { return tls_current_arena; }
+
+ArenaScope::ArenaScope(Arena* arena)
+    : prev_(tls_current_arena), installed_(arena != nullptr) {
+  // nullptr is a deliberate no-op: plan sites write
+  // `ArenaScope scope(replan ? &GlobalArena() : nullptr)` and a nested
+  // non-replanning site must not clear an outer planning scope.
+  if (installed_) tls_current_arena = arena;
+}
+
+ArenaScope::~ArenaScope() {
+  if (installed_) tls_current_arena = prev_;
+}
+
+Arena& GlobalArena() {
+  // Leaked on purpose: arena-backed buffers may live in static-duration
+  // objects (thread_local kernel scratch), so the slab must never die first.
+  static Arena* arena = [] {
+    long long env = GetMemEnvBytes();
+    std::size_t cap = env > 0 ? static_cast<std::size_t>(env)
+                              : kDefaultCapacityBytes;
+    return new Arena(cap, /*report_metrics=*/true);
+  }();
+  return *arena;
+}
+
+void* ArenaAllocRaw(std::size_t bytes, bool* from_arena) {
+  return ArenaAllocRawFrom(Arena::Current(), bytes, from_arena);
+}
+
+void* ArenaAllocRawFrom(Arena* arena, std::size_t bytes, bool* from_arena) {
+  if (Arena::Current() == nullptr) {
+    // Outside any planning scope: a flat reading of this counter across a
+    // steady-state window is the "0 allocs" contract the alloc tests gate.
+    GlobalArenaCounters().steady_state_allocs->Add(1);
+  }
+  if (arena != nullptr) {
+    void* p = arena->TryAllocate(bytes);
+    if (p != nullptr) {
+      *from_arena = true;
+      return p;
+    }
+    arena->RecordFallback();
+  }
+  *from_arena = false;
+  return HeapAllocAligned(bytes);
+}
+
+void ArenaFreeRaw(void* p, bool from_arena) {
+  if (p == nullptr || from_arena) return;  // arena blocks die with Reset()
+  ::operator delete(p, std::align_val_t{Arena::kAlignment});
+}
+
+void RecordArenaPlanRebuild() { GlobalArenaCounters().plan_rebuilds->Add(1); }
+
+}  // namespace gmreg

@@ -1,0 +1,209 @@
+#ifndef GMREG_UTIL_ARENA_H_
+#define GMREG_UTIL_ARENA_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <new>
+
+namespace gmreg {
+
+/// Bump allocator backing the zero-allocation steady state (docs/MEMORY.md).
+/// One contiguous slab, reserved lazily on the first allocation, carved out
+/// by an atomic offset bump: allocation is a fetch_add, deallocation does
+/// not exist, and Reset() reclaims everything at once.
+///
+/// The intended lifecycle is dynet-style plan-once execution: a planning
+/// pass (the first batch of a new shape) runs under an ArenaScope, so every
+/// intermediate buffer sized during that pass lands in the slab; steady-state
+/// batches then reuse those buffers and never allocate. Reset() is only safe
+/// when no arena-backed buffer is live — in practice at test boundaries or
+/// after the consumers (nets, sessions) are gone; the training and serving
+/// paths never call it mid-run.
+///
+/// Thread safety: TryAllocate is safe from any number of threads (the pool
+/// workers allocate their kernel scratch here during planning). Reset is
+/// not — it requires external quiescence by design.
+class Arena {
+ public:
+  /// Every block is aligned to this (cache line / widest SIMD vector).
+  static constexpr std::size_t kAlignment = 64;
+
+  /// Capacity is fixed at construction; the slab itself is reserved on the
+  /// first TryAllocate so merely constructing an Arena costs nothing.
+  /// `report_metrics` wires reservation and high-water into the gm.arena.*
+  /// gauges — true only for GlobalArena() (private test arenas would
+  /// otherwise fight over the gauges).
+  explicit Arena(std::size_t capacity_bytes, bool report_metrics = false);
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocates `bytes` rounded up to kAlignment. Returns nullptr when
+  /// the slab is exhausted — callers fall back to the heap and record it via
+  /// RecordFallback() (the gm.arena.fallback_allocs counter), so running out
+  /// of arena degrades to the old malloc behaviour instead of failing.
+  void* TryAllocate(std::size_t bytes);
+
+  /// Forgets every block at once (offset back to zero). The slab stays
+  /// reserved. Only valid when no arena-backed buffer is live; see class
+  /// comment.
+  void Reset();
+
+  /// True when `p` points into the reserved slab.
+  bool Owns(const void* p) const;
+
+  /// Counts a heap fallback taken on this arena's behalf (slab exhausted).
+  void RecordFallback();
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t used() const {
+    std::size_t off = offset_.load(std::memory_order_relaxed);
+    return off < capacity_ ? off : capacity_;
+  }
+  std::size_t high_water() const {
+    return high_water_.load(std::memory_order_relaxed);
+  }
+  std::int64_t fallback_count() const {
+    return fallback_count_.load(std::memory_order_relaxed);
+  }
+  std::int64_t reset_count() const {
+    return reset_count_.load(std::memory_order_relaxed);
+  }
+
+  /// Number of blocks served from the slab since construction (resets do not
+  /// clear it). Tests assert this stays flat across steady-state steps.
+  std::int64_t AllocCountForTesting() const {
+    return alloc_count_.load(std::memory_order_relaxed);
+  }
+
+  /// The arena planning scopes install for the calling thread (nullptr when
+  /// no scope is active). Buffer growth consults this: inside a scope it
+  /// lands in the arena, outside it falls back to the heap and counts
+  /// toward gm.arena.steady_state_allocs.
+  static Arena* Current();
+
+ private:
+  friend class ArenaScope;
+
+  char* ReserveSlab();
+
+  const std::size_t capacity_;
+  const bool report_metrics_;
+  std::atomic<char*> slab_{nullptr};
+  std::mutex reserve_mu_;
+  std::atomic<std::size_t> offset_{0};
+  std::atomic<std::size_t> high_water_{0};
+  std::atomic<std::int64_t> alloc_count_{0};
+  std::atomic<std::int64_t> fallback_count_{0};
+  std::atomic<std::int64_t> reset_count_{0};
+};
+
+/// RAII planning scope: makes `arena` the calling thread's Arena::Current()
+/// until destruction (restores the previous one — scopes nest). Passing
+/// nullptr is a no-op scope, which lets call sites write
+/// `ArenaScope scope(replan ? &GlobalArena() : nullptr)`.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena* arena);
+  ~ArenaScope();
+
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  Arena* prev_;
+  bool installed_;
+};
+
+/// The process-wide arena every planning pass binds into. Capacity comes
+/// from GMREG_MEM (util/env.h: plain MB count, or k/m/g suffixed); default
+/// 256 MB. Reserved lazily, never destroyed.
+Arena& GlobalArena();
+
+/// Arena-first raw allocation for tensor storage and kernel scratch:
+///  * a planning scope is active  -> bump-allocate from Arena::Current()
+///    (heap on exhaustion, counted via RecordFallback);
+///  * no scope                    -> heap (64-byte aligned), counted in
+///    gm.arena.steady_state_allocs — across a steady-state window this
+///    counter must stay flat, which is exactly what the `alloc` test label
+///    asserts.
+/// `*from_arena` reports provenance; heap blocks are released with
+/// ArenaFreeRaw, arena blocks are simply abandoned (reclaimed by Reset).
+void* ArenaAllocRaw(std::size_t bytes, bool* from_arena);
+
+/// Like ArenaAllocRaw but always tries `arena` even without a scope. Used
+/// for per-worker kernel scratch (pack panels): a pool worker that first
+/// touches its scratch mid-run still must not hit the heap.
+void* ArenaAllocRawFrom(Arena* arena, std::size_t bytes, bool* from_arena);
+
+/// Releases a heap block from ArenaAllocRaw*; no-op for arena blocks.
+void ArenaFreeRaw(void* p, bool from_arena);
+
+/// Bumps gm.arena.plan_rebuilds — called by the plan-once sites (Sequential,
+/// Trainer, InferenceSession) when a shape change forces a new planning
+/// pass. Keeps the metric name literal in one translation unit.
+void RecordArenaPlanRebuild();
+
+/// Shape key for the plan-once sites: remembers the input dims that last
+/// sized a step's buffers. The first batch of a new shape replans (the
+/// caller installs an ArenaScope and re-runs the sizing); same-shape batches
+/// return false and run scope-free.
+class ShapePlan {
+ public:
+  /// True when (dims, rank) differs from the stored key; re-keys the plan.
+  bool Update(const std::int64_t* dims, int rank) {
+    if (rank == rank_ && rank <= kMaxRank) {
+      bool same = true;
+      for (int i = 0; i < rank; ++i) same = same && dims_[i] == dims[i];
+      if (same) return false;
+    }
+    rank_ = rank;
+    for (int i = 0; i < rank && i < kMaxRank; ++i) dims_[i] = dims[i];
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxRank = 8;  // > rank 4 tensors do not exist here
+  std::int64_t dims_[kMaxRank] = {};
+  int rank_ = -1;
+};
+
+/// Grow-only typed scratch served from the global arena regardless of scope
+/// — the home for per-thread kernel pack buffers (tensor/gemm_kernel.cc).
+/// Contents are not preserved across growth and not zero-initialized.
+template <typename T>
+class ScratchBuffer {
+ public:
+  ScratchBuffer() = default;
+  ~ScratchBuffer() { ArenaFreeRaw(ptr_, from_arena_); }
+
+  ScratchBuffer(const ScratchBuffer&) = delete;
+  ScratchBuffer& operator=(const ScratchBuffer&) = delete;
+
+  /// Returns a buffer of at least `n` elements, growing only when needed.
+  T* EnsureCapacity(std::size_t n) {
+    if (n > cap_) Grow(n);
+    return ptr_;
+  }
+
+  std::size_t capacity() const { return cap_; }
+
+ private:
+  void Grow(std::size_t n) {
+    ArenaFreeRaw(ptr_, from_arena_);
+    ptr_ = static_cast<T*>(
+        ArenaAllocRawFrom(&GlobalArena(), n * sizeof(T), &from_arena_));
+    cap_ = n;
+  }
+
+  T* ptr_ = nullptr;
+  std::size_t cap_ = 0;
+  bool from_arena_ = false;
+};
+
+}  // namespace gmreg
+
+#endif  // GMREG_UTIL_ARENA_H_

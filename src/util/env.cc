@@ -17,6 +17,28 @@ int GetNumThreadsEnv() {
   return threads;
 }
 
+long long GetMemEnvBytes() {
+  static long long bytes = [] () -> long long {
+    const char* env = std::getenv("GMREG_MEM");
+    if (env == nullptr || *env == '\0') return -1;
+    char* end = nullptr;
+    long long v = std::strtoll(env, &end, 10);
+    if (end == env || v < 0) return -1;
+    long long unit = 1ll << 20;  // bare number = MB
+    if (*end != '\0') {
+      switch (*end) {
+        case 'k': case 'K': unit = 1ll << 10; break;
+        case 'm': case 'M': unit = 1ll << 20; break;
+        case 'g': case 'G': unit = 1ll << 30; break;
+        default: return -1;
+      }
+      if (end[1] != '\0') return -1;
+    }
+    return v * unit;
+  }();
+  return bytes;
+}
+
 BenchScale GetBenchScale() {
   static BenchScale scale = [] {
     const char* env = std::getenv("GMREG_BENCH_SCALE");

@@ -20,6 +20,12 @@ BenchScale GetBenchScale();
 /// unparseable; 0 and 1 both select the serial fallback.
 int GetNumThreadsEnv();
 
+/// Reads GMREG_MEM once per process: capacity of the global tensor arena
+/// (util/arena.h). A bare number is megabytes (dynet's --dynet-mem
+/// convention); `k`/`m`/`g` suffixes (case-insensitive) select KB/MB/GB.
+/// Returns -1 when unset or unparseable (the arena applies its default).
+long long GetMemEnvBytes();
+
 /// Linear interpolation helper: picks the value for the current scale.
 template <typename T>
 T ScalePick(T smoke, T deflt, T full) {

@@ -1,0 +1,54 @@
+#ifndef GMREG_UTIL_FUNCTION_REF_H_
+#define GMREG_UTIL_FUNCTION_REF_H_
+
+#include <type_traits>
+#include <utility>
+
+namespace gmreg {
+
+/// Non-owning reference to a callable: a (void*, trampoline) pair, nothing
+/// more. Unlike std::function, constructing one from a lambda never touches
+/// the heap — which is why the parallel execution layer (util/parallel.h)
+/// takes FunctionRef parameters: a ParallelFor inside the training step must
+/// not allocate, or the zero-allocation steady state (docs/MEMORY.md) is
+/// gone.
+///
+/// Lifetime: a FunctionRef borrows the callable it was built from, so it is
+/// only safe as a function parameter that is invoked before the call
+/// returns. Never store one beyond the expression that created it.
+template <typename Sig>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  /// Null reference; calling it is undefined. Exists so containers (e.g. the
+  /// pool's current-job slot) can hold an empty value between jobs.
+  FunctionRef() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cv_t<std::remove_reference_t<F>>,
+                                FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f)  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(static_cast<const void*>(&f))),
+        invoke_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return invoke_(obj_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+ private:
+  void* obj_ = nullptr;
+  R (*invoke_)(void*, Args...) = nullptr;
+};
+
+}  // namespace gmreg
+
+#endif  // GMREG_UTIL_FUNCTION_REF_H_

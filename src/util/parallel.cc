@@ -1,7 +1,9 @@
 #include "util/parallel.h"
 
 #include <algorithm>
+#include <vector>
 
+#include "util/arena.h"
 #include "util/env.h"
 #include "util/logging.h"
 #include "util/metrics.h"
@@ -68,7 +70,7 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) t.join();
 }
 
-void ThreadPool::Run(int num_tasks, const std::function<void(int)>& fn) {
+void ThreadPool::Run(int num_tasks, FunctionRef<void(int)> fn) {
   if (num_tasks <= 0) return;
   PoolCounters& counters = GlobalPoolCounters();
   if (workers_.empty() || tls_in_parallel_region || num_tasks == 1) {
@@ -84,7 +86,8 @@ void ThreadPool::Run(int num_tasks, const std::function<void(int)>& fn) {
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    fn_ = &fn;
+    fn_ = fn;
+    job_arena_ = Arena::Current();
     total_tasks_ = num_tasks;
     next_task_.store(0, std::memory_order_relaxed);
     remaining_tasks_ = num_tasks;
@@ -112,7 +115,8 @@ void ThreadPool::Run(int num_tasks, const std::function<void(int)>& fn) {
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock,
                 [this] { return remaining_tasks_ == 0 && active_workers_ == 0; });
-  fn_ = nullptr;
+  fn_ = FunctionRef<void(int)>();
+  job_arena_ = nullptr;
 }
 
 void ThreadPool::WorkerLoop() {
@@ -123,15 +127,22 @@ void ThreadPool::WorkerLoop() {
     wake_cv_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
     if (stop_) return;
     seen_generation = generation_;
-    const std::function<void(int)>* fn = fn_;
+    FunctionRef<void(int)> fn = fn_;
+    Arena* job_arena = job_arena_;
     int total = total_tasks_;
     ++active_workers_;
     lock.unlock();
-    int t;
-    while ((t = next_task_.fetch_add(1, std::memory_order_relaxed)) < total) {
-      (*fn)(t);
-      std::lock_guard<std::mutex> task_lock(mu_);
-      --remaining_tasks_;
+    {
+      // Inherit the submitting thread's planning scope (if any) so buffers
+      // this worker sizes during a planning pass land in the arena.
+      ArenaScope scope(job_arena);
+      int t;
+      while ((t = next_task_.fetch_add(1, std::memory_order_relaxed)) <
+             total) {
+        fn(t);
+        std::lock_guard<std::mutex> task_lock(mu_);
+        --remaining_tasks_;
+      }
     }
     lock.lock();
     --active_workers_;
@@ -174,9 +185,8 @@ int ComputeNumShards(std::int64_t n, std::int64_t grain, int num_threads) {
   return static_cast<int>(std::min(by_grain, threads));
 }
 
-void RunShards(
-    int num_shards, std::int64_t begin, std::int64_t end,
-    const std::function<void(int, std::int64_t, std::int64_t)>& fn) {
+void RunShards(int num_shards, std::int64_t begin, std::int64_t end,
+               FunctionRef<void(int, std::int64_t, std::int64_t)> fn) {
   std::int64_t n = end - begin;
   if (n <= 0 || num_shards <= 0) return;
   if (num_shards == 1) {
@@ -189,17 +199,17 @@ void RunShards(
   });
 }
 
-void ParallelForShards(
-    std::int64_t begin, std::int64_t end, std::int64_t grain,
-    const std::function<void(int, std::int64_t, std::int64_t)>& fn,
-    int num_threads) {
+void ParallelForShards(std::int64_t begin, std::int64_t end,
+                       std::int64_t grain,
+                       FunctionRef<void(int, std::int64_t, std::int64_t)> fn,
+                       int num_threads) {
   int shards =
       ComputeNumShards(end - begin, grain, ResolveNumThreads(num_threads));
   RunShards(shards, begin, end, fn);
 }
 
 void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
-                 const std::function<void(std::int64_t, std::int64_t)>& fn,
+                 FunctionRef<void(std::int64_t, std::int64_t)> fn,
                  int num_threads) {
   ParallelForShards(
       begin, end, grain,
@@ -207,16 +217,29 @@ void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
       num_threads);
 }
 
-double ParallelChunkedSum(
-    std::int64_t begin, std::int64_t end, std::int64_t grain,
-    const std::function<double(std::int64_t, std::int64_t)>& fn,
-    int num_threads) {
+double ParallelChunkedSum(std::int64_t begin, std::int64_t end,
+                          std::int64_t grain,
+                          FunctionRef<double(std::int64_t, std::int64_t)> fn,
+                          int num_threads) {
   std::int64_t n = end - begin;
   if (n <= 0) return 0.0;
   if (grain < 1) grain = 1;
   std::int64_t chunks = (n + grain - 1) / grain;
   if (chunks == 1) return fn(begin, end);
-  std::vector<double> partial(static_cast<std::size_t>(chunks), 0.0);
+  // Persistent per-thread partials: the adaptive priors call this every
+  // AccumulateGradient, so the steady state must not allocate. The in-use
+  // flag covers the (rare, currently unused) nested-call case by paying a
+  // one-off local vector instead of corrupting the outer call's buffer.
+  thread_local std::vector<double> tls_partial;
+  thread_local bool tls_partial_in_use = false;
+  std::vector<double> local_partial;
+  std::vector<double>* partial = &tls_partial;
+  if (tls_partial_in_use) {
+    partial = &local_partial;
+  } else {
+    tls_partial_in_use = true;
+  }
+  partial->assign(static_cast<std::size_t>(chunks), 0.0);
   // The chunk layout is fixed by `grain`; only the assignment of chunks to
   // workers varies with the budget, and each partial is written exactly once.
   ParallelFor(
@@ -225,12 +248,13 @@ double ParallelChunkedSum(
         for (std::int64_t c = cb; c < ce; ++c) {
           std::int64_t b = begin + c * grain;
           std::int64_t e = std::min<std::int64_t>(b + grain, end);
-          partial[static_cast<std::size_t>(c)] = fn(b, e);
+          (*partial)[static_cast<std::size_t>(c)] = fn(b, e);
         }
       },
       num_threads);
   double acc = 0.0;
-  for (double p : partial) acc += p;
+  for (double p : *partial) acc += p;
+  if (partial == &tls_partial) tls_partial_in_use = false;
   return acc;
 }
 

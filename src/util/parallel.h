@@ -5,13 +5,16 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <functional>
 #include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "util/function_ref.h"
+
 namespace gmreg {
+
+class Arena;
 
 /// Fixed-size pool of persistent worker threads. The calling thread always
 /// participates in a Run, so a pool with W workers executes up to W+1 tasks
@@ -36,7 +39,12 @@ class ThreadPool {
   /// calling thread; returns once all tasks have finished. Which thread
   /// executes which task is unspecified — determinism must come from the
   /// tasks writing disjoint outputs (see ParallelForShards).
-  void Run(int num_tasks, const std::function<void(int)>& fn);
+  ///
+  /// Takes a FunctionRef (not std::function) so dispatching a parallel job
+  /// never allocates; the caller's Arena planning scope, if any, is
+  /// propagated to the workers for the duration of the job, so buffers a
+  /// worker sizes during a planning pass land in the arena too.
+  void Run(int num_tasks, FunctionRef<void(int)> fn);
 
  private:
   void WorkerLoop();
@@ -47,7 +55,8 @@ class ThreadPool {
   std::condition_variable done_cv_;  ///< Run waits here for completion
   // Current job; guarded by mu_ except the atomic ticket counter.
   std::uint64_t generation_ = 0;
-  const std::function<void(int)>* fn_ = nullptr;
+  FunctionRef<void(int)> fn_;
+  Arena* job_arena_ = nullptr;  ///< caller's planning scope, if any
   int total_tasks_ = 0;
   std::atomic<int> next_task_{0};
   int remaining_tasks_ = 0;  ///< tasks not yet finished
@@ -107,21 +116,20 @@ inline std::pair<std::int64_t, std::int64_t> ShardRange(int s, int num_shards,
 /// near-equal shards of [begin, end). Shard boundaries are ShardRange —
 /// they depend only on (begin, end, num_shards). Blocks until all shards
 /// are done.
-void RunShards(
-    int num_shards, std::int64_t begin, std::int64_t end,
-    const std::function<void(int, std::int64_t, std::int64_t)>& fn);
+void RunShards(int num_shards, std::int64_t begin, std::int64_t end,
+               FunctionRef<void(int, std::int64_t, std::int64_t)> fn);
 
 /// Shards [begin, end) by ComputeNumShards(end - begin, grain,
 /// ResolveNumThreads(num_threads)) and runs fn(shard, b, e) on each.
-void ParallelForShards(
-    std::int64_t begin, std::int64_t end, std::int64_t grain,
-    const std::function<void(int, std::int64_t, std::int64_t)>& fn,
-    int num_threads = 0);
+void ParallelForShards(std::int64_t begin, std::int64_t end,
+                       std::int64_t grain,
+                       FunctionRef<void(int, std::int64_t, std::int64_t)> fn,
+                       int num_threads = 0);
 
 /// Like ParallelForShards without the shard index: fn(b, e) must only touch
 /// state derived from [b, e) (disjoint output slices) to stay deterministic.
 void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
-                 const std::function<void(std::int64_t, std::int64_t)>& fn,
+                 FunctionRef<void(std::int64_t, std::int64_t)> fn,
                  int num_threads = 0);
 
 /// Deterministic chunked sum: [begin, end) is cut into fixed `grain`-sized
@@ -133,10 +141,10 @@ void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
 /// budget). The adaptive priors in src/reg/ build their hyper-parameter
 /// updates on this so a checkpoint resumed under a different
 /// GMREG_NUM_THREADS stays bit-exact (docs/REGULARIZERS.md).
-double ParallelChunkedSum(
-    std::int64_t begin, std::int64_t end, std::int64_t grain,
-    const std::function<double(std::int64_t, std::int64_t)>& fn,
-    int num_threads = 0);
+double ParallelChunkedSum(std::int64_t begin, std::int64_t end,
+                          std::int64_t grain,
+                          FunctionRef<double(std::int64_t, std::int64_t)> fn,
+                          int num_threads = 0);
 
 /// Parallel map-reduce: partial = map(b, e) per shard, then the partials are
 /// folded left-to-right in shard order — acc = reduce(acc, partial) — so the

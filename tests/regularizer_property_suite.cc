@@ -17,6 +17,7 @@
 #include "gtest/gtest.h"
 #include "reg/regularizer.h"
 #include "tensor/tensor.h"
+#include "testutil/alloc_count.h"
 #include "testutil/gmreg_testutil.h"
 #include "util/metrics.h"
 #include "util/status.h"
@@ -351,6 +352,38 @@ TEST_P(RegContractTest, MetricsAppendIsConstAndPrefixed) {
   if (spec.adaptive) {
     EXPECT_FALSE(record.fields.empty())
         << spec.config << " reports no telemetry";
+  }
+}
+
+TEST_P(RegContractTest, SteadyStateAccumulateIsAllocFree) {
+  // The zero-allocation contract of docs/MEMORY.md, per kind: once the
+  // trajectory is warm (warmup epochs passed, lazy intervals primed, all
+  // grow-only buffers at size), AccumulateGradient must not touch the heap
+  // — including the E/M refreshes the example configs schedule inside the
+  // measured window. This binary links testutil/alloc_interposer.cc; under
+  // sanitizers the assertion is skipped and the test runs as smoke.
+  const RegContractSpec& spec = GetParam();
+  std::unique_ptr<Regularizer> reg = MakeReg(spec.config);
+  Tensor w = MakeBimodalWeightTensor(kSuiteDims, 31);
+  // RunTrajectory allocates its grad tensor per call, so the measured loop
+  // is inlined here against a pre-sized grad.
+  Tensor grad(w.shape());
+  auto steps = [&](int n, int start_it) {
+    for (int s = 0; s < n; ++s) {
+      std::int64_t it = start_it + s;
+      grad.SetZero();
+      reg->AccumulateGradient(w, it, it / 8, 1.0 / 256.0, &grad);
+      float* wp = w.data();
+      const float* gp = grad.data();
+      for (std::int64_t i = 0; i < w.size(); ++i) wp[i] -= 0.05f * gp[i];
+    }
+  };
+  steps(24, /*start_it=*/0);
+  std::int64_t before = HeapAllocCount();
+  steps(8, /*start_it=*/24);
+  std::int64_t delta = HeapAllocCount() - before;
+  if (ZeroAllocAssertsEnabled()) {
+    EXPECT_EQ(delta, 0) << spec.config << " allocated in steady state";
   }
 }
 

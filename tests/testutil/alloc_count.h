@@ -1,0 +1,53 @@
+#ifndef GMREG_TESTS_TESTUTIL_ALLOC_COUNT_H_
+#define GMREG_TESTS_TESTUTIL_ALLOC_COUNT_H_
+
+/// Heap-allocation counting for the `alloc` test label (docs/MEMORY.md).
+///
+/// A test binary that lists testutil/alloc_interposer.cc in EXTRA_SOURCES
+/// gets every global operator new/delete variant (arrays, nothrow, aligned)
+/// replaced with counting versions; HeapAllocCount() then reports the
+/// process-wide number of operator-new calls, and a steady-state window is
+/// asserted alloc-free by differencing the counter around it. Binaries that
+/// do not link the interposer still compile against this header —
+/// HeapAllocCountingActive() reports whether the counter is live.
+///
+/// The arena slab reservation itself goes through std::aligned_alloc
+/// (util/arena.cc), deliberately below operator new, so the one-time slab
+/// reservation never trips a measured window.
+
+#include <cstdint>
+
+namespace gmreg {
+namespace testing {
+
+/// Number of global operator-new calls (all variants) since process start.
+/// Always 0 when the interposer is not linked.
+std::int64_t HeapAllocCount();
+
+/// True when alloc_interposer.cc is linked into this binary and the counter
+/// above is live.
+bool HeapAllocCountingActive();
+
+/// True when zero-alloc assertions are meaningful in this build: the
+/// interposer is linked AND no sanitizer runtime is active (sanitizer
+/// allocators insert bookkeeping allocations the product code does not
+/// make, so under ASan/TSan the alloc tests run as smoke tests only).
+inline bool ZeroAllocAssertsEnabled() {
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  return false;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+  return false;
+#else
+  return HeapAllocCountingActive();
+#endif
+#else
+  return HeapAllocCountingActive();
+#endif
+}
+
+}  // namespace testing
+}  // namespace gmreg
+
+#endif  // GMREG_TESTS_TESTUTIL_ALLOC_COUNT_H_

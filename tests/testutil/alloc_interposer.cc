@@ -1,0 +1,113 @@
+// Global operator new/delete replacement that counts every heap allocation
+// (see testutil/alloc_count.h). Linked via EXTRA_SOURCES into the binaries
+// of the `alloc` ctest label only — the replacement is process-wide, so it
+// must never ride along in gmreg_testutil.
+//
+// Every new variant funnels into the two helpers below; deletes free
+// without counting. Plain allocations come from std::malloc and aligned
+// ones from std::aligned_alloc, both released by std::free, so the aligned
+// and unaligned delete variants can share one implementation.
+
+#include "testutil/alloc_count.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+std::atomic<std::int64_t> g_alloc_count{0};
+
+void* CountedAlloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  return std::malloc(size);
+}
+
+void* CountedAllocAligned(std::size_t size, std::size_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  // aligned_alloc requires size to be a multiple of the alignment.
+  size = (size + align - 1) / align * align;
+  return std::aligned_alloc(align, size);
+}
+
+}  // namespace
+
+namespace gmreg {
+namespace testing {
+
+std::int64_t HeapAllocCount() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+bool HeapAllocCountingActive() { return true; }
+
+}  // namespace testing
+}  // namespace gmreg
+
+void* operator new(std::size_t size) {
+  void* p = CountedAlloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = CountedAlloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = CountedAllocAligned(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = CountedAllocAligned(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return CountedAllocAligned(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return CountedAllocAligned(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(p);
+}
