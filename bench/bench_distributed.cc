@@ -1,0 +1,123 @@
+// Distributed data-parallel training bench (docs/DISTRIBUTED.md): hosp-fa
+// scale MLP + GM regularizer, trained three ways — the vanilla single-
+// process trainer, the in-process local-sharded reference, and the real
+// fork()ed coordinator/worker deployment at 1/2/4/8 workers over loopback
+// sockets. Reports per-epoch wall time, speedup vs the single-process
+// baseline, and (the property the subsystem exists for) whether every
+// distributed run matched its same-world reference bit for bit. Speedups
+// are honest wall-clock measurements: on a single-core box every world
+// size shares one CPU, so the interesting headline is that dist overhead
+// stays small, not that it scales. Writes BENCH_distributed.json.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "dist/launcher.h"
+#include "util/env.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace gmreg;
+
+double MeanEpochSeconds(const DistRunResult& r) {
+  if (r.stats.empty()) return 0.0;
+  double sum = 0.0;
+  for (const EpochStats& es : r.stats) sum += es.elapsed_seconds;
+  return sum / static_cast<double>(r.stats.size());
+}
+
+bool BitwiseEqual(const DistRunResult& a, const DistRunResult& b) {
+  if (a.stats.size() != b.stats.size() || a.params.size() != b.params.size())
+    return false;
+  for (std::size_t e = 0; e < a.stats.size(); ++e) {
+    if (std::memcmp(&a.stats[e].mean_loss, &b.stats[e].mean_loss,
+                    sizeof(double)) != 0 ||
+        std::memcmp(&a.stats[e].penalty, &b.stats[e].penalty,
+                    sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  for (std::size_t p = 0; p < a.params.size(); ++p) {
+    if (a.params[p].size() != b.params[p].size()) return false;
+    if (std::memcmp(a.params[p].data(), b.params[p].data(),
+                    static_cast<std::size_t>(a.params[p].size()) *
+                        sizeof(float)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int Main() {
+  bench::PrintHeader(
+      "distributed data-parallel training (docs/DISTRIBUTED.md)",
+      "hosp-fa MLP + GM regularizer: single-process baseline vs fork()ed\n"
+      "coordinator/worker training over loopback, with bitwise-equality\n"
+      "checks against the same-world local-sharded reference");
+
+  DistJobSpec spec;
+  spec.dataset = "hosp-fa";
+  spec.epochs = ScalePick(1, 2, 4);
+  spec.batch_size = 64;
+  spec.hidden = ScalePick(16, 64, 128);
+  spec.run_label = "bench_distributed";
+
+  bench::JsonSummary summary("distributed", spec.dataset);
+  summary.AddInt("epochs", spec.epochs);
+  summary.AddInt("hidden", spec.hidden);
+  summary.AddInt("batch_size", spec.batch_size);
+
+  DistRunResult single;
+  GMREG_CHECK(RunSingleProcessJob(spec, &single).ok());
+  double single_epoch = MeanEpochSeconds(single);
+  summary.Add("single.epoch_seconds", single_epoch);
+
+  TablePrinter table({"mode", "workers", "epoch s", "speedup", "bitwise"});
+  table.AddRow({"single", "-", StrFormat("%.3f", single_epoch), "1.00", "-"});
+
+  const std::vector<int> worlds =
+      ScalePick<std::vector<int>>({1, 2, 4}, {1, 2, 4, 8}, {1, 2, 4, 8});
+  bool all_match = true;
+  for (int world : worlds) {
+    // The same-world reference this dist run must reproduce exactly:
+    // world 1 is the vanilla trainer, otherwise the local-sharded path.
+    DistRunResult reference;
+    if (world == 1) {
+      reference = single;
+    } else {
+      GMREG_CHECK(RunLocalShardedJob(spec, world, &reference).ok());
+    }
+    DistRunResult dist;
+    GMREG_CHECK(RunDistJob(spec, world, WorkerLaunch::kFork, &dist).ok());
+    double epoch = MeanEpochSeconds(dist);
+    double speedup = epoch > 0.0 ? single_epoch / epoch : 0.0;
+    bool match = BitwiseEqual(dist, reference);
+    all_match = all_match && match;
+    std::string prefix = StrFormat("dist%d.", world);
+    summary.Add(prefix + "epoch_seconds", epoch);
+    summary.Add(prefix + "speedup", speedup);
+    summary.AddInt(prefix + "bitwise_match", match ? 1 : 0);
+    table.AddRow({"dist", std::to_string(world), StrFormat("%.3f", epoch),
+                  StrFormat("%.2f", speedup), match ? "yes" : "NO"});
+  }
+  summary.AddInt("all_bitwise_match", all_match ? 1 : 0);
+
+  table.Print(std::cout);
+  std::printf("\nfinal mean_loss=%.17g penalty=%.17g\n",
+              single.stats.back().mean_loss, single.stats.back().penalty);
+  summary.Write();
+  GMREG_CHECK(all_match);
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Main(); }

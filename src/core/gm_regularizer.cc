@@ -69,8 +69,13 @@ int GmRegularizer::num_threads_resolved() const {
 void GmRegularizer::CalcRegGrad(const Tensor& w) {
   GMREG_CHECK_EQ(w.size(), num_dims_);
   Stopwatch watch;
-  EStep(gm_, w.data(), num_dims_, greg_.data(), /*stats=*/nullptr,
-        options_.num_threads);
+  if (estep_executor_ != nullptr) {
+    estep_executor_->RunEStep(gm_, w.data(), num_dims_, greg_.data(),
+                              /*stats=*/nullptr);
+  } else {
+    EStep(gm_, w.data(), num_dims_, greg_.data(), /*stats=*/nullptr,
+          options_.num_threads);
+  }
   estep_seconds_ += watch.ElapsedSeconds();
   ++estep_count_;
   GlobalGmCounters().esteps->Add(1);
@@ -80,8 +85,13 @@ void GmRegularizer::UptGmParam(const Tensor& w) {
   GMREG_CHECK_EQ(w.size(), num_dims_);
   Stopwatch watch;
   stats_.Reset(gm_.num_components());
-  EStep(gm_, w.data(), num_dims_, /*greg_out=*/nullptr, &stats_,
-        options_.num_threads);
+  if (estep_executor_ != nullptr) {
+    estep_executor_->RunEStep(gm_, w.data(), num_dims_, /*greg_out=*/nullptr,
+                              &stats_);
+  } else {
+    EStep(gm_, w.data(), num_dims_, /*greg_out=*/nullptr, &stats_,
+          options_.num_threads);
+  }
   MStep(stats_, hyper_, options_.bounds, &gm_);
   mstep_seconds_ += watch.ElapsedSeconds();
   ++mstep_count_;

@@ -61,6 +61,27 @@ struct GmOptions {
 /// Sec. V-E rule: min = (1/stddev^2) / 10.
 double MinPrecisionFromInitStdDev(double init_stddev);
 
+/// Pluggable execution backend for the fused E-step pass. By default a
+/// GmRegularizer runs EStep() in process; installing an executor reroutes
+/// both CalcRegGrad (greg refresh) and UptGmParam (suffstat pass) through
+/// it — this is how the distributed coordinator (src/dist) offloads the
+/// E-step over worker weight slices. Implementations must honor the
+/// determinism contract: for a fixed executor configuration the outputs
+/// are bitwise reproducible, greg elementwise and the suffstats through a
+/// fixed-order merge (docs/DISTRIBUTED.md).
+class GmEStepExecutor {
+ public:
+  virtual ~GmEStepExecutor() = default;
+
+  /// Runs one fused pass of `gm` over the `n` weights at `w`: writes
+  /// greg[m] = sum_k r_k lambda_k w_m into `greg_out` (unless null) and
+  /// accumulates responsibilities into `stats` (unless null; already
+  /// Reset to gm.num_components()).
+  virtual void RunEStep(const GaussianMixture& gm, const float* w,
+                        std::int64_t n, float* greg_out,
+                        GmSuffStats* stats) = 0;
+};
+
 /// The paper's adaptive regularization tool for one parameter tensor.
 /// Implements Algorithms 1 and 2: each training iteration interleaves
 ///   E-step   (calResponsibility + calcRegGrad, maybe lazily skipped)
@@ -125,6 +146,13 @@ class GmRegularizer : public Regularizer {
   /// for the new component count.
   void SetMixture(GaussianMixture gm);
 
+  /// Installs (or with nullptr removes) an E-step execution backend; not
+  /// owned, must outlive the regularizer or be removed first.
+  void set_estep_executor(GmEStepExecutor* executor) {
+    estep_executor_ = executor;
+  }
+  GmEStepExecutor* estep_executor() const { return estep_executor_; }
+
   // Introspection ----------------------------------------------------------
 
   const GaussianMixture& mixture() const { return gm_; }
@@ -159,6 +187,7 @@ class GmRegularizer : public Regularizer {
   GaussianMixture gm_;
   Tensor greg_;        ///< cached regularization gradient
   GmSuffStats stats_;  ///< scratch for the M-step pass
+  GmEStepExecutor* estep_executor_ = nullptr;  ///< not owned
   std::int64_t estep_count_ = 0;
   std::int64_t mstep_count_ = 0;
   std::int64_t greg_cache_hits_ = 0;

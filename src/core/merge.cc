@@ -1,10 +1,14 @@
 #include "core/merge.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
 #include <numeric>
+#include <sstream>
 #include <vector>
 
 #include "util/logging.h"
+#include "util/string_util.h"
 
 namespace gmreg {
 namespace {
@@ -100,4 +104,96 @@ GaussianMixture MergeOnce(const GaussianMixture& gm, double ratio,
 }
 
 }  // namespace
+
+namespace {
+
+// Parses one whitespace-delimited token from `iss` as a double via strtod,
+// which (unlike operator>>) is required to accept the C99 hex-float forms
+// %a emits — istream extraction of "0x1.8p+1" stops at the 'x' on some
+// standard libraries. Returns false on a malformed token.
+bool NextDouble(std::istringstream& iss, double* out) {
+  std::string token;
+  if (!(iss >> token)) return false;
+  const char* s = token.c_str();
+  char* end = nullptr;
+  double v = std::strtod(s, &end);
+  if (end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeGmSuffStats(const GmSuffStats& stats) {
+  std::ostringstream oss;
+  oss << "gm-suffstats v1 " << stats.resp_sum.size() << " " << stats.count;
+  for (double v : stats.resp_sum) oss << " " << StrFormat("%a", v);
+  for (double v : stats.resp_w2_sum) oss << " " << StrFormat("%a", v);
+  return oss.str();
+}
+
+Status DecodeGmSuffStats(const std::string& text, GmSuffStats* out) {
+  std::istringstream iss(text);
+  std::string magic, version;
+  int k = 0;
+  long long count = 0;
+  if (!(iss >> magic >> version >> k >> count) || magic != "gm-suffstats") {
+    return Status::InvalidArgument("not a 'gm-suffstats' record");
+  }
+  if (version != "v1") {
+    return Status::InvalidArgument("unsupported gm-suffstats version '" +
+                                   version + "'");
+  }
+  if (k < 1 || k > 1024) {
+    return Status::OutOfRange(
+        StrFormat("component count %d outside [1, 1024]", k));
+  }
+  if (count < 0) {
+    return Status::OutOfRange(
+        StrFormat("negative element count %lld", count));
+  }
+  auto ks = static_cast<std::size_t>(k);
+  std::vector<double> resp_sum(ks), resp_w2_sum(ks);
+  for (double& v : resp_sum) {
+    if (!NextDouble(iss, &v) || !std::isfinite(v)) {
+      return Status::InvalidArgument("bad resp_sum in gm-suffstats");
+    }
+  }
+  for (double& v : resp_w2_sum) {
+    if (!NextDouble(iss, &v) || !std::isfinite(v)) {
+      return Status::InvalidArgument("bad resp_w2_sum in gm-suffstats");
+    }
+  }
+  std::string extra;
+  if (iss >> extra) {
+    return Status::InvalidArgument("trailing garbage in gm-suffstats: '" +
+                                   extra + "'");
+  }
+  out->resp_sum = std::move(resp_sum);
+  out->resp_w2_sum = std::move(resp_w2_sum);
+  out->count = count;
+  return Status::Ok();
+}
+
+Status MergeEncodedSuffStats(const std::vector<std::string>& encoded,
+                             GmSuffStats* out) {
+  GmSuffStats decoded;
+  for (std::size_t rank = 0; rank < encoded.size(); ++rank) {
+    Status st = DecodeGmSuffStats(encoded[rank], &decoded);
+    if (!st.ok()) {
+      return Status(st.code(), StrFormat("rank %d: %s",
+                                         static_cast<int>(rank),
+                                         st.message().c_str()));
+    }
+    if (decoded.resp_sum.size() != out->resp_sum.size()) {
+      return Status::FailedPrecondition(StrFormat(
+          "rank %d has %d components, merge target has %d",
+          static_cast<int>(rank), static_cast<int>(decoded.resp_sum.size()),
+          static_cast<int>(out->resp_sum.size())));
+    }
+    out->Merge(decoded);
+  }
+  return Status::Ok();
+}
+
 }  // namespace gmreg

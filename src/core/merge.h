@@ -1,7 +1,12 @@
 #ifndef GMREG_CORE_MERGE_H_
 #define GMREG_CORE_MERGE_H_
 
+#include <string>
+#include <vector>
+
+#include "core/em.h"
 #include "core/gaussian_mixture.h"
+#include "util/status.h"
 
 namespace gmreg {
 
@@ -21,6 +26,36 @@ namespace gmreg {
 GaussianMixture MergeSimilarComponents(const GaussianMixture& gm,
                                        double ratio = 1.5,
                                        double pi_drop = 0.01);
+
+// ---------------------------------------------------------------------------
+// Suffstat wire format (src/dist).
+//
+// The distributed E-step ships per-worker GmSuffStats to the coordinator,
+// which folds them in fixed rank order (GmSuffStats::Merge). For the global
+// update to stay bitwise identical to the in-process merge, the encoding
+// must round-trip every double exactly — so values are rendered as C99
+// hex-floats (%a), which strtod parses back to the identical bit pattern,
+// including negative zeros and subnormals. One line, whitespace-separated:
+//
+//   gm-suffstats v1 <K> <count> <resp_sum[0..K)> <resp_w2_sum[0..K)>
+// ---------------------------------------------------------------------------
+
+/// Serializes `stats` as a single `gm-suffstats v1` line (exact hex-float
+/// round trip; see above). Non-finite accumulators are encodable — the
+/// decoder, not the encoder, is the validation boundary.
+std::string EncodeGmSuffStats(const GmSuffStats& stats);
+
+/// Parses an EncodeGmSuffStats line into `*out` (fully overwritten).
+/// Rejects malformed input, non-finite values, K outside [1, 1024], a
+/// negative count, and trailing garbage.
+Status DecodeGmSuffStats(const std::string& text, GmSuffStats* out);
+
+/// Decodes every line of `encoded` and folds it into `*out` in index
+/// (= worker rank) order — the wire-side mirror of the fixed-shard-order
+/// merge the parallel E-step does in process. `*out` must already be
+/// Reset() to the right component count.
+Status MergeEncodedSuffStats(const std::vector<std::string>& encoded,
+                             GmSuffStats* out);
 
 }  // namespace gmreg
 

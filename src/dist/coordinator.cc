@@ -1,0 +1,334 @@
+#include "dist/coordinator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/merge.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/net.h"
+#include "util/parallel.h"
+#include "util/stopwatch.h"
+
+namespace gmreg {
+namespace {
+
+/// Frame header bytes (u32 length + u8 type) counted into the byte
+/// instruments on top of each payload.
+constexpr std::int64_t kFrameOverhead = 5;
+
+/// Stale replies tolerated per receive before declaring a peer broken. A
+/// re-issued round can leave at most one already-buffered reply per rank,
+/// so anything beyond a handful is a protocol violation, not recovery.
+constexpr int kMaxStaleReplies = 16;
+
+struct DistInstruments {
+  Counter* bytes_sent;
+  Counter* bytes_received;
+  Counter* rounds;
+  Counter* reconnects;
+  Gauge* workers;
+  Histogram* merge_seconds;
+};
+
+DistInstruments& Instruments() {
+  static DistInstruments instruments = [] {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    return DistInstruments{registry.counter("gm.dist.bytes_sent"),
+                           registry.counter("gm.dist.bytes_received"),
+                           registry.counter("gm.dist.rounds"),
+                           registry.counter("gm.dist.worker_reconnects"),
+                           registry.gauge("gm.dist.workers"),
+                           registry.histogram("gm.dist.merge_seconds")};
+  }();
+  return instruments;
+}
+
+}  // namespace
+
+DistCoordinator::DistCoordinator(const DistJobSpec& spec,
+                                 const std::vector<ParamRef>& trainer_params,
+                                 const DistCoordinatorOptions& options)
+    : spec_(spec),
+      params_(trainer_params),
+      options_(options),
+      conns_(static_cast<std::size_t>(options.world), -1) {
+  GMREG_CHECK_GE(options_.world, 1);
+}
+
+DistCoordinator::~DistCoordinator() {
+  Shutdown();
+  if (listen_fd_ >= 0) CloseFd(listen_fd_);
+}
+
+Status DistCoordinator::Listen() {
+  return CreateListenSocket(options_.port, /*nonblocking=*/false, &listen_fd_,
+                            &port_);
+}
+
+Status DistCoordinator::Admit() {
+  int admitted = 0;
+  for (int fd : conns_) {
+    if (fd >= 0) ++admitted;
+  }
+  while (admitted < options_.world) {
+    int fd = -1;
+    GMREG_RETURN_IF_ERROR(
+        AcceptWithTimeout(listen_fd_, options_.accept_timeout_ms, &fd));
+    std::uint8_t type = 0;
+    std::string payload;
+    Status st = ReadFrame(fd, &type, &payload);
+    HelloMsg hello;
+    if (st.ok() && type == static_cast<std::uint8_t>(DistFrame::kHello)) {
+      st = HelloMsg::Decode(payload, &hello);
+    } else if (st.ok()) {
+      st = Status::InvalidArgument("expected a hello frame");
+    }
+    if (st.ok() && (static_cast<int>(hello.world) != options_.world ||
+                    conns_[hello.rank] >= 0)) {
+      st = Status::FailedPrecondition("hello rank/world does not match job");
+    }
+    if (!st.ok()) {
+      GMREG_LOG(Warning) << "rejecting connection: " << st.ToString();
+      CloseFd(fd);
+      continue;
+    }
+    Instruments().bytes_received->Add(kFrameOverhead +
+                                      static_cast<std::int64_t>(payload.size()));
+    conns_[hello.rank] = fd;
+    ++admitted;
+    if (!SendTo(static_cast<int>(hello.rank), DistFrame::kWelcome, "")) {
+      return Status::Unavailable("worker died during admission");
+    }
+  }
+  Instruments().workers->Set(static_cast<double>(admitted));
+  return Status::Ok();
+}
+
+void DistCoordinator::Shutdown() {
+  for (std::size_t rank = 0; rank < conns_.size(); ++rank) {
+    if (conns_[rank] < 0) continue;
+    SendTo(static_cast<int>(rank), DistFrame::kShutdown, "");
+    CloseFd(conns_[rank]);
+    conns_[rank] = -1;
+  }
+  Instruments().workers->Set(0.0);
+}
+
+bool DistCoordinator::SendTo(int rank, DistFrame type,
+                             const std::string& payload) {
+  auto r = static_cast<std::size_t>(rank);
+  if (conns_[r] < 0) return false;
+  Status st =
+      WriteFrame(conns_[r], static_cast<std::uint8_t>(type), payload);
+  if (!st.ok()) {
+    CloseFd(conns_[r]);
+    conns_[r] = -1;
+    return false;
+  }
+  Instruments().bytes_sent->Add(kFrameOverhead +
+                                static_cast<std::int64_t>(payload.size()));
+  return true;
+}
+
+bool DistCoordinator::ReceiveFrom(int rank, DistFrame want,
+                                  std::string* payload) {
+  auto r = static_cast<std::size_t>(rank);
+  if (conns_[r] < 0) return false;
+  std::uint8_t type = 0;
+  Status st = ReadFrame(conns_[r], &type, payload);
+  if (st.ok() && type != static_cast<std::uint8_t>(want)) {
+    st = Status::InvalidArgument("unexpected frame type from worker");
+  }
+  if (!st.ok()) {
+    CloseFd(conns_[r]);
+    conns_[r] = -1;
+    return false;
+  }
+  Instruments().bytes_received->Add(
+      kFrameOverhead + static_cast<std::int64_t>(payload->size()));
+  return true;
+}
+
+void DistCoordinator::RecoverRank(int rank) {
+  auto r = static_cast<std::size_t>(rank);
+  if (conns_[r] >= 0) {
+    CloseFd(conns_[r]);
+    conns_[r] = -1;
+  }
+  Instruments().reconnects->Add(1);
+  Instruments().workers->Set(static_cast<double>(options_.world - 1));
+  GMREG_LOG(Warning) << "dist: rank " << rank
+                     << " died; waiting for it to rejoin";
+  if (options_.respawn) options_.respawn(rank);
+  while (conns_[r] < 0) {
+    int fd = -1;
+    Status st = AcceptWithTimeout(listen_fd_, options_.accept_timeout_ms, &fd);
+    GMREG_CHECK(st.ok()) << "dist: rank " << rank
+                         << " never rejoined: " << st.ToString();
+    std::uint8_t type = 0;
+    std::string payload;
+    st = ReadFrame(fd, &type, &payload);
+    HelloMsg hello;
+    if (st.ok() && type == static_cast<std::uint8_t>(DistFrame::kHello)) {
+      st = HelloMsg::Decode(payload, &hello);
+    } else if (st.ok()) {
+      st = Status::InvalidArgument("expected a hello frame");
+    }
+    // Any currently-down rank may rejoin here, not just `rank` — several
+    // workers can die in one wave and reconnect in any order.
+    if (st.ok() && (static_cast<int>(hello.world) != options_.world ||
+                    conns_[hello.rank] >= 0)) {
+      st = Status::FailedPrecondition("rejoin rank/world does not match job");
+    }
+    if (!st.ok()) {
+      GMREG_LOG(Warning) << "dist: rejecting rejoin: " << st.ToString();
+      CloseFd(fd);
+      continue;
+    }
+    conns_[hello.rank] = fd;
+    SendTo(static_cast<int>(hello.rank), DistFrame::kWelcome, "");
+    GMREG_LOG(Info) << "dist: rank " << hello.rank << " rejoined";
+  }
+  Instruments().workers->Set(static_cast<double>(options_.world));
+}
+
+double DistCoordinator::ComputeGradient(std::int64_t iteration, int epoch) {
+  GradRequestMsg request;
+  request.step = iteration;
+  request.epoch = epoch;
+  request.params.reserve(params_.size());
+  for (const ParamRef& p : params_) {
+    request.params.emplace_back(p.value->data(),
+                                p.value->data() + p.value->size());
+  }
+  const std::string request_payload = request.Encode();
+  const int world = options_.world;
+  std::vector<GradReplyMsg> replies(static_cast<std::size_t>(world));
+  // Round loop: nothing is applied until every rank has replied to THIS
+  // step, so a death anywhere just re-issues the whole round — stateless
+  // workers return identical bytes to repeated requests.
+  while (true) {
+    bool round_ok = true;
+    for (int rank = 0; rank < world; ++rank) {
+      if (conns_[static_cast<std::size_t>(rank)] < 0) RecoverRank(rank);
+    }
+    for (int rank = 0; rank < world && round_ok; ++rank) {
+      round_ok = SendTo(rank, DistFrame::kGradRequest, request_payload);
+    }
+    for (int rank = 0; rank < world && round_ok; ++rank) {
+      auto& reply = replies[static_cast<std::size_t>(rank)];
+      // A re-issued round can find an identical stale reply already
+      // buffered on a healthy peer; skip past those.
+      for (int attempt = 0;; ++attempt) {
+        std::string payload;
+        if (attempt >= kMaxStaleReplies ||
+            !ReceiveFrom(rank, DistFrame::kGradReply, &payload) ||
+            !GradReplyMsg::Decode(payload, &reply).ok()) {
+          round_ok = false;
+          break;
+        }
+        if (reply.step == iteration) break;
+      }
+    }
+    if (round_ok) break;
+  }
+  Instruments().rounds->Add(1);
+  Stopwatch merge_watch;
+  double loss = 0.0;
+  for (int rank = 0; rank < world; ++rank) {
+    auto [begin, end] = ShardRange(rank, world, 0, spec_.batch_size);
+    const GradReplyMsg& reply = replies[static_cast<std::size_t>(rank)];
+    GMREG_CHECK_EQ(reply.grads.size(), params_.size());
+    double weight = static_cast<double>(end - begin) /
+                    static_cast<double>(spec_.batch_size);
+    auto wf = static_cast<float>(weight);
+    for (std::size_t k = 0; k < params_.size(); ++k) {
+      const std::vector<float>& src = reply.grads[k];
+      float* dst = params_[k].grad->data();
+      GMREG_CHECK_EQ(static_cast<std::int64_t>(src.size()),
+                     params_[k].grad->size());
+      if (rank == 0) {
+        for (std::size_t m = 0; m < src.size(); ++m) dst[m] = wf * src[m];
+      } else {
+        for (std::size_t m = 0; m < src.size(); ++m) dst[m] += wf * src[m];
+      }
+    }
+    loss = rank == 0 ? weight * reply.loss : loss + weight * reply.loss;
+  }
+  Instruments().merge_seconds->Observe(merge_watch.ElapsedSeconds());
+  return loss;
+}
+
+void DistCoordinator::RunEStep(const GaussianMixture& gm, const float* w,
+                               std::int64_t n, float* greg_out,
+                               GmSuffStats* stats) {
+  const int world = options_.world;
+  const std::int64_t seq = estep_seq_++;
+  std::vector<std::string> request_payloads(static_cast<std::size_t>(world));
+  for (int rank = 0; rank < world; ++rank) {
+    auto [begin, end] = ShardRange(rank, world, 0, n);
+    if (begin == end) continue;
+    EStepRequestMsg request;
+    request.seq = seq;
+    request.want_greg = greg_out != nullptr;
+    request.want_stats = stats != nullptr;
+    request.pi = gm.pi();
+    request.lambda = gm.lambda();
+    request.slice_begin = begin;
+    request.w.assign(w + begin, w + end);
+    request_payloads[static_cast<std::size_t>(rank)] = request.Encode();
+  }
+  std::vector<EStepReplyMsg> replies(static_cast<std::size_t>(world));
+  while (true) {
+    bool round_ok = true;
+    for (int rank = 0; rank < world; ++rank) {
+      if (conns_[static_cast<std::size_t>(rank)] < 0) RecoverRank(rank);
+    }
+    for (int rank = 0; rank < world && round_ok; ++rank) {
+      if (request_payloads[static_cast<std::size_t>(rank)].empty()) continue;
+      round_ok = SendTo(rank, DistFrame::kEStepRequest,
+                        request_payloads[static_cast<std::size_t>(rank)]);
+    }
+    for (int rank = 0; rank < world && round_ok; ++rank) {
+      if (request_payloads[static_cast<std::size_t>(rank)].empty()) continue;
+      auto& reply = replies[static_cast<std::size_t>(rank)];
+      for (int attempt = 0;; ++attempt) {
+        std::string payload;
+        if (attempt >= kMaxStaleReplies ||
+            !ReceiveFrom(rank, DistFrame::kEStepReply, &payload) ||
+            !EStepReplyMsg::Decode(payload, &reply).ok()) {
+          round_ok = false;
+          break;
+        }
+        if (reply.seq == seq) break;
+      }
+    }
+    if (round_ok) break;
+  }
+  Instruments().rounds->Add(1);
+  Stopwatch merge_watch;
+  std::vector<std::string> encoded_stats;
+  for (int rank = 0; rank < world; ++rank) {
+    auto [begin, end] = ShardRange(rank, world, 0, n);
+    if (begin == end) continue;
+    EStepReplyMsg& reply = replies[static_cast<std::size_t>(rank)];
+    if (greg_out != nullptr) {
+      GMREG_CHECK_EQ(static_cast<std::int64_t>(reply.greg.size()),
+                     end - begin);
+      std::copy(reply.greg.begin(), reply.greg.end(), greg_out + begin);
+    }
+    if (stats != nullptr) {
+      encoded_stats.push_back(std::move(reply.stats_encoded));
+    }
+  }
+  if (stats != nullptr) {
+    // Rank-order fold through the exact hex-float codec — bitwise equal to
+    // merging the workers' in-memory suffstats directly (dist_wire_test).
+    Status st = MergeEncodedSuffStats(encoded_stats, stats);
+    GMREG_CHECK(st.ok()) << "dist: suffstat merge failed: " << st.ToString();
+  }
+  Instruments().merge_seconds->Observe(merge_watch.ElapsedSeconds());
+}
+
+}  // namespace gmreg

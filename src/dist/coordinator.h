@@ -1,0 +1,113 @@
+#ifndef GMREG_DIST_COORDINATOR_H_
+#define GMREG_DIST_COORDINATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/gm_regularizer.h"
+#include "dist/job.h"
+#include "dist/wire.h"
+#include "optim/trainer.h"
+#include "util/status.h"
+
+namespace gmreg {
+
+struct DistCoordinatorOptions {
+  int world = 2;
+  /// Listen port; 0 picks an ephemeral one (read it back via port()).
+  int port = 0;
+  /// How long to wait for a worker to (re)connect before giving up.
+  int accept_timeout_ms = 30000;
+  /// Called when rank's connection dies, before the coordinator waits for
+  /// its replacement to connect — typically reaps the dead process and
+  /// forks a fresh worker (dist/launcher.cc). May be empty, in which case
+  /// the coordinator just waits for an external rejoin.
+  std::function<void(int rank)> respawn;
+};
+
+/// The dist run's brain: owns the listen socket and one connection per
+/// rank, and plugs into the Trainer as BOTH hook points —
+///
+///   GradientSource   every SGD step broadcasts the current weights, each
+///                    worker returns its slice's data-loss gradient, and
+///                    the coordinator folds them in fixed rank order with
+///                    float weight slice_rows/batch_size (rank 0 assigns);
+///   GmEStepExecutor  each GmRegularizer E-step farms ShardRange weight
+///                    slices out, concatenates the returned greg slices
+///                    (disjoint, exact) and folds the hex-float-encoded
+///                    suffstats in rank order via core/merge.h.
+///
+/// Model, optimizer, regularizer schedules, tracing, and checkpointing all
+/// stay in the (coordinator-side) Trainer, so the distributed run IS a
+/// Trainer::TrainWithSource run — bitwise identical to the in-process
+/// LocalSharded* reference of dist/local.h for the same world count.
+///
+/// Fault tolerance: workers are stateless (every request carries all state
+/// it needs), so when a connection dies mid-round the coordinator drops
+/// nothing — it reaps/respawns via the callback, admits the rejoining
+/// rank's Hello, and re-issues the SAME round to every rank. Replies are
+/// deterministic, so re-asking a healthy worker returns identical bytes;
+/// no partial round is ever applied. Coordinator death is the Trainer's
+/// existing checkpoint/Resume story (docs/CHECKPOINTING.md).
+class DistCoordinator : public GradientSource, public GmEStepExecutor {
+ public:
+  DistCoordinator(const DistJobSpec& spec,
+                  const std::vector<ParamRef>& trainer_params,
+                  const DistCoordinatorOptions& options);
+  ~DistCoordinator() override;
+
+  DistCoordinator(const DistCoordinator&) = delete;
+  DistCoordinator& operator=(const DistCoordinator&) = delete;
+
+  /// Binds the listen socket. Call before launching workers (they need the
+  /// port), then Admit() once they are up.
+  Status Listen();
+
+  /// Accepts connections until every rank has said Hello.
+  Status Admit();
+
+  int port() const { return port_; }
+  int world() const { return options_.world; }
+
+  /// Installs the dead-worker respawn callback after construction — the
+  /// launcher can only build it once the port is known and the worker pids
+  /// exist.
+  void set_respawn(std::function<void(int rank)> fn) {
+    options_.respawn = std::move(fn);
+  }
+
+  /// Sends kShutdown to every live worker and closes the connections.
+  void Shutdown();
+
+  // GradientSource ---------------------------------------------------------
+  double ComputeGradient(std::int64_t iteration, int epoch) override;
+
+  // GmEStepExecutor --------------------------------------------------------
+  void RunEStep(const GaussianMixture& gm, const float* w, std::int64_t n,
+                float* greg_out, GmSuffStats* stats) override;
+
+ private:
+  /// Sends frame `type`+`payload` to rank (false on a dead peer).
+  bool SendTo(int rank, DistFrame type, const std::string& payload);
+  /// Reads the next frame from rank, requiring `want` (false on death or
+  /// protocol violation — both are handled as a dead peer).
+  bool ReceiveFrom(int rank, DistFrame want, std::string* payload);
+  /// Drops rank's connection, runs the respawn callback, and blocks until
+  /// the rank rejoins (Hello/Welcome). Aborts after accept_timeout_ms —
+  /// losing a worker forever is not a state this subsystem continues from.
+  void RecoverRank(int rank);
+
+  DistJobSpec spec_;
+  std::vector<ParamRef> params_;
+  DistCoordinatorOptions options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::vector<int> conns_;  ///< fd per rank, -1 when down
+  std::int64_t estep_seq_ = 0;
+};
+
+}  // namespace gmreg
+
+#endif  // GMREG_DIST_COORDINATOR_H_

@@ -1,0 +1,118 @@
+#include "dist/job.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "data/preprocess.h"
+#include "data/synthetic.h"
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "util/logging.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace gmreg {
+
+Dataset BuildJobDataset(const DistJobSpec& spec) {
+  TabularData raw = spec.dataset == "hosp-fa"
+                        ? MakeHospFaLike(spec.data_seed)
+                        : MakeUciLike(spec.dataset, spec.data_seed);
+  Preprocessor prep;
+  return prep.FitTransformAll(raw);
+}
+
+std::unique_ptr<Sequential> BuildJobModel(const DistJobSpec& spec,
+                                          const Dataset& data) {
+  GMREG_CHECK_GT(spec.hidden, 0);
+  auto net = std::make_unique<Sequential>("dist_mlp");
+  Rng init_rng(spec.init_seed);
+  net->Emplace<Dense>("fc1", data.num_features(), spec.hidden,
+                      InitSpec::Gaussian(spec.init_stddev), &init_rng);
+  net->Emplace<Relu>("relu1");
+  net->Emplace<Dense>("fc2", static_cast<std::int64_t>(spec.hidden),
+                      static_cast<std::int64_t>(data.num_classes),
+                      InitSpec::Gaussian(spec.init_stddev), &init_rng);
+  return net;
+}
+
+TrainOptions BuildTrainOptions(const DistJobSpec& spec, const Dataset& data) {
+  TrainOptions opts;
+  opts.epochs = spec.epochs;
+  opts.batch_size = spec.batch_size;
+  opts.learning_rate = spec.learning_rate;
+  opts.momentum = spec.momentum;
+  opts.num_train_samples = data.num_samples();
+  opts.num_threads = 1;
+  opts.metrics_path = spec.metrics_path;
+  opts.run_label = spec.run_label;
+  opts.checkpoint_path = spec.checkpoint_path;
+  opts.checkpoint_every = spec.checkpoint_every;
+  return opts;
+}
+
+std::int64_t BatchesPerEpoch(const DistJobSpec& spec, const Dataset& data) {
+  GMREG_CHECK_GT(spec.batch_size, 0);
+  return std::max<std::int64_t>(1, data.num_samples() / spec.batch_size);
+}
+
+namespace {
+
+// Copies the rows [row_begin, row_end) of step `step`'s cyclic global batch
+// into `input`/`labels`.
+void FillBatchRows(const Dataset& data, const DistJobSpec& spec,
+                   std::int64_t step, std::int64_t row_begin,
+                   std::int64_t row_end, Tensor* input,
+                   std::vector<int>* labels) {
+  std::int64_t n = data.num_samples();
+  std::int64_t m = data.num_features();
+  std::int64_t count = row_end - row_begin;
+  GMREG_CHECK_GE(count, 0);
+  std::vector<std::int64_t> shape = {count, m};
+  if (input->shape() != shape) *input = Tensor(shape);
+  labels->resize(static_cast<std::size_t>(count));
+  const float* src = data.features.data();
+  float* dst = input->data();
+  for (std::int64_t i = 0; i < count; ++i) {
+    std::int64_t row = (step * spec.batch_size + row_begin + i) % n;
+    std::copy(src + row * m, src + (row + 1) * m, dst + i * m);
+    (*labels)[static_cast<std::size_t>(i)] =
+        data.labels[static_cast<std::size_t>(row)];
+  }
+}
+
+}  // namespace
+
+void FillGlobalBatch(const Dataset& data, const DistJobSpec& spec,
+                     std::int64_t step, Tensor* input,
+                     std::vector<int>* labels) {
+  FillBatchRows(data, spec, step, 0, spec.batch_size, input, labels);
+}
+
+void FillWorkerBatch(const Dataset& data, const DistJobSpec& spec,
+                     std::int64_t step, int rank, int world, Tensor* input,
+                     std::vector<int>* labels) {
+  GMREG_CHECK_GE(rank, 0);
+  GMREG_CHECK_LT(rank, world);
+  auto [begin, end] = ShardRange(rank, world, 0, spec.batch_size);
+  FillBatchRows(data, spec, step, begin, end, input, labels);
+}
+
+std::vector<GmRegularizer*> AttachJobRegularizers(const DistJobSpec& spec,
+                                                  Trainer* trainer) {
+  std::vector<GmRegularizer*> attached;
+  if (!spec.use_gm_reg) return attached;
+  GmOptions gm_opts;
+  gm_opts.num_components = spec.gm_components;
+  gm_opts.min_precision = MinPrecisionFromInitStdDev(spec.init_stddev);
+  gm_opts.num_threads = 1;
+  trainer->AttachToAllWeights(
+      [&](const ParamRef& p) -> std::unique_ptr<Regularizer> {
+        auto reg =
+            std::make_unique<GmRegularizer>(p.name, p.value->size(), gm_opts);
+        attached.push_back(reg.get());
+        return reg;
+      });
+  return attached;
+}
+
+}  // namespace gmreg

@@ -1,0 +1,90 @@
+#ifndef GMREG_DIST_JOB_H_
+#define GMREG_DIST_JOB_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/gm_regularizer.h"
+#include "data/dataset.h"
+#include "nn/sequential.h"
+#include "optim/trainer.h"
+
+namespace gmreg {
+
+/// One distributed (or local-sharded reference) training job, fully
+/// determined by value — the coordinator and every worker construct the
+/// SAME dataset, network, and batch schedule from the same spec, which is
+/// what lets workers be stateless: a batch is a pure function of
+/// (spec, global step, rank), never of worker history.
+struct DistJobSpec {
+  /// UciSpec name (e.g. "climate-model") or "hosp-fa".
+  std::string dataset = "hosp-fa";
+  std::uint64_t data_seed = 7;
+  std::uint64_t init_seed = 13;
+  int hidden = 16;                ///< width of the single hidden layer
+  int epochs = 3;
+  std::int64_t batch_size = 32;
+  double learning_rate = 0.05;
+  double momentum = 0.9;
+  bool use_gm_reg = true;
+  int gm_components = 4;
+  double init_stddev = 0.2;       ///< Dense init; also sets GM min precision
+  /// Forwarded to TrainOptions: per-epoch JSONL trace / checkpoint plumbing
+  /// (docs/OBSERVABILITY.md, docs/CHECKPOINTING.md).
+  std::string metrics_path;
+  std::string run_label = "dist";
+  std::string checkpoint_path;
+  int checkpoint_every = 1;
+  /// Restore checkpoint_path before training (Trainer::Resume); a missing
+  /// checkpoint falls back to a cold start.
+  bool resume = false;
+};
+
+/// Builds the job's dataset: synthetic Table-II stand-in (or the hosp-fa
+/// spec) generated from (dataset, data_seed), preprocessed whole.
+/// Deterministic in the spec.
+Dataset BuildJobDataset(const DistJobSpec& spec);
+
+/// Builds the job's network — Dense(M, hidden) / ReLU / Dense(hidden, C)
+/// with Gaussian(init_stddev) weights drawn from a fresh Rng(init_seed) —
+/// so every process holds a replica with identical shapes and, before any
+/// training, identical bits.
+std::unique_ptr<Sequential> BuildJobModel(const DistJobSpec& spec,
+                                          const Dataset& data);
+
+/// TrainOptions for the job (thread budget pinned to 1: the serial kernels
+/// are the determinism baseline all process counts agree on, and a budget
+/// of 1 keeps the process fork-safe — the global pool is never spun up).
+TrainOptions BuildTrainOptions(const DistJobSpec& spec, const Dataset& data);
+
+/// Steps per epoch: floor(N / batch_size), at least 1.
+std::int64_t BatchesPerEpoch(const DistJobSpec& spec, const Dataset& data);
+
+/// Fills the GLOBAL batch of step `step`: rows
+/// [(step * batch_size + i) % N for i in 0..batch_size) — a cyclic
+/// contiguous sweep, no RNG, so any process can materialize any step's
+/// batch from scratch.
+void FillGlobalBatch(const Dataset& data, const DistJobSpec& spec,
+                     std::int64_t step, Tensor* input,
+                     std::vector<int>* labels);
+
+/// Fills rank `rank`'s slice of step `step`'s global batch: the rows at
+/// ShardRange(rank, world, 0, batch_size) — the same boundary formula the
+/// in-process parallel kernels shard with (util/parallel.h), so the
+/// distributed split is the familiar deterministic one.
+void FillWorkerBatch(const Dataset& data, const DistJobSpec& spec,
+                     std::int64_t step, int rank, int world, Tensor* input,
+                     std::vector<int>* labels);
+
+/// Attaches a GmRegularizer (serial E/M, min precision from init_stddev)
+/// to every weight tensor of the trainer's network per the spec; returns
+/// the attached instances (owned by the trainer) so a caller can install a
+/// GmEStepExecutor on them. Empty when use_gm_reg is false.
+std::vector<GmRegularizer*> AttachJobRegularizers(const DistJobSpec& spec,
+                                                  Trainer* trainer);
+
+}  // namespace gmreg
+
+#endif  // GMREG_DIST_JOB_H_

@@ -1,0 +1,208 @@
+#include "dist/launcher.h"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "dist/coordinator.h"
+#include "dist/local.h"
+#include "dist/worker.h"
+#include "util/fault.h"
+#include "util/logging.h"
+#include "util/parallel.h"
+
+namespace gmreg {
+namespace {
+
+/// Copies the compared state (params, mixtures, gregs) out of a finished
+/// trainer run.
+void FillResult(const Trainer& trainer,
+                const std::vector<GmRegularizer*>& regs,
+                std::vector<EpochStats> stats, DistRunResult* out) {
+  out->stats = std::move(stats);
+  out->param_names.clear();
+  out->params.clear();
+  for (const ParamRef& p : trainer.params()) {
+    out->param_names.push_back(p.name);
+    out->params.push_back(*p.value);
+  }
+  out->pi.clear();
+  out->lambda.clear();
+  out->gregs.clear();
+  for (const GmRegularizer* reg : regs) {
+    out->pi.push_back(reg->mixture().pi());
+    out->lambda.push_back(reg->mixture().lambda());
+    out->gregs.push_back(reg->greg());
+  }
+}
+
+Status MaybeResume(const DistJobSpec& spec, Trainer* trainer) {
+  if (!spec.resume) return Status::Ok();
+  Status st = trainer->Resume();
+  if (st.code() == StatusCode::kNotFound) {
+    GMREG_LOG(Info) << "dist: no checkpoint to resume; cold start";
+    return Status::Ok();
+  }
+  return st;
+}
+
+/// Hosts the worker ranks for one RunDistJob: forked processes (the real
+/// shape) or in-process threads (sanitizer-friendly). Either way the
+/// workers speak the same sockets to the same coordinator.
+class WorkerHost {
+ public:
+  WorkerHost(const DistJobSpec& spec, int world, int port, WorkerLaunch mode)
+      : spec_(spec), world_(world), port_(port), mode_(mode) {
+    pids_.assign(static_cast<std::size_t>(world), -1);
+  }
+
+  void Spawn(int rank) {
+    if (mode_ == WorkerLaunch::kThread) {
+      DistWorkerOptions options{port_, rank, world_};
+      DistJobSpec spec = spec_;
+      threads_.emplace_back([spec, options] { RunDistWorker(spec, options); });
+      return;
+    }
+    pid_t pid = fork();
+    GMREG_CHECK_GE(pid, 0) << "fork failed";
+    if (pid == 0) {
+      // Worker child: drop every inherited descriptor (coordinator
+      // sockets, trace/checkpoint files) so connection EOFs stay crisp and
+      // nothing writes the parent's files; the worker opens its own.
+      for (int fd = 3; fd < 256; ++fd) close(fd);
+      DistWorkerOptions options{port_, rank, world_};
+      std::_Exit(RunDistWorker(spec_, options));
+    }
+    pids_[static_cast<std::size_t>(rank)] = pid;
+  }
+
+  void SpawnAll() {
+    for (int rank = 0; rank < world_; ++rank) Spawn(rank);
+  }
+
+  /// Dead-rank recovery: reap the corpse (fork mode), then start a
+  /// replacement. The coordinator blocks on its rejoin afterwards.
+  void Respawn(int rank) {
+    if (mode_ == WorkerLaunch::kFork) {
+      Reap(rank);
+    }
+    Spawn(rank);
+  }
+
+  /// Collects every worker after a clean Shutdown.
+  void JoinAll() {
+    if (mode_ == WorkerLaunch::kThread) {
+      for (std::thread& t : threads_) {
+        if (t.joinable()) t.join();
+      }
+      threads_.clear();
+      return;
+    }
+    for (int rank = 0; rank < world_; ++rank) Reap(rank);
+  }
+
+ private:
+  void Reap(int rank) {
+    pid_t pid = pids_[static_cast<std::size_t>(rank)];
+    if (pid < 0) return;
+    int wstatus = 0;
+    pid_t got = waitpid(pid, &wstatus, 0);
+    pids_[static_cast<std::size_t>(rank)] = -1;
+    if (got != pid) {
+      GMREG_LOG(Warning) << "dist: waitpid for rank " << rank << " failed";
+      return;
+    }
+    if (WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == kFaultCrashExitCode) {
+      GMREG_LOG(Warning) << "dist: rank " << rank
+                         << " died of an injected fault (exit "
+                         << kFaultCrashExitCode << ")";
+    } else if (!WIFEXITED(wstatus) || WEXITSTATUS(wstatus) != 0) {
+      GMREG_LOG(Warning) << "dist: rank " << rank
+                         << " exited abnormally (status " << wstatus << ")";
+    }
+  }
+
+  DistJobSpec spec_;
+  int world_;
+  int port_;
+  WorkerLaunch mode_;
+  std::vector<pid_t> pids_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace
+
+Status RunDistJob(const DistJobSpec& spec, int world, WorkerLaunch launch,
+                  DistRunResult* out) {
+  GMREG_CHECK_GE(world, 1);
+  // The job's determinism baseline AND the fork-safety precondition: with a
+  // budget of 1 the global pool is never created, so fork() cannot cut a
+  // pool thread in half.
+  SetDefaultNumThreads(1);
+  Dataset data = BuildJobDataset(spec);
+  std::unique_ptr<Sequential> net = BuildJobModel(spec, data);
+  Trainer trainer(net.get(), BuildTrainOptions(spec, data));
+  std::vector<GmRegularizer*> regs = AttachJobRegularizers(spec, &trainer);
+
+  DistCoordinatorOptions coptions;
+  coptions.world = world;
+  DistCoordinator coordinator(spec, trainer.params(), coptions);
+  GMREG_RETURN_IF_ERROR(coordinator.Listen());
+  WorkerHost host(spec, world, coordinator.port(), launch);
+  coordinator.set_respawn([&host](int rank) { host.Respawn(rank); });
+  host.SpawnAll();
+  GMREG_RETURN_IF_ERROR(coordinator.Admit());
+  for (GmRegularizer* reg : regs) reg->set_estep_executor(&coordinator);
+  GMREG_RETURN_IF_ERROR(MaybeResume(spec, &trainer));
+
+  std::vector<EpochStats> stats =
+      trainer.TrainWithSource(&coordinator, BatchesPerEpoch(spec, data));
+
+  for (GmRegularizer* reg : regs) reg->set_estep_executor(nullptr);
+  coordinator.Shutdown();
+  host.JoinAll();
+  FillResult(trainer, regs, std::move(stats), out);
+  return Status::Ok();
+}
+
+Status RunLocalShardedJob(const DistJobSpec& spec, int world,
+                          DistRunResult* out) {
+  GMREG_CHECK_GE(world, 1);
+  SetDefaultNumThreads(1);
+  Dataset data = BuildJobDataset(spec);
+  std::unique_ptr<Sequential> net = BuildJobModel(spec, data);
+  Trainer trainer(net.get(), BuildTrainOptions(spec, data));
+  std::vector<GmRegularizer*> regs = AttachJobRegularizers(spec, &trainer);
+  LocalShardedSource source(spec, &data, world, trainer.params());
+  LocalShardedEStep estep(world);
+  for (GmRegularizer* reg : regs) reg->set_estep_executor(&estep);
+  GMREG_RETURN_IF_ERROR(MaybeResume(spec, &trainer));
+  std::vector<EpochStats> stats =
+      trainer.TrainWithSource(&source, BatchesPerEpoch(spec, data));
+  for (GmRegularizer* reg : regs) reg->set_estep_executor(nullptr);
+  FillResult(trainer, regs, std::move(stats), out);
+  return Status::Ok();
+}
+
+Status RunSingleProcessJob(const DistJobSpec& spec, DistRunResult* out) {
+  SetDefaultNumThreads(1);
+  Dataset data = BuildJobDataset(spec);
+  std::unique_ptr<Sequential> net = BuildJobModel(spec, data);
+  Trainer trainer(net.get(), BuildTrainOptions(spec, data));
+  std::vector<GmRegularizer*> regs = AttachJobRegularizers(spec, &trainer);
+  GMREG_RETURN_IF_ERROR(MaybeResume(spec, &trainer));
+  std::int64_t step = 0;
+  std::vector<EpochStats> stats = trainer.Train(
+      [&](Tensor* input, std::vector<int>* labels) {
+        FillGlobalBatch(data, spec, step, input, labels);
+        ++step;
+      },
+      BatchesPerEpoch(spec, data));
+  FillResult(trainer, regs, std::move(stats), out);
+  return Status::Ok();
+}
+
+}  // namespace gmreg

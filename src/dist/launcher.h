@@ -1,0 +1,64 @@
+#ifndef GMREG_DIST_LAUNCHER_H_
+#define GMREG_DIST_LAUNCHER_H_
+
+#include <string>
+#include <vector>
+
+#include "dist/job.h"
+#include "optim/trainer.h"
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace gmreg {
+
+/// Everything the determinism tests / bench compare between runs: the
+/// per-epoch stats, the final parameter tensors, and each GM regularizer's
+/// learned state (mixture + cached greg). Deliberately excludes wall-clock
+/// (EpochStats::elapsed_seconds is compared with a seconds-skipping
+/// predicate, like the trace lines).
+struct DistRunResult {
+  std::vector<EpochStats> stats;
+  std::vector<std::string> param_names;
+  std::vector<Tensor> params;
+  // Parallel arrays, one entry per attached GmRegularizer (network order).
+  std::vector<std::vector<double>> pi;
+  std::vector<std::vector<double>> lambda;
+  std::vector<Tensor> gregs;
+};
+
+/// How RunDistJob hosts its workers.
+enum class WorkerLaunch {
+  /// fork() one process per rank — the real deployment shape, and the only
+  /// mode that survives GMREG_FAULT=crash_after_step kills. Requires the
+  /// serial thread budget (the job pins it) so the process is fork-safe.
+  kFork,
+  /// One std::thread per rank inside this process, still talking real
+  /// loopback sockets. Sanitizer-friendly (no fork), used by
+  /// dist_train_test; incompatible with crash faults (a worker _Exit would
+  /// take the whole process down).
+  kThread,
+};
+
+/// Runs the full distributed job: coordinator-side Trainer +
+/// `world` workers, gradients and E-steps exchanged over loopback. With
+/// spec.resume set, continues from spec.checkpoint_path (NotFound falls
+/// back to a cold start). Blocking; returns once training and worker
+/// teardown finish.
+Status RunDistJob(const DistJobSpec& spec, int world, WorkerLaunch launch,
+                  DistRunResult* out);
+
+/// The single-process reference: the identical Trainer run with the
+/// dist/local.h sharded source and E-step executor standing in for the
+/// workers. RunDistJob(spec, W) must match this bit for bit — weights,
+/// mixture, greg, and per-epoch trace fields (docs/DISTRIBUTED.md).
+Status RunLocalShardedJob(const DistJobSpec& spec, int world,
+                          DistRunResult* out);
+
+/// The vanilla path: plain Trainer::Train over the job's global cyclic
+/// batches, no source, no executor. RunDistJob(spec, 1) and
+/// RunLocalShardedJob(spec, 1) both degenerate to this bit for bit.
+Status RunSingleProcessJob(const DistJobSpec& spec, DistRunResult* out);
+
+}  // namespace gmreg
+
+#endif  // GMREG_DIST_LAUNCHER_H_

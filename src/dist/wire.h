@@ -1,0 +1,147 @@
+#ifndef GMREG_DIST_WIRE_H_
+#define GMREG_DIST_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/gaussian_mixture.h"
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace gmreg {
+
+// ---------------------------------------------------------------------------
+// Message bodies of the coordinator/worker protocol (docs/DISTRIBUTED.md).
+//
+// Transport framing (length prefix + type byte) is util/net.h WriteFrame /
+// ReadFrame; this header defines the payload encodings. Tensors travel as
+// raw IEEE-754 float/double bytes — bit-exact by construction — and the GM
+// sufficient statistics as the hex-float text record of core/merge.h. All
+// integers are little-endian. The protocol is single-host by design
+// (loopback sockets between processes sharing one build), so no
+// cross-architecture concessions are made beyond fixing the byte order.
+// ---------------------------------------------------------------------------
+
+/// Frame type byte of every dist message.
+enum class DistFrame : std::uint8_t {
+  kHello = 1,         ///< worker -> coordinator: rank + world (also rejoin)
+  kWelcome = 2,       ///< coordinator -> worker: admission ack
+  kGradRequest = 3,   ///< coordinator -> worker: step + current weights
+  kGradReply = 4,     ///< worker -> coordinator: step + loss + gradients
+  kEStepRequest = 5,  ///< coordinator -> worker: mixture + weight slice
+  kEStepReply = 6,    ///< worker -> coordinator: greg slice and/or stats
+  kShutdown = 7,      ///< coordinator -> worker: clean exit
+};
+
+/// Appends POD values to a payload string / reads them back in order.
+/// Integers are written little-endian; floating-point values as their raw
+/// IEEE bytes (exact round trip). Read methods return false on truncation.
+class WireWriter {
+ public:
+  void PutU8(std::uint8_t v);
+  void PutU32(std::uint32_t v);
+  void PutU64(std::uint64_t v);
+  void PutI64(std::int64_t v);
+  void PutDouble(double v);
+  void PutFloats(const float* data, std::int64_t count);  ///< count + bytes
+  void PutDoubles(const double* data, std::int64_t count);
+  void PutString(const std::string& s);  ///< u32 length + bytes
+
+  const std::string& payload() const { return payload_; }
+  std::string Take() { return std::move(payload_); }
+
+ private:
+  std::string payload_;
+};
+
+class WireReader {
+ public:
+  explicit WireReader(const std::string& payload) : payload_(payload) {}
+
+  bool GetU8(std::uint8_t* v);
+  bool GetU32(std::uint32_t* v);
+  bool GetU64(std::uint64_t* v);
+  bool GetI64(std::int64_t* v);
+  bool GetDouble(double* v);
+  bool GetFloats(std::vector<float>* out);  ///< paired with PutFloats
+  bool GetDoubles(std::vector<double>* out);
+  bool GetString(std::string* out);
+
+  /// True when every payload byte has been consumed — message decoders
+  /// require this so trailing garbage is an error, not silently ignored.
+  bool AtEnd() const { return pos_ == payload_.size(); }
+
+ private:
+  bool Take(void* dst, std::size_t n);
+
+  const std::string& payload_;
+  std::size_t pos_ = 0;
+};
+
+/// kHello payload. A rejoining (respawned) worker sends the identical
+/// message — admission and re-admission are the same code path.
+struct HelloMsg {
+  std::uint32_t rank = 0;
+  std::uint32_t world = 0;
+
+  std::string Encode() const;
+  static Status Decode(const std::string& payload, HelloMsg* out);
+};
+
+/// kGradRequest payload: the global step to compute plus every parameter
+/// tensor's current values (flat float bytes, in the trainer's fixed
+/// parameter order). Stateless by design: it carries everything a freshly
+/// respawned worker needs to serve it.
+struct GradRequestMsg {
+  std::int64_t step = 0;
+  std::int64_t epoch = 0;
+  std::vector<std::vector<float>> params;
+
+  std::string Encode() const;
+  static Status Decode(const std::string& payload, GradRequestMsg* out);
+};
+
+/// kGradReply payload: the step echoed back, the slice's batch loss, and
+/// the per-parameter data-loss gradients of this rank's rows.
+struct GradReplyMsg {
+  std::int64_t step = 0;
+  double loss = 0.0;
+  std::vector<std::vector<float>> grads;
+
+  std::string Encode() const;
+  static Status Decode(const std::string& payload, GradReplyMsg* out);
+};
+
+/// kEStepRequest payload: one E-step slice job — the current mixture (raw
+/// double bytes), which outputs are wanted, and the weight slice
+/// [slice_begin, slice_begin + w.size()) of the regularized tensor.
+struct EStepRequestMsg {
+  std::int64_t seq = 0;  ///< coordinator's E-step round counter (echoed)
+  bool want_greg = false;
+  bool want_stats = false;
+  std::vector<double> pi;
+  std::vector<double> lambda;
+  std::int64_t slice_begin = 0;
+  std::vector<float> w;
+
+  std::string Encode() const;
+  static Status Decode(const std::string& payload, EStepRequestMsg* out);
+};
+
+/// kEStepReply payload: the slice's greg values (when requested) and/or
+/// its GM sufficient statistics as a core/merge.h hex-float record (exact
+/// round trip — the coordinator's rank-order fold of these equals the
+/// in-process merge bit for bit).
+struct EStepReplyMsg {
+  std::int64_t seq = 0;
+  std::vector<float> greg;    ///< empty when not requested
+  std::string stats_encoded;  ///< empty when not requested
+
+  std::string Encode() const;
+  static Status Decode(const std::string& payload, EStepReplyMsg* out);
+};
+
+}  // namespace gmreg
+
+#endif  // GMREG_DIST_WIRE_H_

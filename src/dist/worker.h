@@ -1,0 +1,35 @@
+#ifndef GMREG_DIST_WORKER_H_
+#define GMREG_DIST_WORKER_H_
+
+#include "dist/job.h"
+
+namespace gmreg {
+
+struct DistWorkerOptions {
+  int port = 0;   ///< coordinator's loopback port
+  int rank = 0;
+  int world = 1;
+};
+
+/// Runs one worker to completion: connect, Hello/Welcome, then serve
+/// GradRequest / EStepRequest frames until a Shutdown frame (returns 0) or
+/// the connection drops (returns 1 — the coordinator died; there is nothing
+/// to fail over to). Returned as an exit code by tools/gmreg_dist and the
+/// forked launcher children.
+///
+/// Workers are deliberately STATELESS between requests: every request
+/// carries the weights / mixture it is to be evaluated against, and the
+/// batch rows are a pure function of (job spec, step, rank). Two
+/// consequences the fault story rests on: serving a request twice returns
+/// identical bytes, and a freshly respawned worker is indistinguishable
+/// from the one it replaces (docs/DISTRIBUTED.md).
+///
+/// Fault injection: after serving the gradient for step N with
+/// GMREG_FAULT=crash_after_step:N armed, the worker exits hard
+/// (kFaultCrashExitCode) — the mid-epoch kill dist_fault_test recovers
+/// from. The match is exact, so the respawned worker sails past step N+1.
+int RunDistWorker(const DistJobSpec& spec, const DistWorkerOptions& options);
+
+}  // namespace gmreg
+
+#endif  // GMREG_DIST_WORKER_H_

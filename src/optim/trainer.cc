@@ -164,8 +164,41 @@ double Trainer::Step(const Tensor& input, const std::vector<int>& labels) {
   return loss;
 }
 
+double Trainer::StepWithSource(GradientSource* source) {
+  GMREG_CHECK(source != nullptr);
+  double scale = 1.0 / static_cast<double>(opts_.num_train_samples);
+  sgd_.ZeroGrad();
+  double loss = source->ComputeGradient(iteration_, epoch_);
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    if (regs_[k] == nullptr) continue;
+    regs_[k]->AccumulateGradient(*params_[k].value, iteration_, epoch_, scale,
+                                 params_[k].grad);
+  }
+  sgd_.Step();
+  ++iteration_;
+  return loss;
+}
+
 std::vector<EpochStats> Trainer::Train(const BatchFn& next_batch,
                                        std::int64_t batches_per_epoch) {
+  Tensor input;
+  std::vector<int> labels;
+  return TrainLoop(
+      [&] {
+        next_batch(&input, &labels);
+        return Step(input, labels);
+      },
+      batches_per_epoch);
+}
+
+std::vector<EpochStats> Trainer::TrainWithSource(
+    GradientSource* source, std::int64_t batches_per_epoch) {
+  GMREG_CHECK(source != nullptr);
+  return TrainLoop([&] { return StepWithSource(source); }, batches_per_epoch);
+}
+
+std::vector<EpochStats> Trainer::TrainLoop(
+    const std::function<double()>& run_step, std::int64_t batches_per_epoch) {
   GMREG_CHECK_GT(batches_per_epoch, 0);
   std::vector<EpochStats> stats;
   if (start_epoch_ >= opts_.epochs) {
@@ -188,8 +221,6 @@ std::vector<EpochStats> Trainer::Train(const BatchFn& next_batch,
   const bool checkpointing =
       !opts_.checkpoint_path.empty() && opts_.checkpoint_every > 0;
   FaultInjector& fault = FaultInjector::Global();
-  Tensor input;
-  std::vector<int> labels;
   iteration_ = start_iteration_;
   Stopwatch watch;
   for (int epoch = start_epoch_; epoch < opts_.epochs; ++epoch) {
@@ -202,8 +233,7 @@ std::vector<EpochStats> Trainer::Train(const BatchFn& next_batch,
     }
     double loss_sum = 0.0;
     for (std::int64_t b = 0; b < batches_per_epoch; ++b) {
-      next_batch(&input, &labels);
-      loss_sum += Step(input, labels);
+      loss_sum += run_step();
     }
     iterations_counter->Add(batches_per_epoch);
     epochs_counter->Add(1);

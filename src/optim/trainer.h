@@ -65,6 +65,25 @@ struct EpochStats {
   double elapsed_seconds = 0.0;
 };
 
+/// Pluggable producer of the data-loss gradient for one SGD step. The
+/// default Trainer path (Step/Train) computes it in process via
+/// forward/backward on a caller-supplied batch; a GradientSource lets the
+/// gradient come from somewhere else — the distributed coordinator
+/// (src/dist) farms per-rank sub-batches out to workers and folds their
+/// gradients in fixed rank order. Everything around the gradient (the
+/// regularizer E/M interleave, the SGD update, tracing, checkpointing)
+/// stays in the Trainer, so both paths share one bit-identical loop.
+class GradientSource {
+ public:
+  virtual ~GradientSource() = default;
+
+  /// Called with every parameter's grad already zeroed; fills the grads
+  /// with the data-loss gradient for global step `iteration` (0-based, the
+  /// trainer's iteration counter) and returns the batch loss. `epoch` is
+  /// the 0-based epoch the step belongs to.
+  virtual double ComputeGradient(std::int64_t iteration, int epoch) = 0;
+};
+
 /// Drives the paper's interleaved update loop (Algorithms 1 and 2): per
 /// iteration it computes `gll` via forward/backward, lets each attached
 /// Regularizer add its `greg` (adaptive ones also run their E/M steps on
@@ -118,11 +137,24 @@ class Trainer {
   /// internally (Train() sets the epoch; standalone use stays at epoch 0).
   double Step(const Tensor& input, const std::vector<int>& labels);
 
+  /// Step() with the data-loss gradient supplied by `source` instead of an
+  /// in-process forward/backward: zero grads, source->ComputeGradient,
+  /// regularizer gradients, optimizer update. Returns the batch loss.
+  double StepWithSource(GradientSource* source);
+
   /// Runs epochs [start, opts.epochs) of `batches_per_epoch` iterations
   /// each, where start is 0 for a cold start or the restored epoch cursor
   /// after Resume(). Returns stats for the epochs actually run.
   std::vector<EpochStats> Train(const BatchFn& next_batch,
                                 std::int64_t batches_per_epoch);
+
+  /// Train() with every step's data-loss gradient supplied by `source`.
+  /// Shares the exact epoch loop with Train() — lr schedule, tracing,
+  /// checkpointing, fault kill points — so a source that reproduces the
+  /// in-process gradient bitwise reproduces the whole run bitwise
+  /// (docs/DISTRIBUTED.md).
+  std::vector<EpochStats> TrainWithSource(GradientSource* source,
+                                          std::int64_t batches_per_epoch);
 
   /// Mean accuracy of the network (eval mode) on `inputs`/`labels`,
   /// processed in chunks of `eval_batch` rows along dim 0.
@@ -145,6 +177,11 @@ class Trainer {
   /// `iteration` SGD steps done) into a TrainingCheckpoint.
   TrainingCheckpoint BuildCheckpoint(int completed_epochs,
                                      std::int64_t iteration) const;
+
+  /// The epoch loop shared by Train and TrainWithSource: `run_step` runs
+  /// one SGD step (fetching its own batch) and returns the batch loss.
+  std::vector<EpochStats> TrainLoop(const std::function<double()>& run_step,
+                                    std::int64_t batches_per_epoch);
 
   Layer* net_;
   TrainOptions opts_;

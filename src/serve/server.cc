@@ -17,6 +17,7 @@
 #include "tensor/tensor.h"
 #include "util/json_writer.h"
 #include "util/logging.h"
+#include "util/net.h"
 #include "util/string_util.h"
 
 namespace gmreg {
@@ -61,20 +62,6 @@ int HttpStatusFor(const Status& st) {
     case StatusCode::kFailedPrecondition: return 503;  // no model / draining
     default: return 500;
   }
-}
-
-bool SendAll(int fd, const std::string& data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
-                       MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
 }
 
 char AsciiLower(char c) {
@@ -158,36 +145,12 @@ Status Server::Start() {
   if (running_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("server already running");
   }
-  listen_fd_ =
-      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0) {
-    return Status::Internal(StrFormat("socket: %s", std::strerror(errno)));
-  }
-  int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_ANY);
-  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    Status st = Status::Internal(StrFormat("bind to port %d: %s",
-                                           options_.port,
-                                           std::strerror(errno)));
-    ::close(listen_fd_);
+  Status listen_st = CreateListenSocket(options_.port, /*nonblocking=*/true,
+                                        &listen_fd_, &port_);
+  if (!listen_st.ok()) {
     listen_fd_ = -1;
-    return st;
+    return listen_st;
   }
-  if (::listen(listen_fd_, 512) != 0) {
-    Status st =
-        Status::Internal(StrFormat("listen: %s", std::strerror(errno)));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return st;
-  }
-  socklen_t addr_len = sizeof(addr);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
-  port_ = static_cast<int>(ntohs(addr.sin_port));
 
   epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
   wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
@@ -837,21 +800,7 @@ std::string HttpClient::Serialize(const std::string& method,
 
 Status HttpClient::Connect() {
   if (fd_ >= 0) return Status::Ok();
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) {
-    return Status::Internal(StrFormat("socket: %s", std::strerror(errno)));
-  }
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(port_));
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    Status st = Status::Internal(StrFormat("connect to 127.0.0.1:%d: %s",
-                                           port_, std::strerror(errno)));
-    ::close(fd_);
-    fd_ = -1;
-    return st;
-  }
+  GMREG_RETURN_IF_ERROR(ConnectLoopback(port_, &fd_));
   buf_.clear();
   return Status::Ok();
 }

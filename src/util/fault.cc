@@ -50,6 +50,7 @@ Status FaultInjector::Configure(const std::string& spec) {
   double write_fail_p = 0.0;
   bool torn_write = false;
   std::int64_t crash_after_epoch = -1;
+  std::int64_t crash_after_step = -1;
   for (const std::string& directive : SplitOn(spec, ',')) {
     if (directive.empty()) continue;
     std::size_t colon = directive.find(':');
@@ -85,6 +86,18 @@ Status FaultInjector::Configure(const std::string& spec) {
             StrFormat("crash_after_epoch index %lld is negative", n));
       }
       crash_after_epoch = n;
+    } else if (name == "crash_after_step") {
+      char* end = nullptr;
+      long long n = std::strtoll(arg.c_str(), &end, 10);
+      if (arg.empty() || end == arg.c_str() || *end != '\0') {
+        return Status::InvalidArgument(
+            "crash_after_step needs a step index, got '" + arg + "'");
+      }
+      if (n < 0) {
+        return Status::OutOfRange(
+            StrFormat("crash_after_step index %lld is negative", n));
+      }
+      crash_after_step = n;
     } else {
       return Status::InvalidArgument("unknown fault directive '" + name + "'");
     }
@@ -93,6 +106,7 @@ Status FaultInjector::Configure(const std::string& spec) {
   write_fail_p_ = write_fail_p;
   torn_write_ = torn_write;
   crash_after_epoch_ = crash_after_epoch;
+  crash_after_step_ = crash_after_step;
   rng_ = Rng(kFaultRngSeed);
   return Status::Ok();
 }
@@ -102,12 +116,14 @@ void FaultInjector::Reset() {
   write_fail_p_ = 0.0;
   torn_write_ = false;
   crash_after_epoch_ = -1;
+  crash_after_step_ = -1;
   rng_ = Rng(kFaultRngSeed);
 }
 
 bool FaultInjector::enabled() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return write_fail_p_ > 0.0 || torn_write_ || crash_after_epoch_ >= 0;
+  return write_fail_p_ > 0.0 || torn_write_ || crash_after_epoch_ >= 0 ||
+         crash_after_step_ >= 0;
 }
 
 bool FaultInjector::ShouldFailWrite() {
@@ -136,6 +152,21 @@ void FaultInjector::MaybeCrashAfterEpoch(std::int64_t epoch) {
   }
   GMREG_LOG(Warning) << "fault injection: simulated crash after epoch "
                      << epoch << " (exit " << kFaultCrashExitCode << ")";
+  std::_Exit(kFaultCrashExitCode);
+}
+
+std::int64_t FaultInjector::crash_after_step() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crash_after_step_;
+}
+
+void FaultInjector::MaybeCrashAfterStep(std::int64_t step) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crash_after_step_ < 0 || step != crash_after_step_) return;
+  }
+  GMREG_LOG(Warning) << "fault injection: simulated crash after step "
+                     << step << " (exit " << kFaultCrashExitCode << ")";
   std::_Exit(kFaultCrashExitCode);
 }
 

@@ -29,6 +29,13 @@ inline constexpr int kFaultCrashExitCode = 42;
 ///                         kFaultCrashExitCode right after completing epoch
 ///                         index N (0-based) and writing its checkpoint —
 ///                         no destructors, no stream flushes, like a kill
+///   crash_after_step:N    a dist worker (src/dist/worker.cc) calls
+///                         std::_Exit with kFaultCrashExitCode right after
+///                         serving the gradient for global step index N —
+///                         a mid-epoch kill, the fault the coordinator's
+///                         rejoin path must absorb. Exact-match (== N, not
+///                         >= N), so a respawned process that joins at a
+///                         later step does not crash again
 ///
 /// e.g. GMREG_FAULT=write_fail:0.5,crash_after_epoch:3
 ///
@@ -63,6 +70,13 @@ class FaultInjector {
   /// crash_after_epoch fault is armed and `epoch` has reached it.
   void MaybeCrashAfterEpoch(std::int64_t epoch);
 
+  /// Step index at which to crash, or -1 when disarmed.
+  std::int64_t crash_after_step() const;
+
+  /// Crashes the process when the crash_after_step fault is armed and
+  /// `step` equals it exactly (see the grammar note above).
+  void MaybeCrashAfterStep(std::int64_t step);
+
   // Introspection (tests).
   double write_fail_probability() const;
   bool torn_write_armed() const;
@@ -74,6 +88,7 @@ class FaultInjector {
   double write_fail_p_ = 0.0;
   bool torn_write_ = false;
   std::int64_t crash_after_epoch_ = -1;
+  std::int64_t crash_after_step_ = -1;
   Rng rng_;
 };
 

@@ -1,0 +1,200 @@
+#include "util/net.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/string_util.h"
+
+namespace gmreg {
+namespace {
+
+// Small request/reply frames over loopback stall for tens of milliseconds
+// per round trip under Nagle + delayed ACK; every connection here is
+// latency-bound, not throughput-bound, so disable coalescing everywhere.
+void SetTcpNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+bool SendAllFlags(int fd, const void* data, std::size_t size, int flags) {
+  const char* p = static_cast<const char*>(data);
+  std::size_t sent = 0;
+  while (sent < size) {
+    ssize_t n = ::send(fd, p + sent, size - sent, MSG_NOSIGNAL | flags);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Status CreateListenSocket(int port, bool nonblocking, int* fd,
+                          int* bound_port) {
+  int flags = SOCK_STREAM | SOCK_CLOEXEC;
+  if (nonblocking) flags |= SOCK_NONBLOCK;
+  int listen_fd = ::socket(AF_INET, flags, 0);
+  if (listen_fd < 0) {
+    return Status::Internal(StrFormat("socket: %s", std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status st = Status::Internal(
+        StrFormat("bind to port %d: %s", port, std::strerror(errno)));
+    CloseFd(listen_fd);
+    return st;
+  }
+  if (::listen(listen_fd, 512) != 0) {
+    Status st =
+        Status::Internal(StrFormat("listen: %s", std::strerror(errno)));
+    CloseFd(listen_fd);
+    return st;
+  }
+  if (bound_port != nullptr) {
+    socklen_t addr_len = sizeof(addr);
+    ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+    *bound_port = static_cast<int>(ntohs(addr.sin_port));
+  }
+  *fd = listen_fd;
+  return Status::Ok();
+}
+
+Status ConnectLoopback(int port, int* fd) {
+  int sock = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (sock < 0) {
+    return Status::Internal(StrFormat("socket: %s", std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  int rc;
+  do {
+    rc = ::connect(sock, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    Status st = Status::Internal(StrFormat("connect to 127.0.0.1:%d: %s",
+                                           port, std::strerror(errno)));
+    CloseFd(sock);
+    return st;
+  }
+  SetTcpNoDelay(sock);
+  *fd = sock;
+  return Status::Ok();
+}
+
+Status AcceptWithTimeout(int listen_fd, int timeout_ms, int* fd) {
+  pollfd pfd{};
+  pfd.fd = listen_fd;
+  pfd.events = POLLIN;
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    return Status::Internal(StrFormat("poll: %s", std::strerror(errno)));
+  }
+  if (rc == 0) {
+    return Status::DeadlineExceeded(
+        StrFormat("no connection within %d ms", timeout_ms));
+  }
+  int sock;
+  do {
+    sock = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+  } while (sock < 0 && errno == EINTR);
+  if (sock < 0) {
+    return Status::Internal(StrFormat("accept: %s", std::strerror(errno)));
+  }
+  SetTcpNoDelay(sock);
+  *fd = sock;
+  return Status::Ok();
+}
+
+bool SendAll(int fd, const std::string& data) {
+  return SendAllBytes(fd, data.data(), data.size());
+}
+
+bool SendAllBytes(int fd, const void* data, std::size_t size) {
+  return SendAllFlags(fd, data, size, 0);
+}
+
+Status ReadFull(int fd, void* buf, std::size_t size) {
+  char* p = static_cast<char*>(buf);
+  std::size_t got = 0;
+  while (got < size) {
+    ssize_t n = ::recv(fd, p + got, size - got, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      return Status::Internal(StrFormat("recv: %s", std::strerror(errno)));
+    }
+    if (n == 0) {
+      return Status::Unavailable(
+          StrFormat("peer closed after %d of %d bytes",
+                    static_cast<int>(got), static_cast<int>(size)));
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status WriteFrame(int fd, std::uint8_t type, const std::string& payload) {
+  char header[5];
+  std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  header[0] = static_cast<char>(len & 0xff);
+  header[1] = static_cast<char>((len >> 8) & 0xff);
+  header[2] = static_cast<char>((len >> 16) & 0xff);
+  header[3] = static_cast<char>((len >> 24) & 0xff);
+  header[4] = static_cast<char>(type);
+  // MSG_MORE holds the header until the payload follows — one packet per
+  // frame instead of a Nagle-stalled header/payload pair.
+  if (!SendAllFlags(fd, header, sizeof(header),
+                    payload.empty() ? 0 : MSG_MORE)) {
+    return Status::Unavailable("frame header send failed");
+  }
+  if (!payload.empty() && !SendAll(fd, payload)) {
+    return Status::Unavailable("frame payload send failed");
+  }
+  return Status::Ok();
+}
+
+Status ReadFrame(int fd, std::uint8_t* type, std::string* payload,
+                 std::uint32_t max_payload) {
+  unsigned char header[5];
+  GMREG_RETURN_IF_ERROR(ReadFull(fd, header, sizeof(header)));
+  std::uint32_t len = static_cast<std::uint32_t>(header[0]) |
+                      (static_cast<std::uint32_t>(header[1]) << 8) |
+                      (static_cast<std::uint32_t>(header[2]) << 16) |
+                      (static_cast<std::uint32_t>(header[3]) << 24);
+  if (len > max_payload) {
+    return Status::InvalidArgument(
+        StrFormat("frame payload of %u bytes exceeds the %u-byte cap", len,
+                  max_payload));
+  }
+  *type = static_cast<std::uint8_t>(header[4]);
+  payload->resize(len);
+  if (len > 0) {
+    GMREG_RETURN_IF_ERROR(ReadFull(fd, payload->data(), len));
+  }
+  return Status::Ok();
+}
+
+void CloseFd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace gmreg

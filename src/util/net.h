@@ -1,0 +1,73 @@
+#ifndef GMREG_UTIL_NET_H_
+#define GMREG_UTIL_NET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace gmreg {
+
+/// Shared POSIX socket helpers for the loopback protocols in this tree:
+/// the HTTP serving front door (src/serve) and the distributed training
+/// coordinator/worker link (src/dist). Everything here is blocking unless
+/// stated otherwise; the serve event loop keeps its own nonblocking I/O and
+/// uses only the listen-socket setup and SendAll from this file.
+///
+/// All calls retry on EINTR and never raise SIGPIPE (MSG_NOSIGNAL).
+
+/// Creates an AF_INET listen socket bound to INADDR_ANY:`port` (0 picks an
+/// ephemeral port) with SO_REUSEADDR, backlog 512 and CLOEXEC set. When
+/// `nonblocking` is true the socket is created SOCK_NONBLOCK (the serve
+/// epoll loop wants that; the dist coordinator uses blocking accepts).
+/// On success stores the fd in `*fd` and the actually-bound port in
+/// `*bound_port` (may be null).
+Status CreateListenSocket(int port, bool nonblocking, int* fd,
+                          int* bound_port);
+
+/// Connects a blocking CLOEXEC stream socket to 127.0.0.1:`port`.
+Status ConnectLoopback(int port, int* fd);
+
+/// Waits up to `timeout_ms` for a pending connection on `listen_fd`, then
+/// accepts it (blocking, CLOEXEC). DeadlineExceeded on timeout.
+Status AcceptWithTimeout(int listen_fd, int timeout_ms, int* fd);
+
+/// Writes all of `data`, retrying on EINTR and short writes. False on any
+/// other error (peer gone, fd closed).
+bool SendAll(int fd, const std::string& data);
+
+/// Binary-buffer overload of SendAll.
+bool SendAllBytes(int fd, const void* data, std::size_t size);
+
+/// Reads exactly `size` bytes, retrying on EINTR and short reads. An EOF
+/// before `size` bytes is Unavailable (the peer closed the connection —
+/// the dist coordinator treats that as a dead worker).
+Status ReadFull(int fd, void* buf, std::size_t size);
+
+// ---------------------------------------------------------------------------
+// Length-prefixed framing (the dist wire format's transport layer).
+//
+// One frame = u32 payload length (little-endian) + u8 frame type + payload.
+// The length covers the payload only. A reader that sees a length above
+// `max_payload` fails with InvalidArgument instead of allocating — a
+// corrupt or hostile peer must not drive the process out of memory.
+// ---------------------------------------------------------------------------
+
+/// Frames larger than this are rejected on read (1 GiB — far above any
+/// gradient or suffstat message, far below an allocation-of-garbage).
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 30;
+
+/// Writes one `type` frame carrying `payload`.
+Status WriteFrame(int fd, std::uint8_t type, const std::string& payload);
+
+/// Reads one frame into `*type` / `*payload`. Unavailable on clean EOF at
+/// a frame boundary (peer hung up), InvalidArgument on an oversized length.
+Status ReadFrame(int fd, std::uint8_t* type, std::string* payload,
+                 std::uint32_t max_payload = kMaxFramePayload);
+
+/// Closes `fd` if >= 0 (EINTR-safe); no-op otherwise.
+void CloseFd(int fd);
+
+}  // namespace gmreg
+
+#endif  // GMREG_UTIL_NET_H_

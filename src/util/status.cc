@@ -17,6 +17,10 @@ const char* CodeName(StatusCode code) {
       return "NotFound";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

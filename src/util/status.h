@@ -16,6 +16,8 @@ enum class StatusCode {
   kFailedPrecondition,
   kNotFound,
   kInternal,
+  kUnavailable,
+  kDeadlineExceeded,
 };
 
 /// Lightweight status object. Cheap to copy in the OK case (no allocation);
@@ -43,6 +45,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

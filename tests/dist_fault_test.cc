@@ -1,0 +1,237 @@
+// Kill-and-resume fault tolerance of src/dist (docs/DISTRIBUTED.md), with
+// real fork()ed worker processes and real std::_Exit crashes:
+//
+//  * worker kill: every worker crashes mid-epoch (crash_after_step), the
+//    coordinator respawns and re-issues the round, and the result is still
+//    bitwise identical to the fault-free reference;
+//  * coordinator kill: the whole job dies at an epoch boundary
+//    (crash_after_epoch), a resumed run picks up from the checkpoint, and
+//    result + concatenated trace match an uninterrupted run bit for bit.
+//
+// fork + injected _Exit don't mix with sanitizer runtimes, so this binary
+// carries only the `ci` label (see tests/CMakeLists.txt).
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "dist/launcher.h"
+#include "io/checkpoint.h"
+#include "testutil/gmreg_testutil.h"
+#include "util/fault.h"
+#include "util/json_writer.h"
+#include "util/metrics.h"
+
+namespace gmreg {
+namespace {
+
+using ::gmreg::testing::ExpectTensorBitwiseEqual;
+using ::gmreg::testing::TempPath;
+
+std::uint64_t Bits(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  return bits;
+}
+
+DistJobSpec MakeSpec() {
+  DistJobSpec spec;
+  spec.dataset = "climate-model";  // 540 rows / batch 32 = 16 steps/epoch
+  spec.epochs = 2;
+  spec.batch_size = 32;
+  spec.hidden = 8;
+  return spec;
+}
+
+void ExpectFinalStateBitwiseEqual(const DistRunResult& a,
+                                  const DistRunResult& b,
+                                  const std::string& what) {
+  ASSERT_EQ(a.param_names, b.param_names) << what;
+  for (std::size_t p = 0; p < a.params.size(); ++p) {
+    ExpectTensorBitwiseEqual(a.params[p], b.params[p],
+                             what + " param " + a.param_names[p]);
+  }
+  ASSERT_EQ(a.pi.size(), b.pi.size()) << what;
+  for (std::size_t r = 0; r < a.pi.size(); ++r) {
+    ASSERT_EQ(a.pi[r].size(), b.pi[r].size()) << what;
+    for (std::size_t k = 0; k < a.pi[r].size(); ++k) {
+      EXPECT_EQ(Bits(a.pi[r][k]), Bits(b.pi[r][k]))
+          << what << " reg " << r << " pi " << k;
+      EXPECT_EQ(Bits(a.lambda[r][k]), Bits(b.lambda[r][k]))
+          << what << " reg " << r << " lambda " << k;
+    }
+  }
+  for (std::size_t r = 0; r < a.gregs.size(); ++r) {
+    ExpectTensorBitwiseEqual(a.gregs[r], b.gregs[r], what + " greg");
+  }
+}
+
+TEST(DistFaultTest, WorkerCrashMidEpochRecoversBitIdentical) {
+  // crash_after_step:5 is inherited by every fork()ed worker, so both
+  // ranks _Exit right after serving step 5 (the reply is already on the
+  // wire — TCP delivers buffered bytes on close). The coordinator sees the
+  // dead connections on the step-6 round, respawns both ranks, re-issues
+  // the round, and training continues. Exact-match semantics mean the
+  // respawned workers (serving steps >= 6) never re-crash.
+  std::int64_t reconnects_before =
+      MetricsRegistry::Global().counter("gm.dist.worker_reconnects")->value();
+  ASSERT_TRUE(FaultInjector::Global().Configure("crash_after_step:5").ok());
+
+  DistJobSpec spec = MakeSpec();
+  DistRunResult dist2;
+  Status st = RunDistJob(spec, 2, WorkerLaunch::kFork, &dist2);
+  FaultInjector::Global().Reset();
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  std::int64_t reconnects =
+      MetricsRegistry::Global().counter("gm.dist.worker_reconnects")->value() -
+      reconnects_before;
+  EXPECT_GE(reconnects, 2) << "both ranks should have been respawned";
+
+  DistRunResult local2;
+  ASSERT_TRUE(RunLocalShardedJob(spec, 2, &local2).ok());
+  ASSERT_EQ(dist2.stats.size(), local2.stats.size());
+  for (std::size_t e = 0; e < dist2.stats.size(); ++e) {
+    EXPECT_EQ(Bits(dist2.stats[e].mean_loss), Bits(local2.stats[e].mean_loss))
+        << "epoch " << e;
+    EXPECT_EQ(Bits(dist2.stats[e].penalty), Bits(local2.stats[e].penalty))
+        << "epoch " << e;
+  }
+  ExpectFinalStateBitwiseEqual(dist2, local2, "crashed dist(2) vs local(2)");
+}
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+// Field-by-field trace comparison, skipping wall-clock-derived keys (the
+// checkpoint_test.cc predicate: any key containing "seconds").
+void ExpectSameDeterministicFields(const std::string& resumed_line,
+                                   const std::string& ref_line, int epoch) {
+  JsonValue a, b;
+  ASSERT_TRUE(JsonValue::Parse(resumed_line, &a).ok()) << resumed_line;
+  ASSERT_TRUE(JsonValue::Parse(ref_line, &b).ok()) << ref_line;
+  ASSERT_TRUE(a.is_object());
+  ASSERT_TRUE(b.is_object());
+  ASSERT_EQ(a.members.size(), b.members.size()) << "epoch " << epoch;
+  for (const auto& [key, value] : a.members) {
+    if (key.find("seconds") != std::string::npos) continue;
+    const JsonValue* other = b.Find(key);
+    ASSERT_NE(other, nullptr) << "epoch " << epoch << " missing " << key;
+    ASSERT_EQ(static_cast<int>(value.kind), static_cast<int>(other->kind))
+        << "epoch " << epoch << " field " << key;
+    switch (value.kind) {
+      case JsonValue::Kind::kNumber:
+        EXPECT_EQ(value.number, other->number)
+            << "epoch " << epoch << " field " << key
+            << " diverged: " << value.number << " vs " << other->number;
+        break;
+      case JsonValue::Kind::kString:
+        EXPECT_EQ(value.string_value, other->string_value)
+            << "epoch " << epoch << " field " << key;
+        break;
+      case JsonValue::Kind::kArray:
+        ASSERT_EQ(value.items.size(), other->items.size())
+            << "epoch " << epoch << " field " << key;
+        for (std::size_t i = 0; i < value.items.size(); ++i) {
+          EXPECT_EQ(value.items[i].number, other->items[i].number)
+              << "epoch " << epoch << " field " << key << "[" << i << "]";
+        }
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+TEST(DistFaultTest, CoordinatorCrashResumesBitIdentical) {
+  std::string ckpt = TempPath("dist_coord_crash.ckpt");
+  std::string trace = TempPath("dist_coord_crash.jsonl");
+  std::string ref_ckpt = TempPath("dist_coord_ref.ckpt");
+  std::string ref_trace = TempPath("dist_coord_ref.jsonl");
+  for (const std::string& p :
+       {ckpt, PreviousCheckpointPath(ckpt), trace, ref_ckpt,
+        PreviousCheckpointPath(ref_ckpt), ref_trace}) {
+    std::remove(p.c_str());
+  }
+
+  DistJobSpec spec = MakeSpec();
+  spec.epochs = 3;
+  spec.checkpoint_path = ckpt;
+  spec.metrics_path = trace;
+  spec.run_label = "dist_coord_crash";
+
+  // Run the whole distributed job in a child process armed to die — like a
+  // kill -9 of the coordinator — right after epoch 1's checkpoint. Its
+  // fork()ed workers lose their coordinator socket and exit on EOF.
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    if (!FaultInjector::Global().Configure("crash_after_epoch:1").ok()) {
+      std::_Exit(3);
+    }
+    DistRunResult ignored;
+    Status st = RunDistJob(spec, 2, WorkerLaunch::kFork, &ignored);
+    // Reaching here means the fault never fired.
+    std::_Exit(st.ok() ? 0 : 4);
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), kFaultCrashExitCode)
+      << "coordinator child did not die from the injected fault";
+  ASSERT_EQ(ReadLines(trace).size(), 2u) << "expected epochs 0-1 on disk";
+
+  // Resume from the checkpoint: epoch 2 runs distributed again and appends
+  // to the same trace.
+  spec.resume = true;
+  DistRunResult resumed;
+  Status st = RunDistJob(spec, 2, WorkerLaunch::kFork, &resumed);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  ASSERT_EQ(resumed.stats.size(), 1u);
+  EXPECT_EQ(resumed.stats[0].epoch, 2);
+
+  // The uninterrupted reference: same spec, fresh checkpoint/trace paths,
+  // no crash, no resume.
+  DistJobSpec ref_spec = spec;
+  ref_spec.resume = false;
+  ref_spec.checkpoint_path = ref_ckpt;
+  ref_spec.metrics_path = ref_trace;
+  DistRunResult reference;
+  ASSERT_TRUE(RunDistJob(ref_spec, 2, WorkerLaunch::kFork, &reference).ok());
+  ASSERT_EQ(reference.stats.size(), 3u);
+
+  EXPECT_EQ(Bits(resumed.stats[0].mean_loss),
+            Bits(reference.stats[2].mean_loss));
+  EXPECT_EQ(Bits(resumed.stats[0].penalty), Bits(reference.stats[2].penalty));
+  ExpectFinalStateBitwiseEqual(resumed, reference,
+                               "resumed dist vs uninterrupted dist");
+
+  // The concatenated trace (2 lines from the crashed run + 1 appended by
+  // the resume) matches the uninterrupted trace on every deterministic
+  // field.
+  std::vector<std::string> resumed_lines = ReadLines(trace);
+  std::vector<std::string> ref_lines = ReadLines(ref_trace);
+  ASSERT_EQ(resumed_lines.size(), 3u);
+  ASSERT_EQ(ref_lines.size(), 3u);
+  for (std::size_t e = 0; e < ref_lines.size(); ++e) {
+    ExpectSameDeterministicFields(resumed_lines[e], ref_lines[e],
+                                  static_cast<int>(e));
+  }
+}
+
+}  // namespace
+}  // namespace gmreg

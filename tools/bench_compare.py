@@ -31,7 +31,8 @@ import sys
 
 def classify(key):
     """Returns 'up' (higher is better), 'down', or None (not compared)."""
-    if key.endswith(".gflops") or key.endswith("_qps"):
+    if key.endswith(".gflops") or key.endswith("_qps") or key.endswith(
+            ".speedup"):
         return "up"
     if key.endswith("p95_ms") or "p95_ms." in key:
         return "down"
