@@ -13,6 +13,8 @@
 
 #include <cstdio>
 #include <functional>
+#include <string>
+#include <thread>
 
 #include "bench_util.h"
 #include "core/em.h"
@@ -273,6 +275,7 @@ void RunKernelSweep() {
       {"gemm_64", 64, 64, 64},
       {"gemm_128", 128, 128, 128},
       {"gemm_256", 256, 256, 256},
+      {"gemm_512", 512, 512, 512},
       {"conv_32x1024x288", 32, 1024, 288},
   };
   std::printf("GEMM kernel sweep (1 thread, kernel=%s)\n",
@@ -303,6 +306,46 @@ void RunKernelSweep() {
     summary.Add(key + ".baseline_gflops", base_gflops);
     summary.Add(key + ".gflops", packed_gflops);
     summary.Add(key + ".speedup", packed_gflops / base_gflops);
+  }
+  std::printf("\n");
+
+  // Thread-scaling sweep of the 2D work-queue GEMM: budgets 1/2/4/8 per
+  // shape, speedup vs the same packed kernel at budget 1. The mtN.speedup
+  // rows are scheduling-dependent (a 1-core CI runner legitimately reports
+  // ~1.0x, as BENCH_distributed.json documents for the allreduce rows), so
+  // tools/bench_compare.py treats them as informational; the mtN.gflops
+  // rows gate like every other throughput metric.
+  summary.AddInt("hardware_concurrency",
+                 static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+  const int kBudgets[] = {1, 2, 4, 8};
+  std::printf("GEMM thread scaling (2D work queue, kernel=%s)\n",
+              GetKernelOps().name);
+  std::printf("%-20s %9s %12s %9s\n", "shape", "threads", "GF/s", "speedup");
+  for (const Shape& s : shapes) {
+    Rng rng(3);
+    Tensor a({s.m, s.k}), b({s.k, s.n}), c({s.m, s.n});
+    FillUniform(&rng, -1.0, 1.0, &a);
+    FillUniform(&rng, -1.0, 1.0, &b);
+    double flops = 2.0 * static_cast<double>(s.m) *
+                   static_cast<double>(s.n) * static_cast<double>(s.k);
+    double mt1_gflops = 0.0;
+    for (int budget : kBudgets) {
+      SetDefaultNumThreads(budget);
+      double secs = TimePerCall(
+          [&] {
+            Gemm(false, false, s.m, s.n, s.k, 1.0f, a.data(), s.k, b.data(),
+                 s.n, 0.0f, c.data(), s.n);
+          },
+          min_seconds);
+      double gflops = flops / secs / 1e9;
+      if (budget == 1) mt1_gflops = gflops;
+      double speedup = mt1_gflops > 0.0 ? gflops / mt1_gflops : 0.0;
+      std::printf("%-20s %9d %12.2f %8.2fx\n", s.key, budget, gflops,
+                  speedup);
+      std::string key = StrFormat("%s.mt%d", s.key, budget);
+      summary.Add(key + ".gflops", gflops);
+      summary.Add(key + ".speedup", speedup);
+    }
   }
   std::printf("\n");
   summary.Write();

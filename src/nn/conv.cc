@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "tensor/quantize.h"
 #include "tensor/random.h"
 #include "tensor/tensor_ops.h"
 #include "util/parallel.h"
@@ -124,8 +125,15 @@ void Conv2d::Forward(const Tensor& in, Tensor* out, bool train) {
   auto forward_one = [&](std::int64_t i, Tensor* col) {
     Im2Col(in.data() + i * in_chw, h, w, out_h, out_w, col->data());
     // out_i [Cout, cols] = W [Cout, patch] * col [patch, cols]
-    Gemm(false, false, out_channels_, cols, patch, 1.0f, weight_.data(),
-         patch, col->data(), cols, 0.0f, out->data() + i * out_chw, cols);
+    if (!train && quantized_weight_ != nullptr) {
+      // Inference-only int8 path: per-output-row scales applied to each
+      // finished row, accumulation stays float32 (tensor/quantize.h).
+      GemmQuantA(out_channels_, cols, patch, *quantized_weight_, col->data(),
+                 cols, out->data() + i * out_chw, cols);
+    } else {
+      Gemm(false, false, out_channels_, cols, patch, 1.0f, weight_.data(),
+           patch, col->data(), cols, 0.0f, out->data() + i * out_chw, cols);
+    }
     // bias broadcast over spatial positions
     AddColBroadcast(out_channels_, cols, bias_.data(),
                     out->data() + i * out_chw);
@@ -153,6 +161,17 @@ void Conv2d::Forward(const Tensor& in, Tensor* out, bool train) {
     if (cached_in_.capacity() > 2 * in.size()) cached_in_ = Tensor();
     cached_in_ = in;
   }
+}
+
+bool Conv2d::BindQuantizedWeight(const std::string& param_name,
+                                 const QuantizedMatrix* q) {
+  if (param_name != name() + "/weight") return false;
+  if (q != nullptr) {
+    GMREG_CHECK_EQ(q->rows, out_channels_);
+    GMREG_CHECK_EQ(q->cols, in_channels_ * kernel_ * kernel_);
+  }
+  quantized_weight_ = q;
+  return true;
 }
 
 void Conv2d::Backward(const Tensor& grad_out, Tensor* grad_in) {

@@ -19,6 +19,8 @@ class Conv2d : public Layer {
   void Forward(const Tensor& in, Tensor* out, bool train) override;
   void Backward(const Tensor& grad_out, Tensor* grad_in) override;
   void CollectParams(std::vector<ParamRef>* out) override;
+  bool BindQuantizedWeight(const std::string& param_name,
+                           const QuantizedMatrix* q) override;
 
   Tensor& weight() { return weight_; }
   double init_stddev() const { return init_stddev_; }
@@ -45,6 +47,9 @@ class Conv2d : public Layer {
   Tensor weight_grad_;
   Tensor bias_grad_;
   Tensor cached_in_;    // [B, Cin, H, W]
+  // Int8 snapshot of weight_ for eval-mode forwards, owned by the caller of
+  // BindQuantizedWeight (the serving model registry); nullptr = float path.
+  const QuantizedMatrix* quantized_weight_ = nullptr;
   // Per-shard im2col scratch of the batch-parallel forward; one buffer per
   // shard so workers never share, sized lazily. The serial path is shard 0.
   std::vector<Tensor> shard_cols_;

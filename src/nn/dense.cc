@@ -1,7 +1,9 @@
 #include "nn/dense.h"
 
+#include "tensor/quantize.h"
 #include "tensor/random.h"
 #include "tensor/tensor_ops.h"
+#include "util/logging.h"
 
 namespace gmreg {
 
@@ -28,7 +30,14 @@ void Dense::Forward(const Tensor& in, Tensor* out, bool train) {
   GMREG_CHECK_EQ(in.dim(1), in_features_);
   std::int64_t b = in.dim(0);
   EnsureShape({b, out_features_}, out);
-  MatMul(in, weight_, out);
+  if (!train && quantized_weight_ != nullptr) {
+    // Inference-only int8 path: per-input-row scales fold into the
+    // activations, accumulation stays float32 (tensor/quantize.h).
+    GemmQuantB(b, out_features_, in_features_, in.data(), in_features_,
+               *quantized_weight_, out->data(), out_features_);
+  } else {
+    MatMul(in, weight_, out);
+  }
   AddRowBroadcast(b, out_features_, bias_.data(), out->data());
   if (train) cached_in_ = in;
 }
@@ -48,6 +57,17 @@ void Dense::Backward(const Tensor& grad_out, Tensor* grad_in) {
   Gemm(false, true, b, in_features_, out_features_, 1.0f, grad_out.data(),
        out_features_, weight_.data(), out_features_, 0.0f, grad_in->data(),
        in_features_);
+}
+
+bool Dense::BindQuantizedWeight(const std::string& param_name,
+                                const QuantizedMatrix* q) {
+  if (param_name != name() + "/weight") return false;
+  if (q != nullptr) {
+    GMREG_CHECK_EQ(q->rows, in_features_);
+    GMREG_CHECK_EQ(q->cols, out_features_);
+  }
+  quantized_weight_ = q;
+  return true;
 }
 
 void Dense::CollectParams(std::vector<ParamRef>* out) {

@@ -17,6 +17,8 @@ class Dense : public Layer {
   void Forward(const Tensor& in, Tensor* out, bool train) override;
   void Backward(const Tensor& grad_out, Tensor* grad_in) override;
   void CollectParams(std::vector<ParamRef>* out) override;
+  bool BindQuantizedWeight(const std::string& param_name,
+                           const QuantizedMatrix* q) override;
 
   Tensor& weight() { return weight_; }
   Tensor& bias() { return bias_; }
@@ -31,6 +33,9 @@ class Dense : public Layer {
   Tensor weight_grad_;  // [In, Out]
   Tensor bias_grad_;    // [Out]
   Tensor cached_in_;    // [B, In]
+  // Int8 snapshot of weight_ for eval-mode forwards, owned by the caller of
+  // BindQuantizedWeight (the serving model registry); nullptr = float path.
+  const QuantizedMatrix* quantized_weight_ = nullptr;
 };
 
 }  // namespace gmreg

@@ -6,9 +6,16 @@ namespace gmreg {
 
 void Layer::CollectParams(std::vector<ParamRef>* out) { (void)out; }
 
+bool Layer::BindQuantizedWeight(const std::string& param_name,
+                                const QuantizedMatrix* q) {
+  (void)param_name;
+  (void)q;
+  return false;
+}
+
 void Layer::EnsureShape(const std::vector<std::int64_t>& shape, Tensor* t) {
   if (t->shape() != shape) {
-    *t = Tensor(shape);
+    t->Resize(shape);
   }
 }
 
@@ -18,7 +25,7 @@ void Layer::EnsureShape(std::initializer_list<std::int64_t> shape, Tensor* t) {
       std::equal(shape.begin(), shape.end(), cur.begin())) {
     return;
   }
-  *t = Tensor(shape);
+  t->Resize(shape);
 }
 
 }  // namespace gmreg

@@ -8,6 +8,8 @@
 
 namespace gmreg {
 
+struct QuantizedMatrix;  // tensor/quantize.h
+
 /// A named view onto one learnable parameter tensor and its gradient
 /// accumulator. The regularization tool consumes these: a GmRegularizer is
 /// attached per ParamRef whose `is_weight` is true (the paper regularizes
@@ -63,6 +65,16 @@ class Layer {
 
   /// Appends this layer's learnable parameters to `out`. Default: none.
   virtual void CollectParams(std::vector<ParamRef>* out);
+
+  /// Offers a read-only int8 snapshot of the parameter `param_name` (per-row
+  /// symmetric scales, see tensor/quantize.h) for eval-mode forwards — the
+  /// serving layer binds these once per published model version. Returns
+  /// true when this layer (or a child, for containers) owns that parameter
+  /// and accepted the matrix; `q == nullptr` clears a previous binding. The
+  /// caller keeps `q` alive for as long as the binding stands. Training-mode
+  /// forwards always use the float weights. Default: not mine, false.
+  virtual bool BindQuantizedWeight(const std::string& param_name,
+                                   const QuantizedMatrix* q);
 
   const std::string& name() const { return name_; }
 

@@ -63,6 +63,12 @@ void Residual::Backward(const Tensor& grad_out, Tensor* grad_in) {
   }
 }
 
+bool Residual::BindQuantizedWeight(const std::string& param_name,
+                                  const QuantizedMatrix* q) {
+  if (main_->BindQuantizedWeight(param_name, q)) return true;
+  return shortcut_ != nullptr && shortcut_->BindQuantizedWeight(param_name, q);
+}
+
 void Residual::CollectParams(std::vector<ParamRef>* out) {
   main_->CollectParams(out);
   if (shortcut_ != nullptr) shortcut_->CollectParams(out);

@@ -21,6 +21,8 @@ class Residual : public Layer {
   void Forward(const Tensor& in, Tensor* out, bool train) override;
   void Backward(const Tensor& grad_out, Tensor* grad_in) override;
   void CollectParams(std::vector<ParamRef>* out) override;
+  bool BindQuantizedWeight(const std::string& param_name,
+                           const QuantizedMatrix* q) override;
 
  private:
   std::unique_ptr<Sequential> main_;

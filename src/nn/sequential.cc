@@ -38,6 +38,14 @@ void Sequential::Backward(const Tensor& grad_out, Tensor* grad_in) {
   layers_[0]->Backward(*current, grad_in);
 }
 
+bool Sequential::BindQuantizedWeight(const std::string& param_name,
+                                    const QuantizedMatrix* q) {
+  for (auto& layer : layers_) {
+    if (layer->BindQuantizedWeight(param_name, q)) return true;
+  }
+  return false;
+}
+
 void Sequential::CollectParams(std::vector<ParamRef>* out) {
   for (auto& layer : layers_) layer->CollectParams(out);
 }

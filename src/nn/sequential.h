@@ -31,6 +31,8 @@ class Sequential : public Layer {
   void Forward(const Tensor& in, Tensor* out, bool train) override;
   void Backward(const Tensor& grad_out, Tensor* grad_in) override;
   void CollectParams(std::vector<ParamRef>* out) override;
+  bool BindQuantizedWeight(const std::string& param_name,
+                           const QuantizedMatrix* q) override;
 
   std::size_t NumLayers() const { return layers_.size(); }
 

@@ -159,8 +159,12 @@ Status ParseModelSpec(const std::string& spec, ModelSpec* out) {
 }
 
 InferenceSession::InferenceSession(ModelRegistry* registry,
-                                   ModelFactory factory)
-    : registry_(registry), factory_(std::move(factory)) {
+                                   ModelFactory factory, bool quantize)
+    : registry_(registry),
+      factory_(std::move(factory)),
+      quantize_(quantize),
+      quantized_requests_(MetricsRegistry::Global().counter(
+          "gm.serve.quantized_requests")) {
   GMREG_CHECK(registry_ != nullptr);
   GMREG_CHECK(factory_ != nullptr);
 }
@@ -172,6 +176,22 @@ Status InferenceSession::Rebind(std::shared_ptr<const LoadedModel> model) {
     net_->CollectParams(&params_);
   }
   GMREG_RETURN_IF_ERROR(ApplyModelSnapshot(model->snapshot, params_));
+  if (quantize_) {
+    if (model->quantized.empty()) {
+      return Status::FailedPrecondition(
+          "session requires quantized weights but model version " +
+          std::to_string(model->version) +
+          " was published without them (registry quantization off?)");
+    }
+    // Bind the publish-time int8 snapshots; `model` (held in bound_ below)
+    // keeps the storage alive until the next rebind completes.
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+      const QuantizedMatrix& q = model->quantized[i];
+      if (!q.valid()) continue;
+      GMREG_CHECK(net_->BindQuantizedWeight(params_[i].name, &q))
+          << "no layer accepted quantized weight '" << params_[i].name << "'";
+    }
+  }
   bound_ = std::move(model);
   MetricsRegistry::Global().counter("gm.serve.rebinds")->Add(1);
   return Status::Ok();
@@ -197,6 +217,7 @@ Status InferenceSession::Predict(const Tensor& in, Tensor* out) {
   if (replan) RecordArenaPlanRebuild();
   ArenaScope plan_scope(replan ? &GlobalArena() : nullptr);
   net_->Predict(in, out);
+  if (quantize_) quantized_requests_->Add(in.dim(0));
   return Status::Ok();
 }
 

@@ -10,6 +10,7 @@
 #include "nn/layer.h"
 #include "serve/model_registry.h"
 #include "util/arena.h"
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace gmreg {
@@ -53,8 +54,14 @@ Status ParseModelSpec(const std::string& spec, ModelSpec* out);
 /// NOT thread-safe: create one session per batcher worker.
 class InferenceSession {
  public:
-  /// `registry` is not owned and must outlive the session.
-  InferenceSession(ModelRegistry* registry, ModelFactory factory);
+  /// `registry` is not owned and must outlive the session. With `quantize`
+  /// true the session binds the registry's publish-time int8 weight
+  /// snapshots (LoadedModel::quantized) into the network on every rebind,
+  /// so eval-mode forwards take the quantized GEMM path; the registry must
+  /// then be publishing quantized models (ModelRegistry::EnableQuantization
+  /// — Server::Start wires both from ServerOptions::quantize).
+  InferenceSession(ModelRegistry* registry, ModelFactory factory,
+                   bool quantize = false);
 
   /// Syncs to the registry's current version if it moved, then runs one
   /// eval-mode forward (Layer::Predict): `in` is [B, ...], `out` receives
@@ -74,6 +81,8 @@ class InferenceSession {
 
   ModelRegistry* registry_;
   ModelFactory factory_;
+  const bool quantize_;
+  Counter* quantized_requests_;  ///< gm.serve.quantized_requests
   std::unique_ptr<Layer> net_;
   std::vector<ParamRef> params_;
   std::shared_ptr<const LoadedModel> bound_;

@@ -9,8 +9,8 @@
 
 namespace gmreg {
 
-ModelRegistry::ModelRegistry(std::string checkpoint_path)
-    : path_(std::move(checkpoint_path)) {
+ModelRegistry::ModelRegistry(std::string checkpoint_path, bool quantize)
+    : path_(std::move(checkpoint_path)), quantize_(quantize) {
   MetricsRegistry& registry = MetricsRegistry::Global();
   reloads_ = registry.counter("gm.serve.reloads");
   reload_failures_ = registry.counter("gm.serve.reload_failures");
@@ -57,6 +57,11 @@ Status ModelRegistry::Reload() {
       }
     }
   }
+  if (quantize_.load(std::memory_order_relaxed)) {
+    // Quantization happens exactly once per published version, here at
+    // publish time — never on the per-request path (docs/KERNELS.md).
+    QuantizeModel(loaded.get());
+  }
   loaded->version = version_.load(std::memory_order_relaxed) + 1;
   current_ = std::move(loaded);  // old model stays alive with its readers
   version_.store(current_->version, std::memory_order_release);
@@ -66,6 +71,39 @@ Status ModelRegistry::Reload() {
                   << current_->snapshot.epoch << ", "
                   << current_->snapshot.params.size() << " tensors)";
   return Status::Ok();
+}
+
+void ModelRegistry::QuantizeModel(LoadedModel* model) {
+  const ModelSnapshot& snap = model->snapshot;
+  model->quantized.assign(snap.params.size(), QuantizedMatrix{});
+  const std::string suffix = "/weight";
+  for (std::size_t i = 0; i < snap.params.size(); ++i) {
+    const std::string& name = snap.param_names[i];
+    const Tensor& value = snap.params[i];
+    if (value.rank() != 2) continue;
+    if (name.size() < suffix.size() ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+            0) {
+      continue;
+    }
+    QuantizeRowsSymmetric(value.data(), value.dim(0), value.dim(1),
+                          &model->quantized[i]);
+  }
+}
+
+void ModelRegistry::EnableQuantization() {
+  quantize_.store(true, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (current_ == nullptr || !current_->quantized.empty()) return;
+  // Republish the live model with quantized weights at the SAME version:
+  // sessions bind lazily on their next Predict, so a same-version swap
+  // before traffic starts (Server::Start) is invisible, and after it only
+  // upgrades the storage the next rebind picks up.
+  auto requantized = std::make_shared<LoadedModel>();
+  requantized->snapshot = current_->snapshot;
+  requantized->version = current_->version;
+  QuantizeModel(requantized.get());
+  current_ = std::move(requantized);
 }
 
 std::shared_ptr<const LoadedModel> ModelRegistry::Current() const {

@@ -8,8 +8,10 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "io/checkpoint.h"
+#include "tensor/quantize.h"
 #include "util/metrics.h"
 #include "util/status.h"
 
@@ -23,6 +25,14 @@ namespace gmreg {
 struct LoadedModel {
   ModelSnapshot snapshot;
   std::int64_t version = 0;  ///< 1-based publish counter
+
+  /// Parallel to snapshot.params: an int8 per-row-scale snapshot of every
+  /// rank-2 `*/weight` parameter, built once here at publish time when the
+  /// registry quantizes (ServerOptions::quantize); invalid (rows == 0)
+  /// entries mark parameters served in float. Empty when quantization is
+  /// off. Sessions bind pointers into this storage, which the shared_ptr
+  /// keeps alive as long as any reader holds the model.
+  std::vector<QuantizedMatrix> quantized;
 };
 
 /// Thread-safe, versioned source of truth for the model a server process is
@@ -49,7 +59,7 @@ struct LoadedModel {
 /// change; Reload() is also safe to call directly from any thread.
 class ModelRegistry {
  public:
-  explicit ModelRegistry(std::string checkpoint_path);
+  explicit ModelRegistry(std::string checkpoint_path, bool quantize = false);
   ~ModelRegistry();
 
   ModelRegistry(const ModelRegistry&) = delete;
@@ -70,6 +80,17 @@ class ModelRegistry {
     return version_.load(std::memory_order_acquire);
   }
 
+  /// Turns on publish-time int8 quantization (idempotent). The currently
+  /// published model, if any, is republished in place with quantized
+  /// weights at the same version — sessions bind lazily, so a version
+  /// republish before the server hands out the registry is invisible.
+  void EnableQuantization();
+
+  /// True when publish-time quantization is on.
+  bool quantize_enabled() const {
+    return quantize_.load(std::memory_order_relaxed);
+  }
+
   /// Starts a background thread that polls the checkpoint file every
   /// `poll_interval_ms` and reloads when its mtime or size changes. No-op
   /// if already watching.
@@ -87,7 +108,12 @@ class ModelRegistry {
   /// file cannot be stat'ed.
   bool StatCheckpoint(std::int64_t* mtime_ns, std::int64_t* size) const;
 
+  /// Fills model->quantized from model->snapshot (rank-2 `*/weight` params
+  /// only). Called under mu_ at publish time.
+  static void QuantizeModel(LoadedModel* model);
+
   const std::string path_;
+  std::atomic<bool> quantize_{false};
 
   mutable std::mutex mu_;  ///< guards current_ and the reload critical section
   std::shared_ptr<const LoadedModel> current_;

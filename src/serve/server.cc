@@ -170,10 +170,16 @@ Status Server::Start() {
   ev.data.fd = wake_fd_;
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
 
+  if (options_.quantize) {
+    // Before any session binds: the registry republishes the current model
+    // (if one is loaded) with publish-time int8 snapshots, and every
+    // version from here on carries them.
+    registry_->EnableQuantization();
+  }
   sessions_.clear();
   for (int w = 0; w < options_.batcher.num_workers; ++w) {
-    sessions_.push_back(
-        std::make_unique<InferenceSession>(registry_, spec_.factory));
+    sessions_.push_back(std::make_unique<InferenceSession>(
+        registry_, spec_.factory, options_.quantize));
   }
   batcher_ = std::make_unique<Batcher>(
       options_.batcher,

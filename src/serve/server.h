@@ -48,6 +48,12 @@ struct ServerOptions {
   /// complete -> response rendered) increment the per-endpoint
   /// gm.serve.endpoint.<name>.slo_violations counter.
   double slo_ms = 250.0;
+  /// Serve with int8 per-row-scale quantized weights: Start() turns on
+  /// publish-time quantization in the registry and binds every inference
+  /// session to the quantized snapshots (docs/KERNELS.md documents the
+  /// divergence bound vs float32; gm.serve.quantized_requests counts
+  /// examples answered through the path).
+  bool quantize = false;
 };
 
 /// HTTP/1.1 JSON prediction server — the serving front door of

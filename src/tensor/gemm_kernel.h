@@ -5,39 +5,55 @@
 
 namespace gmreg {
 
-/// Tile geometry of the packed GEMM (docs/KERNELS.md). The micro-kernel
-/// updates an MR x NR accumulator tile held in registers: NR = 16 is two
-/// 8-float vectors, MR = 6 keeps 6x2 accumulators plus two B vectors and an
-/// A broadcast inside the 16 YMM registers of AVX2.
-inline constexpr std::int64_t kGemmMR = 6;
-inline constexpr std::int64_t kGemmNR = 16;
-
-/// k is consumed in slabs of at most KC so one packed B panel column
-/// (KC x NR = 16 KB) stays L1-resident across the row micro-panels.
-inline constexpr std::int64_t kGemmKC = 256;
-
-/// Rows are packed in blocks of MC (multiple of MR) so the per-thread A
-/// pack (MC x KC floats = 72 KB) stays L2-resident.
-inline constexpr std::int64_t kGemmMC = 72;
-
 /// Below this flop count (2*m*n*k) the packing traffic beats the win and
 /// Gemm runs a plain unpacked loop instead.
 inline constexpr std::int64_t kGemmSmallFlops = 1 << 14;
 
+/// Upper bounds on the register tile across every compiled tier: the scalar
+/// micro-kernel's stack accumulator and test scratch size against these.
+inline constexpr std::int64_t kGemmMaxMR = 14;
+inline constexpr std::int64_t kGemmMaxNR = 32;
+
+/// Kernel tier identity, in strictly increasing capability order. The env
+/// override GMREG_SIMD=scalar|avx2|avx512 selects a ceiling: the dispatcher
+/// uses the best *supported* tier at or below it (docs/KERNELS.md).
+enum class KernelTier : int { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+/// Blocking geometry of the packed GEMM (docs/KERNELS.md). MR x NR is the
+/// register tile of the active tier's micro-kernel; KC/MC/NC are the cache
+/// block sizes autotuned once at startup from the machine's L1d/L2 geometry
+/// (sysconf, with a fixed fallback table). All five are process-constant
+/// for a given tier, so tile boundaries — and therefore accumulation
+/// orders — never depend on the thread budget.
+struct GemmGeometry {
+  std::int64_t mr;  ///< register tile rows (fixed per tier: 6 or 14)
+  std::int64_t nr;  ///< register tile cols (fixed per tier: 16 or 32)
+  std::int64_t kc;  ///< k slab depth: one KC x NR B panel stays L1-resident
+  std::int64_t mc;  ///< A block rows: one MC x KC pack stays L2-resident
+  std::int64_t nc;  ///< column block width of one 2D work-queue tile
+};
+
 /// The runtime-dispatched kernel tier: the GEMM micro-kernel plus the
 /// vectorized elementwise kernels layered on the same GMREG_SIMD gate.
-/// Exactly one table is active at a time (scalar or AVX2+FMA); both share
-/// the per-element accumulation orders documented in docs/KERNELS.md.
+/// Exactly one table is active at a time; all tiers share the per-element
+/// accumulation orders documented in docs/KERNELS.md.
 struct KernelOps {
   /// Short label for telemetry/benches, e.g. "avx2-fma" or "scalar".
   const char* name;
 
+  /// Tier identity, also exported as the gm.kernel.tier gauge.
+  KernelTier tier;
+
+  /// Register tile shape this table's gemm_micro computes.
+  std::int64_t mr;
+  std::int64_t nr;
+
   /// C tile (+)= alpha * (packed A panel · packed B panel) over one k slab:
-  /// c[r*ldc + j] op= alpha * sum_p ap[p*kGemmMR + r] * bp[p*kGemmNR + j]
-  /// for r < mr, j < nr, where op is `=` when `overwrite` (the beta == 0
-  /// first slab — C is never read) and `+=` otherwise. The full MR x NR
-  /// accumulator is always computed (packed panels are zero-padded); only
-  /// the mr x nr corner is stored.
+  /// c[r*ldc + j] op= alpha * sum_p ap[p*MR + r] * bp[p*NR + j]
+  /// for r < mr, j < nr, where MR/NR are this table's tile shape and op is
+  /// `=` when `overwrite` (the beta == 0 first slab — C is never read) and
+  /// `+=` otherwise. The full MR x NR accumulator is always computed
+  /// (packed panels are zero-padded); only the mr x nr corner is stored.
   void (*gemm_micro)(std::int64_t kc, float alpha, const float* ap,
                      const float* bp, float* c, std::int64_t ldc,
                      std::int64_t mr, std::int64_t nr, bool overwrite);
@@ -70,54 +86,97 @@ struct KernelOps {
                         const unsigned char* mask, float* gin);
 };
 
-/// The active kernel table: the AVX2+FMA tier when it was compiled in
-/// (GMREG_SIMD build option), the CPU supports it, and the GMREG_SIMD
-/// environment variable is not "0"/"off"; the scalar tier otherwise.
+/// The active kernel table: the best tier that was compiled in (GMREG_SIMD
+/// build option), is supported by the running CPU, and is not ruled out by
+/// the GMREG_SIMD environment override (scalar|avx2|avx512, plus the legacy
+/// 0|off spelling of scalar).
 const KernelOps& GetKernelOps();
 
-/// True when GetKernelOps() currently returns the SIMD tier.
+/// True when GetKernelOps() currently returns a SIMD tier.
 bool SimdKernelsEnabled();
+
+/// Blocking geometry for the active tier: its fixed MR x NR register tile
+/// plus KC/MC/NC autotuned from cache geometry (resolved once per process;
+/// deterministic — depends only on the machine and the tier).
+GemmGeometry GetGemmGeometry();
 
 namespace internal {
 
-/// The SIMD table, or nullptr when not compiled in / not supported by this
-/// CPU. Defined by gemm_kernel_simd.cc.
-const KernelOps* GetSimdKernelOpsOrNull();
+/// The AVX2+FMA table, or nullptr when not compiled in / not supported by
+/// this CPU. Defined by gemm_kernel_simd.cc.
+const KernelOps* GetAvx2KernelOpsOrNull();
 
-/// Test hook: true pins GetKernelOps() to the scalar tier so a single
-/// binary can cross-check the two tiers (tests/gemm_kernel_test.cc).
+/// The AVX-512 table, or nullptr when not compiled in / not supported by
+/// this CPU. Defined by gemm_kernel_avx512.cc.
+const KernelOps* GetAvx512KernelOpsOrNull();
+
+/// Test hook: pins GetKernelOps() to one tier so a single binary can run
+/// the conformance battery per tier. Returns false (leaving the pin
+/// unchanged) when the requested tier is not compiled in or not supported
+/// by this CPU. Pass kScalar to force scalar; use ClearKernelTierForTesting
+/// to restore env/probe resolution.
+bool ForceKernelTierForTesting(KernelTier tier);
+void ClearKernelTierForTesting();
+
+/// Legacy test hook: true pins GetKernelOps() to the scalar tier, false
+/// restores automatic resolution.
 void ForceScalarKernelsForTesting(bool force);
+
+/// Cache sizes feeding the block autotuner, resolved once per process from
+/// sysconf with the fixed fallback table (l1d = 32 KB, l2 = 1 MB) when the
+/// platform does not report them. Exposed for tests/benches.
+struct CacheGeometry {
+  std::int64_t l1d_bytes;
+  std::int64_t l2_bytes;
+};
+CacheGeometry GetCacheGeometry();
+
+/// The KC/MC/NC autotuning rule for a given register tile — pure function
+/// of (tile, cache sizes) so tests can pin its invariants.
+GemmGeometry AutotuneGeometry(std::int64_t mr, std::int64_t nr,
+                              const CacheGeometry& cache);
 
 }  // namespace internal
 
-/// Packs op(B)'s full k x n into `bp` for the blocked GEMM. Layout: k slabs
-/// of kc = min(kGemmKC, k - p0) in order; within a slab, column panels of
-/// kGemmNR as contiguous kc x NR tiles (zero-padded past n). Slab p0 starts
-/// at offset p0 * RoundUpN(n); panel j0 at + (j0/NR) * kc * NR.
-void PackB(bool trans_b, const float* b, std::int64_t ldb, std::int64_t k,
-           std::int64_t n, float* bp);
-
-/// Packs op(A) rows [i0, i0+mc) for k slab [p0, p0+kc) into `ap`: row
-/// micro-panels of kGemmMR as contiguous kc x MR tiles (zero-padded past
-/// mc), panel r0 at offset (r0/MR) * kc * MR.
-void PackA(bool trans_a, const float* a, std::int64_t lda, std::int64_t i0,
-           std::int64_t mc, std::int64_t p0, std::int64_t kc, float* ap);
-
 /// n rounded up to a whole number of NR column panels.
-inline std::int64_t RoundUpN(std::int64_t n) {
-  return (n + kGemmNR - 1) / kGemmNR * kGemmNR;
+inline std::int64_t RoundUpN(std::int64_t n, std::int64_t nr) {
+  return (n + nr - 1) / nr * nr;
 }
 
-/// One shard of the blocked GEMM: output rows [i0, i1) of C, consuming the
-/// shared packed B (`bp`, laid out by PackB) and packing its own A panels
-/// into thread-local scratch. Applies beta to its rows first (beta == 0
-/// never reads C: the first k slab overwrites). Every C element accumulates
-/// in the same order regardless of (i0, i1), so row sharding is
+/// Number of floats PackB needs for op(B) of shape k x n under `geo`.
+inline std::int64_t PackedBFloats(std::int64_t k, std::int64_t n,
+                                  const GemmGeometry& geo) {
+  return k * RoundUpN(n, geo.nr);
+}
+
+/// Packs op(B)'s full k x n into `bp` for the blocked GEMM. Layout: k slabs
+/// of kc = min(geo.kc, k - p0) in order; within a slab, column panels of
+/// geo.nr as contiguous kc x NR tiles (zero-padded past n). Slab p0 starts
+/// at offset p0 * RoundUpN(n, nr); panel j0 at + (j0/NR) * kc * NR.
+void PackB(bool trans_b, const float* b, std::int64_t ldb, std::int64_t k,
+           std::int64_t n, float* bp, const GemmGeometry& geo);
+
+/// Packs op(A) rows [i0, i0+mc) for k slab [p0, p0+kc) into `ap`: row
+/// micro-panels of `mr` as contiguous kc x MR tiles (zero-padded past mc),
+/// panel r0 at offset (r0/MR) * kc * MR.
+void PackA(bool trans_a, const float* a, std::int64_t lda, std::int64_t i0,
+           std::int64_t mc, std::int64_t p0, std::int64_t kc, float* ap,
+           std::int64_t mr);
+
+/// One tile of the 2D-blocked GEMM: output rows [i0, i1) x columns
+/// [j0, j1) of C, consuming the shared packed B (`bp`, laid out by PackB
+/// over the full n) and packing its own A panels into thread-local
+/// arena-backed scratch. j0 must sit on a geo.nr panel boundary so the tile
+/// reads whole packed panels. Applies beta to its block first (beta == 0
+/// never reads C: the first k slab overwrites). Every C element is owned by
+/// exactly one tile and accumulates in the same order — ascending p within
+/// ascending k slabs — whatever the tile partition, so the 2D work queue is
 /// bitwise-invariant to the thread budget (docs/KERNELS.md).
-void GemmPackedRows(bool trans_a, std::int64_t i0, std::int64_t i1,
-                    std::int64_t n, std::int64_t k, float alpha,
-                    const float* a, std::int64_t lda, const float* bp,
-                    float beta, float* c, std::int64_t ldc);
+void GemmPackedBlock(bool trans_a, std::int64_t i0, std::int64_t i1,
+                     std::int64_t j0, std::int64_t j1, std::int64_t n,
+                     std::int64_t k, float alpha, const float* a,
+                     std::int64_t lda, const float* bp, float beta, float* c,
+                     std::int64_t ldc, const GemmGeometry& geo);
 
 }  // namespace gmreg
 

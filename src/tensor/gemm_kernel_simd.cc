@@ -1,6 +1,6 @@
 // AVX2+FMA kernel tier. This translation unit is the only one compiled with
 // -mavx2 -mfma (see src/tensor/CMakeLists.txt): everything here is reached
-// strictly through the GetSimdKernelOpsOrNull() table, which returns nullptr
+// strictly through the GetAvx2KernelOpsOrNull() table, which returns nullptr
 // unless the running CPU reports AVX2 and FMA support, so no AVX
 // instruction can execute on hardware that lacks it.
 //
@@ -14,6 +14,9 @@
 
 namespace gmreg {
 namespace {
+
+constexpr std::int64_t kAvx2MR = 6;
+constexpr std::int64_t kAvx2NR = 16;
 
 typedef float V8 __attribute__((vector_size(32)));
 
@@ -30,27 +33,27 @@ void GemmMicroAvx2(std::int64_t kc, float alpha, const float* ap,
                    std::int64_t mr, std::int64_t nr, bool overwrite) {
   // 6x16 accumulator: 12 YMM registers, plus 2 for the B row and 1 for the
   // broadcast A element.
-  V8 acc[kGemmMR][2] = {};
+  V8 acc[kAvx2MR][2] = {};
   for (std::int64_t p = 0; p < kc; ++p) {
     V8 b0 = Load8(bp);
     V8 b1 = Load8(bp + 8);
-    bp += kGemmNR;
-    for (std::int64_t r = 0; r < kGemmMR; ++r) {
+    bp += kAvx2NR;
+    for (std::int64_t r = 0; r < kAvx2MR; ++r) {
       V8 av = V8{} + ap[r];  // broadcast
       acc[r][0] += av * b0;  // contracts to vfmadd
       acc[r][1] += av * b1;
     }
-    ap += kGemmMR;
+    ap += kAvx2MR;
   }
-  if (mr == kGemmMR && nr == kGemmNR) {
+  if (mr == kAvx2MR && nr == kAvx2NR) {
     if (overwrite) {
-      for (std::int64_t r = 0; r < kGemmMR; ++r) {
+      for (std::int64_t r = 0; r < kAvx2MR; ++r) {
         float* c_row = c + r * ldc;
         Store8(c_row, alpha * acc[r][0]);
         Store8(c_row + 8, alpha * acc[r][1]);
       }
     } else {
-      for (std::int64_t r = 0; r < kGemmMR; ++r) {
+      for (std::int64_t r = 0; r < kAvx2MR; ++r) {
         float* c_row = c + r * ldc;
         Store8(c_row, Load8(c_row) + alpha * acc[r][0]);
         Store8(c_row + 8, Load8(c_row + 8) + alpha * acc[r][1]);
@@ -59,8 +62,8 @@ void GemmMicroAvx2(std::int64_t kc, float alpha, const float* ap,
     return;
   }
   // Partial tile: spill the accumulators and store the mr x nr corner.
-  float tmp[kGemmMR][kGemmNR];
-  for (std::int64_t r = 0; r < kGemmMR; ++r) {
+  float tmp[kAvx2MR][kAvx2NR];
+  for (std::int64_t r = 0; r < kAvx2MR; ++r) {
     Store8(&tmp[r][0], acc[r][0]);
     Store8(&tmp[r][8], acc[r][1]);
   }
@@ -147,16 +150,25 @@ void ReluBackwardAvx2(std::int64_t n, const float* gout,
 }
 
 constexpr KernelOps kAvx2Ops = {
-    "avx2-fma",        GemmMicroAvx2,       AxpyAvx2,
-    AddRowBroadcastAvx2, AddColBroadcastAvx2, ColSumsAccumAvx2,
-    RowSumsAccumAvx2,    ReluForwardAvx2,     ReluBackwardAvx2,
+    "avx2-fma",
+    KernelTier::kAvx2,
+    kAvx2MR,
+    kAvx2NR,
+    GemmMicroAvx2,
+    AxpyAvx2,
+    AddRowBroadcastAvx2,
+    AddColBroadcastAvx2,
+    ColSumsAccumAvx2,
+    RowSumsAccumAvx2,
+    ReluForwardAvx2,
+    ReluBackwardAvx2,
 };
 
 }  // namespace
 
 namespace internal {
 
-const KernelOps* GetSimdKernelOpsOrNull() {
+const KernelOps* GetAvx2KernelOpsOrNull() {
 #if defined(__GNUC__) || defined(__clang__)
   if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
     return &kAvx2Ops;
@@ -173,7 +185,7 @@ const KernelOps* GetSimdKernelOpsOrNull() {
 namespace gmreg {
 namespace internal {
 
-const KernelOps* GetSimdKernelOpsOrNull() { return nullptr; }
+const KernelOps* GetAvx2KernelOpsOrNull() { return nullptr; }
 
 }  // namespace internal
 }  // namespace gmreg

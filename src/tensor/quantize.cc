@@ -1,0 +1,81 @@
+#include "tensor/quantize.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace gmreg {
+
+void QuantizeRowsSymmetric(const float* w, std::int64_t rows,
+                           std::int64_t cols, QuantizedMatrix* out) {
+  out->rows = rows;
+  out->cols = cols;
+  out->q.assign(static_cast<std::size_t>(rows * cols), 0);
+  out->scale.assign(static_cast<std::size_t>(rows), 0.0f);
+  for (std::int64_t i = 0; i < rows; ++i) {
+    const float* row = w + i * cols;
+    float maxabs = 0.0f;
+    for (std::int64_t j = 0; j < cols; ++j) {
+      float a = std::fabs(row[j]);
+      if (a > maxabs) maxabs = a;
+    }
+    if (maxabs == 0.0f) continue;  // all-zero row: scale 0, q already 0
+    float scale = maxabs / 127.0f;
+    out->scale[static_cast<std::size_t>(i)] = scale;
+    float inv = 127.0f / maxabs;
+    std::int8_t* qrow = out->q.data() + i * cols;
+    for (std::int64_t j = 0; j < cols; ++j) {
+      // round-half-away-from-zero, clamped: maxabs elements map to ±127
+      // exactly, everything else to the nearest code.
+      float scaled = row[j] * inv;
+      int code = static_cast<int>(scaled + (scaled >= 0.0f ? 0.5f : -0.5f));
+      if (code > 127) code = 127;
+      if (code < -127) code = -127;
+      qrow[j] = static_cast<std::int8_t>(code);
+    }
+  }
+}
+
+void GemmQuantB(std::int64_t m, std::int64_t n, std::int64_t k,
+                const float* a, std::int64_t lda, const QuantizedMatrix& qb,
+                float* c, std::int64_t ldc) {
+  // Per output element: c[i][j] = sum_p (a[i][p]*scale[p]) * q[p][j] in
+  // ascending p. The p-outer / j-inner order streams q row-by-row (each
+  // int8 converted once per output row of A) without any scratch buffer —
+  // the serving steady state must not allocate (docs/MEMORY.md). There is
+  // no zero-skip: NaN/Inf in A propagate exactly as the math demands, like
+  // the float path.
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* c_row = c + i * ldc;
+    for (std::int64_t j = 0; j < n; ++j) c_row[j] = 0.0f;
+    const float* a_row = a + i * lda;
+    for (std::int64_t p = 0; p < k; ++p) {
+      float av = a_row[p] * qb.scale[static_cast<std::size_t>(p)];
+      const std::int8_t* q_row = qb.q.data() + p * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        c_row[j] += av * static_cast<float>(q_row[j]);
+      }
+    }
+  }
+}
+
+void GemmQuantA(std::int64_t m, std::int64_t n, std::int64_t k,
+                const QuantizedMatrix& qa, const float* b, std::int64_t ldb,
+                float* c, std::int64_t ldc) {
+  // c[o][j] = scale[o] * sum_p q[o][p] * b[p][j], accumulated in float32 in
+  // ascending p and scaled once per finished row. No zero-skip on q codes:
+  // NaN/Inf in B propagate exactly as the math demands, like the float path.
+  for (std::int64_t o = 0; o < m; ++o) {
+    float* c_row = c + o * ldc;
+    for (std::int64_t j = 0; j < n; ++j) c_row[j] = 0.0f;
+    const std::int8_t* q_row = qa.q.data() + o * k;
+    for (std::int64_t p = 0; p < k; ++p) {
+      float qv = static_cast<float>(q_row[p]);
+      const float* b_row = b + p * ldb;
+      for (std::int64_t j = 0; j < n; ++j) c_row[j] += qv * b_row[j];
+    }
+    float s = qa.scale[static_cast<std::size_t>(o)];
+    for (std::int64_t j = 0; j < n; ++j) c_row[j] *= s;
+  }
+}
+
+}  // namespace gmreg

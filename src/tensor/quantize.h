@@ -1,0 +1,49 @@
+#ifndef GMREG_TENSOR_QUANTIZE_H_
+#define GMREG_TENSOR_QUANTIZE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace gmreg {
+
+/// An int8 snapshot of a row-major float matrix with one symmetric scale
+/// per row: w[i][j] ≈ scale[i] * q[i][j], q in [-127, 127]. Built once at
+/// model-publish time (ModelRegistry) and shared read-only by inference
+/// sessions — the serving hot path never quantizes (docs/KERNELS.md).
+struct QuantizedMatrix {
+  std::vector<std::int8_t> q;  ///< rows x cols, row-major
+  std::vector<float> scale;    ///< per-row dequantization factor
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+
+  bool valid() const { return rows > 0; }
+};
+
+/// Quantizes `w` (rows x cols, row-major) with per-row symmetric scales:
+/// scale[i] = maxabs(row i) / 127 (0 for an all-zero row), q = round(w /
+/// scale) clamped to [-127, 127]. Rounding is round-half-away-from-zero,
+/// platform-independent. The worst-case dequantization error per element is
+/// scale[i] / 2 — the bound the serve conformance test builds on.
+void QuantizeRowsSymmetric(const float* w, std::int64_t rows,
+                           std::int64_t cols, QuantizedMatrix* out);
+
+/// C[m,n] = A[m,k] · diag(qb.scale) · qb.q[k,n] — the inference-only Dense
+/// product against a quantized weight stored [In, Out] (so qb's per-row
+/// scales sit on the contraction axis and fold into A's elements).
+/// Accumulation is float32 in ascending-p order, one output at a time:
+/// deterministic at any thread count because the loop is serial per call.
+void GemmQuantB(std::int64_t m, std::int64_t n, std::int64_t k,
+                const float* a, std::int64_t lda, const QuantizedMatrix& qb,
+                float* c, std::int64_t ldc);
+
+/// C[m,n] = diag(qa.scale) · qa.q[m,k] · B[k,n] — the inference-only conv
+/// product against a quantized weight stored [Cout, patch] (per-row scales
+/// sit on the output axis and scale each finished row). Accumulation is
+/// float32 in ascending-p order.
+void GemmQuantA(std::int64_t m, std::int64_t n, std::int64_t k,
+                const QuantizedMatrix& qa, const float* b, std::int64_t ldb,
+                float* c, std::int64_t ldc);
+
+}  // namespace gmreg
+
+#endif  // GMREG_TENSOR_QUANTIZE_H_

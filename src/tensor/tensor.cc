@@ -84,6 +84,18 @@ void Tensor::Reshape(std::initializer_list<std::int64_t> shape) {
   shape_.assign(shape);
 }
 
+void Tensor::Resize(const std::vector<std::int64_t>& shape) {
+  shape_ = shape;  // copy-assign reuses the shape vector's capacity
+  data_.AssignZero(static_cast<std::size_t>(ShapeSize(shape_)));
+}
+
+void Tensor::Resize(std::initializer_list<std::int64_t> shape) {
+  shape_.assign(shape);
+  std::int64_t total = 1;
+  for (std::int64_t d : shape) total *= d;
+  data_.AssignZero(static_cast<std::size_t>(total));
+}
+
 std::string Tensor::ShapeString() const {
   std::ostringstream oss;
   oss << "[";

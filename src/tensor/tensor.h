@@ -165,6 +165,14 @@ class Tensor {
   void Reshape(const std::vector<std::int64_t>& shape);
   void Reshape(std::initializer_list<std::int64_t> shape);
 
+  /// Takes a new shape, zero-filled, reusing the existing buffer whenever
+  /// the new total fits its capacity — Tensor(shape) semantics without the
+  /// reallocation, so alternating batch sizes (A/B/A/B serving traffic)
+  /// stay allocation-free once the largest shape has been visited
+  /// (docs/MEMORY.md).
+  void Resize(const std::vector<std::int64_t>& shape);
+  void Resize(std::initializer_list<std::int64_t> shape);
+
   /// "[2, 3, 4]" — for logging and error messages.
   std::string ShapeString() const;
 

@@ -17,6 +17,10 @@ namespace {
 // dispatch cost.
 constexpr std::int64_t kGemmShardFlops = std::int64_t{1} << 21;
 
+// The 2D tile grid aims for at least this many work-queue items (when the
+// per-tile flop floor allows), so budgets up to 8-16 threads stay fed.
+constexpr std::int64_t kGemmTargetTiles = 16;
+
 // Hot-path kernel accounting, surfaced through MetricsRegistry snapshots
 // (docs/OBSERVABILITY.md). Pointers are cached once; Add is an atomic.
 struct KernelCounters {
@@ -29,6 +33,8 @@ KernelCounters& GlobalKernelCounters() {
   static KernelCounters counters = [] {
     MetricsRegistry& registry = MetricsRegistry::Global();
     registry.gauge("gm.kernel.simd")->Set(SimdKernelsEnabled() ? 1.0 : 0.0);
+    registry.gauge("gm.kernel.tier")
+        ->Set(static_cast<double>(GetKernelOps().tier));
     return KernelCounters{registry.counter("gm.kernel.gemm_calls"),
                           registry.counter("gm.kernel.gemm_flops"),
                           registry.counter("gm.kernel.pack_bytes")};
@@ -97,25 +103,45 @@ void Gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
     return;
   }
   // Pack op(B) once into a caller-local buffer shared read-only by every
-  // row shard; each shard packs its own A panels (docs/KERNELS.md). The
-  // buffer is arena-served scratch (grow-only, per thread): conv layers call
-  // Gemm from inside pool workers, and whichever worker packs first must not
+  // tile; each tile packs its own A panels (docs/KERNELS.md). The buffer is
+  // arena-served scratch (grow-only, per thread): conv layers call Gemm
+  // from inside pool workers, and whichever worker packs first must not
   // touch the heap in steady state (docs/MEMORY.md).
+  const GemmGeometry geo = GetGemmGeometry();
   thread_local ScratchBuffer<float> bpack;
-  std::int64_t b_floats = k * RoundUpN(n);
+  std::int64_t b_floats = PackedBFloats(k, n, geo);
   float* bp_mut = bpack.EnsureCapacity(static_cast<std::size_t>(b_floats));
-  PackB(trans_b, b, ldb, k, n, bp_mut);
+  PackB(trans_b, b, ldb, k, n, bp_mut, geo);
   counters.pack_bytes->Add(b_floats * static_cast<std::int64_t>(sizeof(float)));
   const float* bp = bp_mut;
-  // Shard over output rows. Every C element accumulates in the same order
-  // whatever the shard boundaries, so results are bitwise identical at any
-  // thread budget; inside another parallel region (e.g. the batch-parallel
-  // conv passes) this degrades to one serial call.
-  std::int64_t flops_per_row = 2 * n * k;
-  std::int64_t grain =
-      std::max<std::int64_t>(1, kGemmShardFlops / flops_per_row);
-  ParallelFor(0, m, grain, [&](std::int64_t i0, std::int64_t i1) {
-    GemmPackedRows(trans_a, i0, i1, n, k, alpha, a, lda, bp, beta, c, ldc);
+  // 2D (MC x NC) tile grid over C, drained by a dynamic work queue. Tile
+  // boundaries depend only on (m, n, k) and the process-constant geometry —
+  // never on the thread budget — and every C element belongs to exactly one
+  // tile, inside which it accumulates in fixed slab order. So any dynamic
+  // assignment of tiles to threads yields bitwise-identical output; inside
+  // another parallel region (e.g. the batch-parallel conv passes) the queue
+  // degrades to an in-order serial drain.
+  std::int64_t tile_n = geo.nc;  // multiple of geo.nr, so packed panels align
+  std::int64_t tile_m = geo.mc;
+  auto grid_tiles = [&] {
+    return ((m + tile_m - 1) / tile_m) * ((n + tile_n - 1) / tile_n);
+  };
+  // Refine a too-coarse grid by halving the row block (kept an MR multiple)
+  // while the halved tiles still clear the per-tile flop floor.
+  while (grid_tiles() < kGemmTargetTiles) {
+    std::int64_t half = (tile_m / 2 + geo.mr - 1) / geo.mr * geo.mr;
+    if (half >= tile_m || half < geo.mr) break;
+    if (2 * half * std::min(tile_n, n) * k < kGemmShardFlops) break;
+    tile_m = half;
+  }
+  std::int64_t nt = (n + tile_n - 1) / tile_n;
+  std::int64_t mt = (m + tile_m - 1) / tile_m;
+  ParallelRunDynamic(mt * nt, [&](std::int64_t t) {
+    std::int64_t i0 = (t / nt) * tile_m;
+    std::int64_t j0 = (t % nt) * tile_n;
+    GemmPackedBlock(trans_a, i0, std::min(i0 + tile_m, m), j0,
+                    std::min(j0 + tile_n, n), n, k, alpha, a, lda, bp, beta,
+                    c, ldc, geo);
   });
 }
 

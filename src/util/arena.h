@@ -147,28 +147,61 @@ void ArenaFreeRaw(void* p, bool from_arena);
 /// pass. Keeps the metric name literal in one translation unit.
 void RecordArenaPlanRebuild();
 
-/// Shape key for the plan-once sites: remembers the input dims that last
-/// sized a step's buffers. The first batch of a new shape replans (the
-/// caller installs an ArenaScope and re-runs the sizing); same-shape batches
-/// return false and run scope-free.
+/// Shape key for the plan-once sites: an LRU set of the input shapes that
+/// have sized a step's buffers. The first batch of a never-seen shape
+/// replans (the caller installs an ArenaScope and re-runs the sizing);
+/// revisiting any of the last kCapacity shapes returns false and runs
+/// scope-free — alternating batch sizes (A/B/A/B) stay allocation-free
+/// because the underlying buffers are grow-only, so whatever the largest
+/// remembered shape sized still fits every smaller one (docs/MEMORY.md).
 class ShapePlan {
  public:
-  /// True when (dims, rank) differs from the stored key; re-keys the plan.
+  /// True when (dims, rank) matches none of the remembered shapes; inserts
+  /// it as most-recent, evicting the least-recently-used past capacity. A
+  /// match promotes the shape to most-recent and returns false.
   bool Update(const std::int64_t* dims, int rank) {
-    if (rank == rank_ && rank <= kMaxRank) {
+    for (int s = 0; s < size_; ++s) {
+      const Key& key = keys_[order_[s]];
+      if (key.rank != rank || rank > kMaxRank) continue;
       bool same = true;
-      for (int i = 0; i < rank; ++i) same = same && dims_[i] == dims[i];
-      if (same) return false;
+      for (int i = 0; i < rank; ++i) same = same && key.dims[i] == dims[i];
+      if (!same) continue;
+      Promote(s);
+      return false;
     }
-    rank_ = rank;
-    for (int i = 0; i < rank && i < kMaxRank; ++i) dims_[i] = dims[i];
+    std::int8_t slot;
+    if (size_ < kCapacity) {
+      slot = size_++;
+    } else {
+      slot = order_[kCapacity - 1];  // evict the LRU entry
+    }
+    Key& key = keys_[slot];
+    key.rank = rank;
+    for (int i = 0; i < rank && i < kMaxRank; ++i) key.dims[i] = dims[i];
+    for (int s = size_ - 1; s > 0; --s) order_[s] = order_[s - 1];
+    order_[0] = slot;
     return true;
   }
 
  private:
-  static constexpr int kMaxRank = 8;  // > rank 4 tensors do not exist here
-  std::int64_t dims_[kMaxRank] = {};
-  int rank_ = -1;
+  static constexpr int kMaxRank = 8;   // > rank 4 tensors do not exist here
+  static constexpr int kCapacity = 8;  // remembered shapes per plan site
+
+  struct Key {
+    std::int64_t dims[kMaxRank] = {};
+    int rank = -1;
+  };
+
+  /// Moves order_[pos] to the front (most-recent) of the recency list.
+  void Promote(int pos) {
+    std::int8_t slot = order_[pos];
+    for (int s = pos; s > 0; --s) order_[s] = order_[s - 1];
+    order_[0] = slot;
+  }
+
+  Key keys_[kCapacity];
+  std::int8_t order_[kCapacity] = {};  ///< key indices, most-recent first
+  int size_ = 0;
 };
 
 /// Grow-only typed scratch served from the global arena regardless of scope

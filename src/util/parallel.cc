@@ -217,6 +217,24 @@ void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
       num_threads);
 }
 
+void ParallelRunDynamic(std::int64_t num_items,
+                        FunctionRef<void(std::int64_t)> fn, int num_threads) {
+  if (num_items <= 0) return;
+  std::int64_t budget = ResolveNumThreads(num_threads);
+  int executors = static_cast<int>(std::min<std::int64_t>(budget, num_items));
+  // The budget bounds concurrency, not work: `executors` pool tasks drain a
+  // shared ticket, so all items complete whatever the pool size. At budget 1
+  // (or nested inside another region) ThreadPool::Run serializes and the
+  // single executor claims items 0..n-1 in order.
+  std::atomic<std::int64_t> next{0};
+  GlobalThreadPool()->Run(executors, [&](int /*executor*/) {
+    std::int64_t i;
+    while ((i = next.fetch_add(1, std::memory_order_relaxed)) < num_items) {
+      fn(i);
+    }
+  });
+}
+
 double ParallelChunkedSum(std::int64_t begin, std::int64_t end,
                           std::int64_t grain,
                           FunctionRef<double(std::int64_t, std::int64_t)> fn,

@@ -132,6 +132,18 @@ void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
                  FunctionRef<void(std::int64_t, std::int64_t)> fn,
                  int num_threads = 0);
 
+/// Dynamic work queue: runs fn(item) for every item in [0, num_items), with
+/// at most ResolveNumThreads(num_threads) executors claiming items off a
+/// shared atomic ticket. Unlike RunShards the item -> thread assignment is
+/// load-balancing (first free executor takes the next item), so fn must
+/// write disjoint outputs whose *values* do not depend on which thread runs
+/// them — that is what keeps the packed-GEMM 2D tile queue bitwise
+/// deterministic (docs/KERNELS.md). Inside a nested parallel region (or at
+/// budget 1) items run 0..n-1 in order on the calling thread.
+void ParallelRunDynamic(std::int64_t num_items,
+                        FunctionRef<void(std::int64_t)> fn,
+                        int num_threads = 0);
+
 /// Deterministic chunked sum: [begin, end) is cut into fixed `grain`-sized
 /// chunks (the last one short), `fn(b, e)` produces each chunk's partial sum
 /// in parallel, and the partials are folded serially in chunk order. Because

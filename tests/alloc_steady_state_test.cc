@@ -30,6 +30,7 @@
 #include "tensor/tensor.h"
 #include "testutil/alloc_count.h"
 #include "testutil/gmreg_testutil.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 
 namespace gmreg {
@@ -229,6 +230,78 @@ TEST(AllocSteadyStateTest, ServePredictZeroAllocsAndPlanPassIdentical) {
           << "steady-state predict performed heap allocations";
     }
     ExpectTensorBitwiseEqual(first, out, "steady pass under budget");
+  }
+}
+
+TEST(AllocSteadyStateTest, ServeAlternatingBatchSizesStayAllocationFree) {
+  // The ShapePlan LRU (util/arena.h) remembers the last 8 input shapes per
+  // plan site: alternating batch sizes (A/B/A/B traffic, the common serving
+  // pattern of a full batch followed by a remainder batch) must neither
+  // allocate nor bump gm.arena.plan_rebuilds once both shapes are warm.
+  ModelSpec spec;
+  ASSERT_TRUE(ParseModelSpec("mlp:8:16:2", &spec).ok());
+  std::string ckpt = TempPath("alloc_serve_ab.ckpt");
+  TrainAndCheckpoint(spec, ckpt);
+  ModelRegistry registry(ckpt);
+  ASSERT_TRUE(registry.Reload().ok());
+  InferenceSession session(&registry, spec.factory);
+
+  Rng rng(17);
+  Tensor in_a({4, 8});
+  Tensor in_b({2, 8});
+  for (Tensor* t : {&in_a, &in_b}) {
+    for (std::int64_t i = 0; i < t->size(); ++i) {
+      t->data()[i] = static_cast<float>(rng.NextGaussian());
+    }
+  }
+  Tensor out;
+  // Warm both shapes (each first visit is a planning pass).
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(session.Predict(in_a, &out).ok());
+    ASSERT_TRUE(session.Predict(in_b, &out).ok());
+  }
+  Counter* rebuilds = MetricsRegistry::Global().counter("gm.arena.plan_rebuilds");
+  std::int64_t rebuilds_before = rebuilds->value();
+  std::int64_t allocs_before = HeapAllocCount();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(session.Predict(in_a, &out).ok());
+    ASSERT_TRUE(session.Predict(in_b, &out).ok());
+  }
+  EXPECT_EQ(rebuilds->value(), rebuilds_before)
+      << "alternating warm shapes re-planned";
+  std::int64_t delta = HeapAllocCount() - allocs_before;
+  if (ZeroAllocAssertsEnabled()) {
+    EXPECT_EQ(delta, 0) << "A/B/A/B shape flips performed heap allocations";
+  }
+}
+
+TEST(AllocSteadyStateTest, QuantizedServePredictReachesZeroAllocs) {
+  // The int8 path must inherit the steady-state contract: quantization
+  // happens once at snapshot publish, and GemmQuantB runs with no scratch.
+  ModelSpec spec;
+  ASSERT_TRUE(ParseModelSpec("mlp:8:16:2", &spec).ok());
+  std::string ckpt = TempPath("alloc_serve_quant.ckpt");
+  TrainAndCheckpoint(spec, ckpt);
+  ModelRegistry registry(ckpt, /*quantize=*/true);
+  ASSERT_TRUE(registry.Reload().ok());
+  InferenceSession session(&registry, spec.factory, /*quantize=*/true);
+
+  Tensor in({4, 8});
+  Rng rng(23);
+  for (std::int64_t i = 0; i < in.size(); ++i) {
+    in.data()[i] = static_cast<float>(rng.NextGaussian());
+  }
+  Tensor out;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(session.Predict(in, &out).ok());
+  }
+  std::int64_t before = HeapAllocCount();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(session.Predict(in, &out).ok());
+  }
+  std::int64_t delta = HeapAllocCount() - before;
+  if (ZeroAllocAssertsEnabled()) {
+    EXPECT_EQ(delta, 0) << "quantized steady-state predict allocated";
   }
 }
 

@@ -180,7 +180,32 @@ TEST(ShapePlanTest, KeysOnDimsAndRank) {
   EXPECT_TRUE(plan.Update(b, 2)) << "dim change replans";
   EXPECT_TRUE(plan.Update(c, 3)) << "rank change replans";
   EXPECT_FALSE(plan.Update(c, 3));
-  EXPECT_TRUE(plan.Update(a, 2)) << "reverting is a new plan, not a cache";
+  // The LRU remembers recent shapes: reverting (A/B/A/B flips) is free.
+  EXPECT_FALSE(plan.Update(a, 2)) << "recent shape revisit must not replan";
+  EXPECT_FALSE(plan.Update(b, 2));
+  EXPECT_FALSE(plan.Update(a, 2));
+}
+
+TEST(ShapePlanTest, EvictsLeastRecentlyUsedPastCapacity) {
+  ShapePlan plan;
+  // Fill the 8-entry LRU with batch sizes 1..8.
+  for (std::int64_t bs = 1; bs <= 8; ++bs) {
+    const std::int64_t dims[2] = {bs, 10};
+    EXPECT_TRUE(plan.Update(dims, 2)) << "bs=" << bs;
+  }
+  // All eight are remembered; touching bs=1 promotes it to most-recent.
+  for (std::int64_t bs = 1; bs <= 8; ++bs) {
+    const std::int64_t dims[2] = {bs, 10};
+    EXPECT_FALSE(plan.Update(dims, 2)) << "bs=" << bs;
+  }
+  const std::int64_t one[2] = {1, 10};
+  EXPECT_FALSE(plan.Update(one, 2));
+  // A ninth shape evicts the LRU entry — bs=2 after the promotion above.
+  const std::int64_t nine[2] = {9, 10};
+  EXPECT_TRUE(plan.Update(nine, 2));
+  EXPECT_FALSE(plan.Update(one, 2)) << "promoted entry survives eviction";
+  const std::int64_t two[2] = {2, 10};
+  EXPECT_TRUE(plan.Update(two, 2)) << "LRU entry was evicted";
 }
 
 TEST(ScratchBufferTest, GrowOnlyFromGlobalArena) {

@@ -1,11 +1,13 @@
 // Conformance, determinism and NaN-semantics tests for the blocked GEMM
-// (tensor/gemm_kernel.h) and the elementwise kernel tier, covering both the
-// scalar and the SIMD tables via internal::ForceScalarKernelsForTesting.
-// docs/KERNELS.md states the contracts pinned here.
+// (tensor/gemm_kernel.h) and the elementwise kernel tier. The packed-kernel
+// battery runs once per compiled tier (scalar / AVX2 / AVX-512) via
+// internal::ForceKernelTierForTesting, skipping tiers the running CPU does
+// not support. docs/KERNELS.md states the contracts pinned here.
 
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <string>
 #include <tuple>
 #include <vector>
 
@@ -29,9 +31,21 @@ constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
 struct KernelEnvGuard {
   ~KernelEnvGuard() {
     SetDefaultNumThreads(0);
-    internal::ForceScalarKernelsForTesting(false);
+    internal::ClearKernelTierForTesting();
   }
 };
+
+const char* TierName(KernelTier tier) {
+  switch (tier) {
+    case KernelTier::kScalar:
+      return "scalar";
+    case KernelTier::kAvx2:
+      return "avx2";
+    case KernelTier::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
 
 std::vector<float> RandomVec(Rng* rng, std::int64_t n) {
   std::vector<float> v(static_cast<std::size_t>(n));
@@ -60,20 +74,31 @@ void NaiveGemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
 }
 
 // ---------------------------------------------------------------------------
-// Packed-kernel conformance: PackB + GemmPackedRows directly, so every
+// Packed-kernel conformance: PackB + GemmPackedBlock directly, so every
 // (m, n, k) corner exercises the micro-kernel and the packing layouts
-// regardless of the small-GEMM dispatch threshold in Gemm().
+// regardless of the small-GEMM dispatch threshold in Gemm(). Parameterized
+// over (trans_a, trans_b, tier); unsupported tiers skip at runtime.
 // ---------------------------------------------------------------------------
 
 class PackedKernelTest
-    : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+    : public ::testing::TestWithParam<std::tuple<bool, bool, KernelTier>> {
+ protected:
+  void TearDown() override { internal::ClearKernelTierForTesting(); }
+};
 
 TEST_P(PackedKernelTest, MatchesNaiveReferenceAtTileCorners) {
-  auto [trans_a, trans_b] = GetParam();
+  auto [trans_a, trans_b, tier] = GetParam();
+  if (!internal::ForceKernelTierForTesting(tier)) {
+    GTEST_SKIP() << "tier " << TierName(tier)
+                 << " not compiled in or not supported by this CPU";
+  }
+  ASSERT_EQ(GetKernelOps().tier, tier);
+  const GemmGeometry geo = GetGemmGeometry();
   Rng rng(0xC0FFEE);
-  // Sides straddling every tile boundary: 1, MR +- 1, MR, NR +- 1, NR, and
-  // a prime beyond one panel.
-  const std::int64_t sides[] = {1, 5, 6, 7, 15, 16, 17, 37};
+  // Sides straddling every register-tile boundary across all tiers:
+  // 1, 6 +- 1 (scalar/AVX2 MR), 14 +- 1 (AVX-512 MR), 16 +- 1
+  // (scalar/AVX2 NR), 32 +- 1 (AVX-512 NR), and a prime beyond one panel.
+  const std::int64_t sides[] = {1, 5, 6, 7, 13, 14, 15, 16, 17, 31, 32, 37};
   const std::pair<float, float> coeffs[] = {
       {1.0f, 0.0f}, {0.5f, 0.5f}, {1.0f, 1.0f}, {0.0f, 1.0f}};
   for (std::int64_t m : sides) {
@@ -88,10 +113,10 @@ TEST_P(PackedKernelTest, MatchesNaiveReferenceAtTileCorners) {
           std::vector<float> got = c0;
           std::vector<float> want = c0;
           std::vector<float> bp(
-              static_cast<std::size_t>(k * RoundUpN(n)));
-          PackB(trans_b, b.data(), ldb, k, n, bp.data());
-          GemmPackedRows(trans_a, 0, m, n, k, alpha, a.data(), lda,
-                         bp.data(), beta, got.data(), n);
+              static_cast<std::size_t>(PackedBFloats(k, n, geo)));
+          PackB(trans_b, b.data(), ldb, k, n, bp.data(), geo);
+          GemmPackedBlock(trans_a, 0, m, 0, n, n, k, alpha, a.data(), lda,
+                          bp.data(), beta, got.data(), n, geo);
           NaiveGemm(trans_a, trans_b, m, n, k, alpha, a.data(), lda, b.data(),
                     ldb, beta, want.data(), n);
           double tol = 1e-5 * static_cast<double>(k) + 1e-6;
@@ -107,35 +132,139 @@ TEST_P(PackedKernelTest, MatchesNaiveReferenceAtTileCorners) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(AllTransposes, PackedKernelTest,
-                         ::testing::Combine(::testing::Bool(),
-                                            ::testing::Bool()));
-
-// Public Gemm at shapes large enough for the blocked path (several KC slabs
-// and MC blocks), all four transpose variants.
-TEST(GemmConformanceTest, BlockedPathLargeShapes) {
-  Rng rng(7);
-  const std::int64_t m = 73, n = 65, k = 300;
-  for (bool trans_a : {false, true}) {
-    for (bool trans_b : {false, true}) {
-      std::int64_t lda = trans_a ? m : k;
-      std::int64_t ldb = trans_b ? k : n;
-      std::vector<float> a = RandomVec(&rng, m * k);
-      std::vector<float> b = RandomVec(&rng, k * n);
-      std::vector<float> got = RandomVec(&rng, m * n);
-      std::vector<float> want = got;
-      Gemm(trans_a, trans_b, m, n, k, 0.5f, a.data(), lda, b.data(), ldb,
-           0.5f, got.data(), n);
-      NaiveGemm(trans_a, trans_b, m, n, k, 0.5f, a.data(), lda, b.data(), ldb,
-                0.5f, want.data(), n);
-      for (std::int64_t i = 0; i < m * n; ++i) {
-        ASSERT_NEAR(got[static_cast<std::size_t>(i)],
-                    want[static_cast<std::size_t>(i)], 5e-3)
-            << "trans_a=" << trans_a
-            << " trans_b=" << trans_b << " i=" << i;
+// Tiles that start mid-matrix must read the right packed panels and leave
+// the rest of C untouched: an interior (i0, j0) corner on the NR panel
+// boundary with ragged i1/j1 edges, per tier.
+TEST_P(PackedKernelTest, InteriorTileTouchesOnlyItsBlock) {
+  auto [trans_a, trans_b, tier] = GetParam();
+  if (!internal::ForceKernelTierForTesting(tier)) {
+    GTEST_SKIP() << "tier " << TierName(tier)
+                 << " not compiled in or not supported by this CPU";
+  }
+  const GemmGeometry geo = GetGemmGeometry();
+  Rng rng(0xFACADE);
+  const std::int64_t m = 2 * geo.mr + 3;
+  const std::int64_t n = 2 * geo.nr + 5;
+  const std::int64_t k = 19;
+  std::int64_t lda = trans_a ? m : k;
+  std::int64_t ldb = trans_b ? k : n;
+  std::vector<float> a = RandomVec(&rng, m * k);
+  std::vector<float> b = RandomVec(&rng, k * n);
+  std::vector<float> c0 = RandomVec(&rng, m * n);
+  std::vector<float> bp(static_cast<std::size_t>(PackedBFloats(k, n, geo)));
+  PackB(trans_b, b.data(), ldb, k, n, bp.data(), geo);
+  std::vector<float> want = c0;
+  NaiveGemm(trans_a, trans_b, m, n, k, 1.0f, a.data(), lda, b.data(), ldb,
+            0.0f, want.data(), n);
+  // The block [i0, i1) x [j0, j1): an interior corner with ragged edges.
+  const std::int64_t i0 = geo.mr, i1 = m;
+  const std::int64_t j0 = geo.nr, j1 = n;
+  std::vector<float> got = c0;
+  GemmPackedBlock(trans_a, i0, i1, j0, j1, n, k, 1.0f, a.data(), lda,
+                  bp.data(), 0.0f, got.data(), n, geo);
+  double tol = 1e-5 * static_cast<double>(k) + 1e-6;
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      auto idx = static_cast<std::size_t>(i * n + j);
+      bool inside = i >= i0 && i < i1 && j >= j0 && j < j1;
+      if (inside) {
+        ASSERT_NEAR(got[idx], want[idx], tol) << "i=" << i << " j=" << j;
+      } else {
+        ASSERT_EQ(got[idx], c0[idx]) << "i=" << i << " j=" << j;
       }
     }
   }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTransposesAllTiers, PackedKernelTest,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool(),
+                       ::testing::Values(KernelTier::kScalar, KernelTier::kAvx2,
+                                         KernelTier::kAvx512)),
+    [](const ::testing::TestParamInfo<PackedKernelTest::ParamType>& info) {
+      return std::string(std::get<0>(info.param) ? "Ta" : "Na") +
+             (std::get<1>(info.param) ? "Tb" : "Nb") + "_" +
+             TierName(std::get<2>(info.param));
+    });
+
+// Public Gemm at shapes large enough for the blocked path (several KC slabs
+// and MC blocks), all four transpose variants, per available tier.
+TEST(GemmConformanceTest, BlockedPathLargeShapes) {
+  KernelEnvGuard guard;
+  Rng rng(7);
+  const std::int64_t m = 73, n = 65, k = 300;
+  for (KernelTier tier :
+       {KernelTier::kScalar, KernelTier::kAvx2, KernelTier::kAvx512}) {
+    if (!internal::ForceKernelTierForTesting(tier)) continue;
+    for (bool trans_a : {false, true}) {
+      for (bool trans_b : {false, true}) {
+        std::int64_t lda = trans_a ? m : k;
+        std::int64_t ldb = trans_b ? k : n;
+        std::vector<float> a = RandomVec(&rng, m * k);
+        std::vector<float> b = RandomVec(&rng, k * n);
+        std::vector<float> got = RandomVec(&rng, m * n);
+        std::vector<float> want = got;
+        Gemm(trans_a, trans_b, m, n, k, 0.5f, a.data(), lda, b.data(), ldb,
+             0.5f, got.data(), n);
+        NaiveGemm(trans_a, trans_b, m, n, k, 0.5f, a.data(), lda, b.data(),
+                  ldb, 0.5f, want.data(), n);
+        for (std::int64_t i = 0; i < m * n; ++i) {
+          ASSERT_NEAR(got[static_cast<std::size_t>(i)],
+                      want[static_cast<std::size_t>(i)], 5e-3)
+              << "tier=" << TierName(tier) << " trans_a=" << trans_a
+              << " trans_b=" << trans_b << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Autotuned blocking geometry: the KC/MC/NC rule must keep its invariants
+// for every register tile whatever cache sizes the machine reports, and the
+// fixed fallback must reproduce the historical KC = 256 at NR = 16.
+// ---------------------------------------------------------------------------
+
+TEST(GemmGeometryTest, AutotuneInvariantsAcrossCacheShapes) {
+  const std::pair<std::int64_t, std::int64_t> tiles[] = {{6, 16}, {14, 32}};
+  const internal::CacheGeometry caches[] = {
+      {32 * 1024, 1024 * 1024},             // the fixed fallback table
+      {48 * 1024, 2 * 1024 * 1024},         // common client parts
+      {16 * 1024, 256 * 1024},              // small embedded-ish cache
+      {1 * 1024, 4 * 1024},                 // absurdly tiny: clamps must hold
+      {4 * 1024 * 1024, 64 * 1024 * 1024},  // absurdly huge: ditto
+  };
+  for (auto [mr, nr] : tiles) {
+    for (const auto& cache : caches) {
+      GemmGeometry geo = internal::AutotuneGeometry(mr, nr, cache);
+      EXPECT_EQ(geo.mr, mr);
+      EXPECT_EQ(geo.nr, nr);
+      EXPECT_GE(geo.kc, 64) << "mr=" << mr << " l1=" << cache.l1d_bytes;
+      EXPECT_LE(geo.kc, 512);
+      EXPECT_EQ(geo.kc % 8, 0);
+      EXPECT_GE(geo.mc, mr);
+      EXPECT_LE(geo.mc, 192);
+      EXPECT_EQ(geo.mc % mr, 0);
+      EXPECT_GE(geo.nc, nr);
+      EXPECT_EQ(geo.nc % nr, 0);
+    }
+  }
+  // Fallback cache + the 6x16 tile reproduces the previous fixed KC = 256.
+  GemmGeometry legacy =
+      internal::AutotuneGeometry(6, 16, {32 * 1024, 1024 * 1024});
+  EXPECT_EQ(legacy.kc, 256);
+}
+
+TEST(GemmGeometryTest, ProcessGeometryIsStableAndMatchesActiveTier) {
+  GemmGeometry first = GetGemmGeometry();
+  GemmGeometry second = GetGemmGeometry();
+  EXPECT_EQ(first.mr, GetKernelOps().mr);
+  EXPECT_EQ(first.nr, GetKernelOps().nr);
+  EXPECT_EQ(first.kc, second.kc);
+  EXPECT_EQ(first.mc, second.mc);
+  EXPECT_EQ(first.nc, second.nc);
+  internal::CacheGeometry cache = internal::GetCacheGeometry();
+  EXPECT_GE(cache.l2_bytes, cache.l1d_bytes);
 }
 
 // ---------------------------------------------------------------------------
@@ -185,15 +314,15 @@ TEST(GemmNanTest, AlphaZeroNeverReadsAOrB) {
 }
 
 // ---------------------------------------------------------------------------
-// Determinism: bitwise-identical C at every thread budget, and a bounded,
-// documented divergence between the scalar and SIMD tiers (FMA contraction
-// only).
+// Determinism: bitwise-identical C at every thread budget for every tier,
+// and a bounded, documented divergence between the scalar and SIMD tiers
+// (FMA contraction only).
 // ---------------------------------------------------------------------------
 
 std::vector<float> RunGemmAtBudget(int budget) {
   SetDefaultNumThreads(budget);
   Rng rng(0xDECAF);
-  const std::int64_t m = 600, n = 64, k = 64;  // >= 2 row shards at budget 4
+  const std::int64_t m = 600, n = 160, k = 96;  // several 2D tiles in flight
   std::vector<float> a = RandomVec(&rng, m * k);
   std::vector<float> b = RandomVec(&rng, k * n);
   std::vector<float> c(static_cast<std::size_t>(m * n), 0.25f);
@@ -202,14 +331,19 @@ std::vector<float> RunGemmAtBudget(int budget) {
   return c;
 }
 
-TEST(GemmDeterminismTest, BitIdenticalAcrossThreadBudgets) {
+TEST(GemmDeterminismTest, BitIdenticalAcrossThreadBudgetsEveryTier) {
   KernelEnvGuard guard;
-  std::vector<float> serial = RunGemmAtBudget(1);
-  for (int budget : {2, 4}) {
-    std::vector<float> parallel = RunGemmAtBudget(budget);
-    ASSERT_EQ(0, std::memcmp(serial.data(), parallel.data(),
-                             serial.size() * sizeof(float)))
-        << "budget=" << budget;
+  for (KernelTier tier :
+       {KernelTier::kScalar, KernelTier::kAvx2, KernelTier::kAvx512}) {
+    if (!internal::ForceKernelTierForTesting(tier)) continue;
+    std::vector<float> serial = RunGemmAtBudget(1);
+    for (int budget : {2, 4, 8}) {
+      std::vector<float> parallel = RunGemmAtBudget(budget);
+      ASSERT_EQ(0, std::memcmp(serial.data(), parallel.data(),
+                               serial.size() * sizeof(float)))
+          << "tier=" << TierName(tier) << " budget=" << budget;
+    }
+    SetDefaultNumThreads(0);
   }
 }
 
@@ -221,24 +355,27 @@ TEST(GemmDeterminismTest, SimdMatchesScalarWithinFmaTolerance) {
   std::vector<float> b = RandomVec(&rng, k * n);
   std::vector<float> c0 = RandomVec(&rng, m * n);
 
-  internal::ForceScalarKernelsForTesting(true);
+  ASSERT_TRUE(internal::ForceKernelTierForTesting(KernelTier::kScalar));
   EXPECT_FALSE(SimdKernelsEnabled());
   std::vector<float> scalar = c0;
   Gemm(false, false, m, n, k, 1.0f, a.data(), k, b.data(), n, 1.0f,
        scalar.data(), n);
 
-  internal::ForceScalarKernelsForTesting(false);
-  std::vector<float> simd = c0;
-  Gemm(false, false, m, n, k, 1.0f, a.data(), k, b.data(), n, 1.0f,
-       simd.data(), n);
-
-  // Same per-element accumulation order; the only divergence allowed is FMA
-  // contraction (docs/KERNELS.md), bounded by ~k ulps of the running sum.
-  double tol = 1e-5 * static_cast<double>(k);
-  for (std::int64_t i = 0; i < m * n; ++i) {
-    ASSERT_NEAR(scalar[static_cast<std::size_t>(i)],
-                simd[static_cast<std::size_t>(i)], tol)
-        << "i=" << i;
+  for (KernelTier tier : {KernelTier::kAvx2, KernelTier::kAvx512}) {
+    if (!internal::ForceKernelTierForTesting(tier)) continue;
+    EXPECT_TRUE(SimdKernelsEnabled());
+    std::vector<float> simd = c0;
+    Gemm(false, false, m, n, k, 1.0f, a.data(), k, b.data(), n, 1.0f,
+         simd.data(), n);
+    // Same per-element accumulation order; the only divergence allowed is
+    // FMA contraction (docs/KERNELS.md), bounded by ~k ulps of the running
+    // sum.
+    double tol = 1e-5 * static_cast<double>(k);
+    for (std::int64_t i = 0; i < m * n; ++i) {
+      ASSERT_NEAR(scalar[static_cast<std::size_t>(i)],
+                  simd[static_cast<std::size_t>(i)], tol)
+          << "tier=" << TierName(tier) << " i=" << i;
+    }
   }
 }
 
@@ -301,8 +438,8 @@ TEST(ElementwiseKernelTest, ReluOpsExactAcrossTiers) {
   in[0] = 0.0f;  // boundary: not positive, masked off
   std::vector<float> gout = RandomVec(&rng, n);
 
-  auto run = [&](bool force_scalar) {
-    internal::ForceScalarKernelsForTesting(force_scalar);
+  auto run = [&](KernelTier tier) {
+    EXPECT_TRUE(internal::ForceKernelTierForTesting(tier));
     const KernelOps& ops = GetKernelOps();
     std::vector<float> fwd(static_cast<std::size_t>(n));
     std::vector<unsigned char> mask(static_cast<std::size_t>(n));
@@ -311,8 +448,9 @@ TEST(ElementwiseKernelTest, ReluOpsExactAcrossTiers) {
     ops.relu_backward(n, gout.data(), mask.data(), bwd.data());
     return std::make_pair(fwd, bwd);
   };
-  auto [fwd_scalar, bwd_scalar] = run(true);
-  auto [fwd_active, bwd_active] = run(false);
+  auto [fwd_scalar, bwd_scalar] = run(KernelTier::kScalar);
+  internal::ClearKernelTierForTesting();
+  auto [fwd_active, bwd_active] = run(GetKernelOps().tier);
 
   for (std::int64_t i = 0; i < n; ++i) {
     auto idx = static_cast<std::size_t>(i);
@@ -383,7 +521,7 @@ TEST(ConvBackwardDeterminismTest, BitIdenticalAcrossThreadBudgets) {
   KernelEnvGuard guard;
   ConvGrads serial = RunConvBackwardAtBudget(1);
   ASSERT_FALSE(serial.weight_grad.empty());
-  for (int budget : {2, 4}) {
+  for (int budget : {2, 4, 8}) {
     ConvGrads parallel = RunConvBackwardAtBudget(budget);
     EXPECT_EQ(0, std::memcmp(serial.weight_grad.data(),
                              parallel.weight_grad.data(),

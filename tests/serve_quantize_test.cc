@@ -1,0 +1,238 @@
+// Quantized inference path tests (ISSUE 10): per-row symmetric int8 weight
+// snapshots are produced once at snapshot publish (ModelRegistry), bound
+// into sessions per model version, and the served scores stay within a
+// conformance bound of the float32 path for EVERY ModelSpec grammar
+// architecture. Also covers the hot-swap end-to-end flow with
+// ServerOptions::quantize on: version bumps mid-traffic keep answering with
+// freshly quantized weights.
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "io/checkpoint.h"
+#include "serve/server.h"
+#include "tensor/quantize.h"
+#include "tensor/tensor.h"
+#include "util/json_writer.h"
+#include "util/metrics.h"
+#include "util/rng.h"
+
+namespace gmreg {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::int64_t CounterValue(const std::string& name) {
+  return MetricsRegistry::Global().counter(name)->value();
+}
+
+// A checkpoint matching `spec`'s topology with Gaussian parameter noise, so
+// quantization has a realistic dynamic range to compress (a constant fill
+// would quantize exactly and prove nothing).
+TrainingCheckpoint NoisyCheckpoint(const ModelSpec& spec, std::uint64_t seed,
+                                   int epoch) {
+  std::unique_ptr<Layer> net = spec.factory();
+  std::vector<ParamRef> params;
+  net->CollectParams(&params);
+  Rng rng(seed);
+  TrainingCheckpoint ckpt;
+  ckpt.epoch = epoch;
+  ckpt.iteration = epoch * 10;
+  ckpt.learning_rate = 0.01;
+  for (const ParamRef& p : params) {
+    Tensor value(p.value->shape());
+    for (std::int64_t i = 0; i < value.size(); ++i) {
+      value[i] = static_cast<float>(rng.NextGaussian(0.0, 0.1));
+    }
+    ckpt.param_names.push_back(p.name);
+    ckpt.params.push_back(std::move(value));
+    ckpt.velocity.push_back(Tensor(p.value->shape()));
+  }
+  return ckpt;
+}
+
+Tensor ProbeBatch(const ModelSpec& spec, std::int64_t batch,
+                  std::uint64_t seed) {
+  std::vector<std::int64_t> shape;
+  shape.push_back(batch);
+  for (std::int64_t d : spec.input_shape) shape.push_back(d);
+  Tensor in(shape);
+  Rng rng(seed);
+  for (std::int64_t i = 0; i < in.size(); ++i) {
+    in.data()[i] = static_cast<float>(rng.NextGaussian());
+  }
+  return in;
+}
+
+// The conformance gate of docs/KERNELS.md: for every architecture the spec
+// grammar can serve, the int8 path's scores diverge from float32 by at most
+// 5% of the float scores' dynamic range.
+TEST(ServeQuantizeTest, DivergenceBoundedForEveryModelSpecArchitecture) {
+  const char* kSpecs[] = {"mlp:8:16:2", "alex:8:4", "resnet:8:1"};
+  for (const char* spec_str : kSpecs) {
+    SCOPED_TRACE(spec_str);
+    ModelSpec spec;
+    ASSERT_TRUE(ParseModelSpec(spec_str, &spec).ok());
+    std::string ckpt = TempPath(std::string("quant_conf_") + spec.name[0] +
+                                std::to_string(spec.name.size()) + ".gmckpt");
+    ASSERT_TRUE(SaveCheckpoint(NoisyCheckpoint(spec, 1234, 1), ckpt).ok());
+
+    ModelRegistry float_registry(ckpt);
+    ASSERT_TRUE(float_registry.Reload().ok());
+    InferenceSession float_session(&float_registry, spec.factory);
+
+    ModelRegistry quant_registry(ckpt, /*quantize=*/true);
+    ASSERT_TRUE(quant_registry.Reload().ok());
+    InferenceSession quant_session(&quant_registry, spec.factory,
+                                   /*quantize=*/true);
+
+    Tensor in = ProbeBatch(spec, /*batch=*/4, /*seed=*/77);
+    Tensor float_out, quant_out;
+    std::int64_t quantized_before = CounterValue("gm.serve.quantized_requests");
+    ASSERT_TRUE(float_session.Predict(in, &float_out).ok());
+    ASSERT_TRUE(quant_session.Predict(in, &quant_out).ok());
+    EXPECT_EQ(CounterValue("gm.serve.quantized_requests"),
+              quantized_before + in.dim(0))
+        << "quantized session must count its served rows";
+    ASSERT_TRUE(float_out.SameShape(quant_out));
+
+    double max_float = 0.0;
+    for (std::int64_t i = 0; i < float_out.size(); ++i) {
+      max_float = std::max(max_float,
+                           std::fabs(static_cast<double>(float_out[i])));
+    }
+    // 5% of the score range (plus an absolute floor for near-zero scores):
+    // int8 per-row symmetric codes carry ~0.4% worst-case per-weight error,
+    // so 5% end-to-end is loose enough to be stable across machines and
+    // tight enough to catch a broken scale or transposed quantized layout.
+    double tol = 0.05 * (1.0 + max_float);
+    for (std::int64_t i = 0; i < float_out.size(); ++i) {
+      ASSERT_NEAR(float_out[i], quant_out[i], tol) << "i=" << i;
+    }
+  }
+}
+
+TEST(ServeQuantizeTest, RegistryQuantizesOnlyWeightMatricesAtPublish) {
+  ModelSpec spec;
+  ASSERT_TRUE(ParseModelSpec("mlp:8:16:2", &spec).ok());
+  std::string ckpt = TempPath("quant_publish.gmckpt");
+  ASSERT_TRUE(SaveCheckpoint(NoisyCheckpoint(spec, 5, 1), ckpt).ok());
+
+  // Quantization off: no int8 snapshots are materialized.
+  ModelRegistry plain(ckpt);
+  ASSERT_TRUE(plain.Reload().ok());
+  EXPECT_TRUE(plain.Current()->quantized.empty());
+
+  // Quantization on: the parallel vector is filled at publish, valid exactly
+  // for the rank-2 "*/weight" parameters (biases serve in float).
+  ModelRegistry quant(ckpt, /*quantize=*/true);
+  ASSERT_TRUE(quant.Reload().ok());
+  std::shared_ptr<const LoadedModel> model = quant.Current();
+  ASSERT_EQ(model->quantized.size(), model->snapshot.params.size());
+  for (std::size_t i = 0; i < model->quantized.size(); ++i) {
+    const std::string& name = model->snapshot.param_names[i];
+    const Tensor& value = model->snapshot.params[i];
+    bool is_weight_matrix =
+        value.rank() == 2 &&
+        name.size() >= 7 && name.compare(name.size() - 7, 7, "/weight") == 0;
+    EXPECT_EQ(model->quantized[i].valid(), is_weight_matrix) << name;
+    if (model->quantized[i].valid()) {
+      EXPECT_EQ(model->quantized[i].rows, value.dim(0)) << name;
+      EXPECT_EQ(model->quantized[i].cols, value.dim(1)) << name;
+    }
+  }
+}
+
+TEST(ServeQuantizeTest, EnableQuantizationRepublishesCurrentModelInPlace) {
+  ModelSpec spec;
+  ASSERT_TRUE(ParseModelSpec("mlp:8:16:2", &spec).ok());
+  std::string ckpt = TempPath("quant_enable.gmckpt");
+  ASSERT_TRUE(SaveCheckpoint(NoisyCheckpoint(spec, 9, 1), ckpt).ok());
+  ModelRegistry registry(ckpt);
+  ASSERT_TRUE(registry.Reload().ok());
+  ASSERT_TRUE(registry.Current()->quantized.empty());
+  std::int64_t version = registry.version();
+  // Server::Start calls this when ServerOptions::quantize is set after the
+  // registry already published: same version, now with int8 snapshots.
+  registry.EnableQuantization();
+  EXPECT_EQ(registry.version(), version) << "republish must not bump version";
+  EXPECT_FALSE(registry.Current()->quantized.empty());
+}
+
+std::string PredictBody(const Tensor& in) {
+  JsonWriter w;
+  w.BeginObject().Key("input").BeginArray();
+  for (std::int64_t j = 0; j < in.dim(1); ++j) {
+    w.Double(static_cast<double>(in.At(0, j)));
+  }
+  w.EndArray().EndObject();
+  return w.str();
+}
+
+// Hot swap with quantization on, end to end over HTTP: requests before and
+// after a checkpoint bump both answer 200 from the quantized path, the
+// version moves, and the post-swap scores track the new weights.
+TEST(ServeQuantizeTest, HotSwapEndToEndWithQuantizeOn) {
+  ModelSpec spec;
+  ASSERT_TRUE(ParseModelSpec("mlp:8:16:2", &spec).ok());
+  std::string ckpt = TempPath("quant_e2e.gmckpt");
+  TrainingCheckpoint first = NoisyCheckpoint(spec, 21, 1);
+  ASSERT_TRUE(SaveCheckpoint(first, ckpt).ok());
+
+  ModelRegistry registry(ckpt, /*quantize=*/true);
+  ASSERT_TRUE(registry.Reload().ok());
+  ServerOptions options;
+  options.port = 0;
+  options.batcher.max_batch_size = 4;
+  options.batcher.max_delay_ms = 2;
+  options.batcher.num_workers = 2;
+  options.reload_poll_ms = 20;
+  options.quantize = true;
+  Server server(&registry, spec, options);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+
+  Tensor probe = ProbeBatch(spec, /*batch=*/1, /*seed=*/55);
+  std::int64_t quantized_before = CounterValue("gm.serve.quantized_requests");
+
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(HttpRequest(server.port(), "POST", "/v1/predict",
+                          PredictBody(probe), &status, &body)
+                  .ok());
+  ASSERT_EQ(status, 200) << body;
+  EXPECT_NE(body.find("\"model_version\""), std::string::npos);
+
+  // Land a visibly different checkpoint and wait for the poller to swap.
+  TrainingCheckpoint second = first;
+  second.epoch = first.epoch + 3;
+  for (Tensor& t : second.params) {
+    for (std::int64_t i = 0; i < t.size(); ++i) t[i] *= 1.5f;
+  }
+  ASSERT_TRUE(SaveCheckpoint(second, ckpt).ok());
+  std::int64_t deadline_ms = 5000;
+  while (registry.version() < 2 && deadline_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    deadline_ms -= 10;
+  }
+  ASSERT_GE(registry.version(), 2) << "hot swap never landed";
+  ASSERT_FALSE(registry.Current()->quantized.empty())
+      << "swapped-in model must be quantized at publish";
+
+  ASSERT_TRUE(HttpRequest(server.port(), "POST", "/v1/predict",
+                          PredictBody(probe), &status, &body)
+                  .ok());
+  ASSERT_EQ(status, 200) << body;
+  EXPECT_GT(CounterValue("gm.serve.quantized_requests"), quantized_before);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace gmreg

@@ -59,6 +59,8 @@ void Usage(const char* argv0) {
       "  --handlers=N       request handler threads (default 8)\n"
       "  --slo-ms=X         per-request latency objective for the\n"
       "                     gm.serve.endpoint.* SLO counters (default 250)\n"
+      "  --quantize         serve int8 per-row-scale quantized weights\n"
+      "                     (quantized once per published version)\n"
       "  --train-demo       train a demo MLP first and write --checkpoint\n",
       argv0);
 }
@@ -128,6 +130,7 @@ int Main(int argc, char** argv) {
   int max_conns = server_defaults.max_connections;
   int handlers = server_defaults.num_handler_threads;
   double slo_ms = server_defaults.slo_ms;
+  bool quantize = false;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (FlagValue(arg, "--checkpoint", &value)) {
@@ -152,6 +155,8 @@ int Main(int argc, char** argv) {
       handlers = std::atoi(value.c_str());
     } else if (FlagValue(arg, "--slo-ms", &value)) {
       slo_ms = std::atof(value.c_str());
+    } else if (std::strcmp(arg, "--quantize") == 0) {
+      quantize = true;
     } else if (std::strcmp(arg, "--train-demo") == 0) {
       train_demo = true;
     } else {
@@ -176,7 +181,7 @@ int Main(int argc, char** argv) {
     if (rc != 0) return rc;
   }
 
-  ModelRegistry registry(checkpoint);
+  ModelRegistry registry(checkpoint, quantize);
   st = registry.Reload();
   if (!st.ok()) {
     std::fprintf(stderr, "initial checkpoint load failed: %s\n",
@@ -192,6 +197,7 @@ int Main(int argc, char** argv) {
   options.max_connections = max_conns;
   options.num_handler_threads = handlers;
   options.slo_ms = slo_ms;
+  options.quantize = quantize;
   Server server(&registry, spec, options);
   st = server.Start();
   if (!st.ok()) {
